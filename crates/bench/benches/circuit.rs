@@ -1,0 +1,29 @@
+//! Criterion benchmarks of circuit construction, metrics, and QASM I/O.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcs_circuit::{library, qasm, CircuitMetrics};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qft_build");
+    for n in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| library::qft(n));
+        });
+    }
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let circuit = library::qft(64);
+    c.bench_function("metrics_qft64", |b| b.iter(|| CircuitMetrics::of(&circuit)));
+}
+
+fn bench_qasm(c: &mut Criterion) {
+    let circuit = library::qft(32);
+    let text = qasm::to_qasm(&circuit);
+    c.bench_function("qasm_emit_qft32", |b| b.iter(|| qasm::to_qasm(&circuit)));
+    c.bench_function("qasm_parse_qft32", |b| b.iter(|| qasm::from_qasm(&text).unwrap()));
+}
+
+criterion_group!(benches, bench_construction, bench_metrics, bench_qasm);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benchmarks of the runtime-prediction model fit (Fig 15).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcs_stats::ProductModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn training_set(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            vec![
+                rng.gen_range(1.0..900.0),
+                rng.gen_range(100.0..8192.0),
+                rng.gen_range(5.0..60.0),
+            ]
+        })
+        .collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| (3.0 + 0.3 * r[0]) * (1.0 + r[1] * 1e-4) * (1.0 + r[2] * 1e-3))
+        .collect();
+    (rows, y)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let (rows, y) = training_set(2000);
+    c.bench_function("product_model_fit_2k", |b| {
+        b.iter(|| ProductModel::fit(&rows, &y, 200));
+    });
+}
+
+criterion_group!(benches, bench_fit);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks of the statevector and noisy simulators (the
+//! substrate behind Fig 7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcs_calibration::NoiseProfile;
+use qcs_circuit::library;
+use qcs_sim::{qft_pos_circuit, NoisySimulator, Statevector};
+use qcs_topology::families;
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_qft");
+    for n in [8usize, 12, 16] {
+        let circuit = library::qft(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circuit| {
+            b.iter(|| Statevector::from_circuit(circuit).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_noisy_run(c: &mut Criterion) {
+    let circuit = qft_pos_circuit(4);
+    let snapshot = NoiseProfile::with_seed(1).snapshot(&families::complete(4), 0);
+    let mut group = c.benchmark_group("noisy_qft4_pos");
+    for shots in [1024u32, 8192] {
+        group.bench_with_input(BenchmarkId::from_parameter(shots), &shots, |b, &shots| {
+            b.iter(|| {
+                NoisySimulator::with_seed(7)
+                    .run(&circuit, &snapshot, shots)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_statevector, bench_noisy_run);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion benchmarks of topology algorithms (the Fig 6 substrate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcs_topology::{bisection_bandwidth, families};
+
+fn bench_bisection(c: &mut Criterion) {
+    let hummingbird = families::ibm_hummingbird_65q();
+    let mesh = families::grid(8, 8);
+    c.bench_function("bisection_hummingbird65", |b| {
+        b.iter(|| bisection_bandwidth(&hummingbird));
+    });
+    c.bench_function("bisection_mesh8x8", |b| {
+        b.iter(|| bisection_bandwidth(&mesh));
+    });
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let big = families::heavy_hex(19, 45);
+    c.bench_function("distance_matrix_1000q", |b| b.iter(|| big.distance_matrix()));
+}
+
+criterion_group!(benches, bench_bisection, bench_distances);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the transpiler passes (the Fig 5 cost centers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcs_circuit::library;
+use qcs_topology::families;
+use qcs_transpiler::{
+    basis::translate_to_basis,
+    layout::{dense_layout, noise_aware_layout, trivial_layout},
+    optimize::optimize,
+    routing::{naive_route, sabre_route},
+    transpile, Target, TranspileOptions,
+};
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let target = Target::uniform("hummingbird", families::ibm_hummingbird_65q(), 3);
+    let mut group = c.benchmark_group("transpile_qft_full");
+    for n in [4usize, 8, 16] {
+        let circuit = library::qft(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circuit| {
+            b.iter(|| transpile(circuit, &target, TranspileOptions::full()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_layout_methods(c: &mut Criterion) {
+    let target = Target::uniform("falcon", families::ibm_falcon_27q(), 5);
+    let circuit = translate_to_basis(&library::qft(8));
+    let mut group = c.benchmark_group("layout_qft8_falcon");
+    group.bench_function("trivial", |b| {
+        b.iter(|| trivial_layout(&circuit, &target).unwrap());
+    });
+    group.bench_function("dense", |b| {
+        b.iter(|| dense_layout(&circuit, &target).unwrap());
+    });
+    group.bench_function("noise_aware", |b| {
+        b.iter(|| noise_aware_layout(&circuit, &target).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_routing_methods(c: &mut Criterion) {
+    let target = Target::noiseless("hummingbird", families::ibm_hummingbird_65q());
+    let circuit = translate_to_basis(&library::qft(12));
+    let mut group = c.benchmark_group("routing_qft12_hummingbird");
+    group.bench_function("naive", |b| {
+        b.iter(|| naive_route(&circuit, &target).unwrap());
+    });
+    group.bench_function("sabre", |b| {
+        b.iter(|| sabre_route(&circuit, &target).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_optimization(c: &mut Criterion) {
+    let circuit = translate_to_basis(&library::quantum_volume(8, 8, 1));
+    c.bench_function("optimize_qv8", |b| b.iter(|| optimize(&circuit)));
+}
+
+criterion_group!(
+    benches,
+    bench_full_pipeline,
+    bench_layout_methods,
+    bench_routing_methods,
+    bench_optimization
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation: noise-aware vs trivial vs dense layout — how much fidelity
+//! does calibration-aware placement buy (paper §IV-B / Fig 12b rationale)?
+
+use qcs::machine::Fleet;
+use qcs::sim::{probability_of_success, qft_pos_circuit, NoisySimulator};
+use qcs::transpiler::{transpile, LayoutMethod, Target, TranspileOptions};
+
+fn main() {
+    let fleet = Fleet::ibm_like();
+    let circuit = qft_pos_circuit(4);
+    println!(
+        "{:<12} {:>12} {:>12} {:>12}",
+        "machine", "trivial", "dense", "noise-aware"
+    );
+    for name in ["casablanca", "guadalupe", "toronto", "manhattan"] {
+        let machine = fleet.get(name).expect("machine exists");
+        let target = Target::from_machine(machine, 36.0);
+        let mut row = format!("{name:<12}");
+        for layout in [LayoutMethod::Trivial, LayoutMethod::Dense, LayoutMethod::NoiseAware] {
+            let options = TranspileOptions {
+                layout,
+                ..TranspileOptions::full()
+            };
+            let compiled = transpile(&circuit, &target, options).expect("transpiles");
+            let (compact, region) = compiled.circuit.compacted();
+            let snapshot = target.snapshot().restricted(&region);
+            let counts = NoisySimulator::with_seed(5)
+                .run(&compact, &snapshot, 8192)
+                .expect("simulable");
+            row.push_str(&format!("{:>11.1}%", 100.0 * probability_of_success(&counts, 0)));
+        }
+        println!("{row}");
+    }
+    println!("\n(noise-aware layout should dominate trivial placement on noisy machines)");
+}

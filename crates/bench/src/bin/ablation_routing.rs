@@ -1,0 +1,33 @@
+//! Ablation: SABRE vs naive routing — SWAP overhead and compile time
+//! across circuit sizes (the design choice behind Fig 5's routing cost).
+
+use qcs::circuit::library;
+use qcs::topology::families;
+use qcs::transpiler::{transpile, RoutingMethod, Target, TranspileOptions};
+
+fn main() {
+    let target = Target::noiseless("hummingbird", families::ibm_hummingbird_65q());
+    println!(
+        "{:>5} {:>14} {:>14} {:>14} {:>14}",
+        "QFT n", "naive swaps", "sabre swaps", "naive time", "sabre time"
+    );
+    for n in [6usize, 10, 14, 18, 24] {
+        let circuit = library::qft(n);
+        let mut row = format!("{n:>5}");
+        let mut swaps = Vec::new();
+        let mut times = Vec::new();
+        for routing in [RoutingMethod::Naive, RoutingMethod::Sabre] {
+            let options = TranspileOptions {
+                routing,
+                ..TranspileOptions::full()
+            };
+            let result = transpile(&circuit, &target, options).expect("transpiles");
+            swaps.push(result.swaps_inserted);
+            times.push(result.timings.get("routing").unwrap_or_default());
+        }
+        row.push_str(&format!("{:>14} {:>14}", swaps[0], swaps[1]));
+        row.push_str(&format!("{:>13.2?} {:>13.2?}", times[0], times[1]));
+        println!("{row}");
+    }
+    println!("\n(SABRE buys fewer SWAPs — higher fidelity — at higher compile cost)");
+}

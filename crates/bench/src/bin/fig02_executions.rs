@@ -1,0 +1,44 @@
+//! Fig 2: cumulative machine executions over the study (a) and job
+//! execution status breakdown (b).
+
+use qcs_bench::{study_from_args, write_csv};
+
+fn main() {
+    let study = study_from_args();
+
+    let series = study.cumulative_study_executions();
+    println!("Fig 2a — cumulative study executions (paper: ~10B over 2 years, accelerating)");
+    // Print decade milestones the way the log-scale plot reads.
+    let mut next_decade = 1e6f64;
+    for &(day, total) in &series {
+        if (total as f64) >= next_decade {
+            println!("  day {day:>3}: {:>14} executions", total);
+            while (total as f64) >= next_decade {
+                next_decade *= 10.0;
+            }
+        }
+    }
+    if let Some(&(day, total)) = series.last() {
+        println!("  day {day:>3}: {total:>14} executions (end of study)");
+    }
+    write_csv(
+        "fig02a_cumulative_executions.csv",
+        "day,cumulative_study_executions",
+        series.iter().map(|(d, t)| format!("{d},{t}")),
+    );
+
+    let (completed, errored, cancelled) = study.outcome_fractions();
+    println!("\nFig 2b — job status (paper: ~95% success, ~5% wasted)");
+    println!("  completed: {:.2}%", 100.0 * completed);
+    println!("  errored  : {:.2}%", 100.0 * errored);
+    println!("  cancelled: {:.2}%", 100.0 * cancelled);
+    write_csv(
+        "fig02b_outcomes.csv",
+        "outcome,fraction",
+        vec![
+            format!("completed,{completed}"),
+            format!("errored,{errored}"),
+            format!("cancelled,{cancelled}"),
+        ],
+    );
+}

@@ -1,0 +1,21 @@
+//! Fig 3: sorted queuing times of study jobs (paper anchors: ~20% under a
+//! minute, median ~60 min, >30% over 2 h, ~10% a day or longer).
+
+use qcs_bench::{percentile_table, study_from_args, write_csv};
+
+fn main() {
+    let study = study_from_args();
+    let sorted = study.queue_times_sorted_min();
+    println!("Fig 3 — sorted queue times (minutes)");
+    println!("  {}", percentile_table(&sorted, "min"));
+    let (under_min, median, over_2h, over_day) = study.queue_time_anchors();
+    println!("  anchors: {:.1}% <1min (paper ~20%)", 100.0 * under_min);
+    println!("           median {median:.1} min (paper ~60 min)");
+    println!("           {:.1}% >2h (paper >30%)", 100.0 * over_2h);
+    println!("           {:.1}% >=1 day (paper ~10%)", 100.0 * over_day);
+    write_csv(
+        "fig03_queue_sorted.csv",
+        "rank,queue_minutes",
+        sorted.iter().enumerate().map(|(i, q)| format!("{i},{q}")),
+    );
+}

@@ -1,0 +1,28 @@
+//! Fig 4: sorted queue-to-execution time ratios (paper anchors: ~30% at or
+//! under 1x, median ~10x, ~25% at 100x or more).
+
+use qcs_bench::{percentile_table, study_from_args, write_csv};
+
+fn main() {
+    let study = study_from_args();
+    let sorted = study.queue_exec_ratios_sorted();
+    println!("Fig 4 — sorted queue/exec ratios");
+    println!("  {}", percentile_table(&sorted, "x"));
+    let frac = |pred: &dyn Fn(f64) -> bool| {
+        sorted.iter().filter(|&&r| pred(r)).count() as f64 / sorted.len().max(1) as f64
+    };
+    println!("  anchors: {:.1}% <=1x (paper ~30%)", 100.0 * frac(&|r| r <= 1.0));
+    println!(
+        "           median {:.1}x (paper ~10x)",
+        qcs::stats::median(&sorted)
+    );
+    println!(
+        "           {:.1}% >=100x (paper ~25%)",
+        100.0 * frac(&|r| r >= 100.0)
+    );
+    write_csv(
+        "fig04_queue_exec_ratio.csv",
+        "rank,ratio",
+        sorted.iter().enumerate().map(|(i, r)| format!("{i},{r}")),
+    );
+}

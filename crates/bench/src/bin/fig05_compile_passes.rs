@@ -1,0 +1,37 @@
+//! Fig 5: wall-clock time per transpiler pass, current-day (64q on the
+//! 65-qubit Hummingbird) vs future scale (980q on a ~1000q heavy-hex).
+//!
+//! Paper shape: layout and routing dominate; ~100-1000x blow-up at 1000q.
+//! Pass `--smoke` for reduced sizes (24q vs 200q; seconds instead of
+//! minutes).
+
+use qcs::experiments::compile_scaling;
+use qcs_bench::write_csv;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (small, large) = if smoke { (24, 200) } else { (64, 980) };
+    eprintln!("[qcs-bench] compiling QFT-{small} (65q target) and QFT-{large} (~1000q target)...");
+    let rows = compile_scaling(small, large).expect("compilation succeeds");
+    println!("Fig 5 — per-pass compile time (measured on this machine)");
+    println!("  {:<20} {:>14} {:>14} {:>10}", "pass", format!("{small}q"), format!("{large}q"), "blow-up");
+    for row in &rows {
+        println!(
+            "  {:<20} {:>12.3?} {:>12.3?} {:>9.0}x",
+            row.pass, row.small, row.large, row.blowup()
+        );
+    }
+    write_csv(
+        "fig05_compile_passes.csv",
+        "pass,small_seconds,large_seconds,blowup",
+        rows.iter().map(|r| {
+            format!(
+                "{},{},{},{}",
+                r.pass,
+                r.small.as_secs_f64(),
+                r.large.as_secs_f64(),
+                r.blowup()
+            )
+        }),
+    );
+}

@@ -1,0 +1,22 @@
+//! Fig 6: qubits vs bisection bandwidth across the fleet (paper anchors:
+//! 65q Manhattan = 3 vs 8 for a 64-node classical mesh).
+
+use qcs::machine::Fleet;
+use qcs::experiments::bisection_survey;
+use qcs_bench::write_csv;
+
+fn main() {
+    let fleet = Fleet::ibm_like();
+    let rows = bisection_survey(&fleet);
+    println!("Fig 6 — qubits vs bisection bandwidth");
+    println!("  {:<26} {:>6} {:>10}", "machine", "qubits", "bisection");
+    for row in &rows {
+        println!("  {:<26} {:>6} {:>10}", row.name, row.qubits, row.bisection);
+    }
+    write_csv(
+        "fig06_bisection.csv",
+        "machine,qubits,bisection_bandwidth",
+        rows.iter()
+            .map(|r| format!("{},{},{}", r.name, r.qubits, r.bisection)),
+    );
+}

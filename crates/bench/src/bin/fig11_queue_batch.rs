@@ -1,0 +1,23 @@
+//! Fig 11: queuing time vs batch size (paper: per-job queue time rises
+//! with batch size; effective per-circuit queue time almost always falls).
+
+use qcs_bench::{study_from_args, write_csv};
+
+fn main() {
+    let study = study_from_args();
+    let rows = study.queue_time_vs_batch();
+    println!("Fig 11 — queue time vs batch size (medians, minutes)");
+    println!(
+        "  {:<10} {:>14} {:>18} {:>8}",
+        "batch", "per-job (min)", "per-circuit (min)", "jobs"
+    );
+    for (bucket, per_job, per_circuit, n) in &rows {
+        println!("  {bucket:<10} {per_job:>14.2} {per_circuit:>18.4} {n:>8}");
+    }
+    write_csv(
+        "fig11_queue_batch.csv",
+        "batch_bucket,median_queue_per_job_min,median_queue_per_circuit_min,jobs",
+        rows.iter()
+            .map(|(b, j, c, n)| format!("{b},{j},{c},{n}")),
+    );
+}

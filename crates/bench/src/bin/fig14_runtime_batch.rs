@@ -1,0 +1,37 @@
+//! Fig 14: job runtime vs batch size (paper: runtime grows proportionally
+//! with batch size).
+
+use qcs::stats::{linear_fit, pearson};
+use qcs_bench::{study_from_args, write_csv};
+
+fn main() {
+    let study = study_from_args();
+    let points = study.runtime_vs_batch();
+    let batch: Vec<f64> = points.iter().map(|(b, _)| f64::from(*b)).collect();
+    let runtime: Vec<f64> = points.iter().map(|(_, t)| *t).collect();
+    let (intercept, slope) = linear_fit(&batch, &runtime);
+    println!("Fig 14 — runtime vs batch size ({} completed study jobs)", points.len());
+    println!(
+        "  trend: runtime_min = {intercept:.3} + {slope:.5} * batch  (paper: proportional)"
+    );
+    println!("  correlation(batch, runtime) = {:.3}", pearson(&batch, &runtime));
+    for bucket in [(1u32, 10u32), (11, 100), (101, 450), (451, 900)] {
+        let in_bucket: Vec<f64> = points
+            .iter()
+            .filter(|(b, _)| (bucket.0..=bucket.1).contains(b))
+            .map(|(_, t)| *t)
+            .collect();
+        println!(
+            "  batch {:>3}-{:<3}: median runtime {:>7.2} min (n={})",
+            bucket.0,
+            bucket.1,
+            qcs::stats::median(&in_bucket),
+            in_bucket.len()
+        );
+    }
+    write_csv(
+        "fig14_runtime_batch.csv",
+        "batch,runtime_minutes",
+        points.iter().map(|(b, t)| format!("{b},{t}")),
+    );
+}

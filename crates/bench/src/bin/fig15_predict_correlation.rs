@@ -1,0 +1,41 @@
+//! Fig 15: per-machine Pearson correlation of predicted vs actual job
+//! runtimes using the paper's product-of-linear-terms model (paper: >=0.95
+//! on all but two machines; batch size is the dominant feature).
+
+use qcs_bench::{study_from_args, write_csv};
+
+fn main() {
+    let study = study_from_args();
+    let prediction = study.prediction_study(42);
+    println!("Fig 15 — predicted vs actual runtime correlation per machine");
+    println!("  overall (pooled test set): {:.3}", prediction.overall_correlation);
+    println!("  {:<12} {:>12} {:>10}", "machine", "correlation", "test jobs");
+    let mut above95 = 0usize;
+    for eval in &prediction.per_machine {
+        println!(
+            "  {:<12} {:>12.3} {:>10}",
+            study.machine_name(eval.machine),
+            eval.correlation,
+            eval.test_jobs
+        );
+        if eval.correlation >= 0.95 {
+            above95 += 1;
+        }
+    }
+    println!(
+        "  {above95}/{} machines at or above 0.95 (paper: all but two)",
+        prediction.per_machine.len()
+    );
+    write_csv(
+        "fig15_predict_correlation.csv",
+        "machine,correlation,test_jobs",
+        prediction.per_machine.iter().map(|e| {
+            format!(
+                "{},{},{}",
+                study.machine_name(e.machine),
+                e.correlation,
+                e.test_jobs
+            )
+        }),
+    );
+}

@@ -1,0 +1,36 @@
+//! Fig 16: predicted vs actual runtimes on individual machines (paper:
+//! Manhattan tracks closely; Vigo correlates worst because its runtime
+//! range is narrow).
+
+use qcs_bench::{study_from_args, write_csv};
+
+fn main() {
+    let study = study_from_args();
+    let prediction = study.prediction_study(42);
+    println!("Fig 16 — predicted vs actual runtimes");
+    // The best- and worst-correlated machines with enough data.
+    let mut evals: Vec<_> = prediction
+        .per_machine
+        .iter()
+        .filter(|e| e.test_jobs >= 8)
+        .collect();
+    evals.sort_by(|a, b| b.correlation.partial_cmp(&a.correlation).expect("finite"));
+    for (label, eval) in [("best", evals.first()), ("worst", evals.last())] {
+        let Some(eval) = eval else { continue };
+        let name = study.machine_name(eval.machine);
+        println!(
+            "  {label}: {name} (corr {:.3}, {} test jobs)",
+            eval.correlation, eval.test_jobs
+        );
+        for (actual, predicted) in eval.pairs.iter().take(8) {
+            println!("    actual {:>8.1}s   predicted {:>8.1}s", actual, predicted);
+        }
+        write_csv(
+            &format!("fig16_scatter_{name}.csv"),
+            "actual_seconds,predicted_seconds",
+            eval.pairs
+                .iter()
+                .map(|(a, p)| format!("{a},{p}")),
+        );
+    }
+}

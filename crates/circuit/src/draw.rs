@@ -1,0 +1,225 @@
+//! ASCII circuit rendering.
+//!
+//! [`draw`] lays instructions out in ASAP layers and renders one text row
+//! per qubit with vertical connectors for two-qubit gates — enough to eyeball
+//! a compiled circuit or show how a layout changed between calibrations.
+
+use crate::{dag, Circuit, Gate};
+
+/// Short cell label for a gate on one of its operand rows.
+fn cell_label(gate: &Gate, operand_index: usize) -> String {
+    match gate {
+        Gate::Id => "I".to_string(),
+        Gate::X => "X".to_string(),
+        Gate::Y => "Y".to_string(),
+        Gate::Z => "Z".to_string(),
+        Gate::H => "H".to_string(),
+        Gate::S => "S".to_string(),
+        Gate::Sdg => "S+".to_string(),
+        Gate::T => "T".to_string(),
+        Gate::Tdg => "T+".to_string(),
+        Gate::Sx => "SX".to_string(),
+        Gate::Rx(t) => format!("RX({t:.2})"),
+        Gate::Ry(t) => format!("RY({t:.2})"),
+        Gate::Rz(t) => format!("RZ({t:.2})"),
+        Gate::U(..) => "U".to_string(),
+        Gate::Cp(t) => {
+            if operand_index == 0 {
+                "o".to_string()
+            } else {
+                format!("P({t:.2})")
+            }
+        }
+        Gate::Cx => {
+            if operand_index == 0 {
+                "o".to_string()
+            } else {
+                "X".to_string()
+            }
+        }
+        Gate::Cz => "o".to_string(),
+        Gate::Swap => "x".to_string(),
+        Gate::Measure => "M".to_string(),
+        Gate::Reset => "|0>".to_string(),
+        Gate::Barrier => "░".to_string(),
+    }
+}
+
+/// Render `circuit` as ASCII art, one row per qubit, ASAP layer per
+/// column.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_circuit::{draw, Circuit};
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1).measure_all();
+/// let art = draw(&bell);
+/// assert!(art.contains("q0:"));
+/// assert!(art.contains("H"));
+/// assert!(art.contains("M"));
+/// ```
+#[must_use]
+pub fn draw(circuit: &Circuit) -> String {
+    let n = circuit.num_qubits();
+    if n == 0 {
+        return String::new();
+    }
+    let layers = dag::layers(circuit);
+    let instructions = circuit.instructions();
+
+    // cells[row][column]: label on qubit rows; connector flags between.
+    let num_columns = layers.len();
+    let mut labels: Vec<Vec<String>> = vec![vec![String::new(); num_columns]; n];
+    // connector[gap][column]: a vertical link crosses the gap between
+    // qubit `gap` and `gap + 1` in this column.
+    let mut connector: Vec<Vec<bool>> = vec![vec![false; num_columns]; n.saturating_sub(1)];
+
+    for (column, layer) in layers.iter().enumerate() {
+        for &idx in layer {
+            let inst = &instructions[idx];
+            let rows: Vec<usize> = inst.qubits.iter().map(|q| q.index()).collect();
+            for (operand_index, &row) in rows.iter().enumerate() {
+                labels[row][column] = cell_label(&inst.gate, operand_index);
+            }
+            if rows.len() >= 2 {
+                let lo = *rows.iter().min().expect("two operands");
+                let hi = *rows.iter().max().expect("two operands");
+                for gap in lo..hi {
+                    connector[gap][column] = true;
+                }
+            }
+        }
+    }
+
+    // Column widths: widest label + padding.
+    let widths: Vec<usize> = (0..num_columns)
+        .map(|c| {
+            (0..n)
+                .map(|r| labels[r][c].chars().count())
+                .max()
+                .unwrap_or(1)
+                .max(1)
+                + 2
+        })
+        .collect();
+
+    let name_width = format!("q{}", n - 1).len();
+    let mut out = String::new();
+    for row in 0..n {
+        // Qubit wire line.
+        out.push_str(&format!("{:<width$}: ", format!("q{row}"), width = name_width));
+        for (column, &w) in widths.iter().enumerate() {
+            let label = &labels[row][column];
+            let label_len = label.chars().count();
+            let total_pad = w - label_len;
+            let left = total_pad / 2;
+            let right = total_pad - left;
+            out.push_str(&"─".repeat(left));
+            if label.is_empty() {
+                out.push('─');
+                out.push_str(&"─".repeat(right.saturating_sub(1)));
+            } else {
+                out.push_str(label);
+                out.push_str(&"─".repeat(right));
+            }
+        }
+        out.push('\n');
+        // Connector line below (except after the last qubit).
+        if row + 1 < n {
+            let has_any = (0..num_columns).any(|c| connector[row][c]);
+            if has_any {
+                out.push_str(&" ".repeat(name_width + 2));
+                for (column, &w) in widths.iter().enumerate() {
+                    let mid = w / 2;
+                    for pos in 0..w {
+                        out.push(if connector[row][column] && pos == mid {
+                            '│'
+                        } else {
+                            ' '
+                        });
+                    }
+                }
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn bell_drawing_structure() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let art = draw(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        // q0 wire, connector, q1 wire.
+        assert!(lines[0].starts_with("q0:"));
+        assert!(lines[0].contains('H'));
+        assert!(lines[0].contains('o')); // cx control
+        assert!(lines[1].contains('│')); // connector between rows
+        assert!(lines[2].starts_with("q1:"));
+        assert!(lines[2].contains('X')); // cx target
+        assert_eq!(art.matches('M').count(), 2);
+    }
+
+    #[test]
+    fn empty_circuit_draws_wires() {
+        let c = Circuit::new(2);
+        let art = draw(&c);
+        assert!(art.contains("q0:"));
+        assert!(art.contains("q1:"));
+    }
+
+    #[test]
+    fn zero_qubits_is_empty() {
+        assert_eq!(draw(&Circuit::new(0)), "");
+    }
+
+    #[test]
+    fn parallel_gates_share_a_column() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1);
+        let art = draw(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        let col0 = lines[0].find('H').unwrap();
+        let col1 = lines[1].find('H').unwrap();
+        assert_eq!(col0, col1, "parallel gates should align:\n{art}");
+    }
+
+    #[test]
+    fn swap_uses_x_markers() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let art = draw(&c);
+        assert_eq!(art.matches('x').count(), 2);
+    }
+
+    #[test]
+    fn connector_spans_distant_qubits() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let art = draw(&c);
+        // Three gap lines each carrying a connector.
+        assert!(art.matches('│').count() >= 3, "{art}");
+    }
+
+    #[test]
+    fn rotation_labels_carry_angles() {
+        let mut c = Circuit::new(1);
+        c.rz(1.5, 0);
+        assert!(draw(&c).contains("RZ(1.50)"));
+    }
+
+    #[test]
+    fn qft_draws_without_panic() {
+        let art = draw(&library::qft(5));
+        assert!(art.lines().count() >= 5);
+    }
+}

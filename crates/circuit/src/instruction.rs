@@ -1,0 +1,233 @@
+//! Instructions: a gate bound to specific qubit (and classical bit) operands.
+
+use std::fmt;
+
+use crate::Gate;
+
+/// Index of a qubit within a circuit or machine register.
+///
+/// A newtype keeps qubit indices from being confused with classical bit
+/// indices or arbitrary counters.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_circuit::Qubit;
+/// let q = Qubit(3);
+/// assert_eq!(q.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Qubit(pub u32);
+
+impl Qubit {
+    /// The raw index as a `usize`, convenient for slice indexing.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Qubit {
+    fn from(v: u32) -> Self {
+        Qubit(v)
+    }
+}
+
+impl From<usize> for Qubit {
+    fn from(v: usize) -> Self {
+        Qubit(u32::try_from(v).expect("qubit index fits in u32"))
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Index of a classical bit within a circuit's classical register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Clbit(pub u32);
+
+impl Clbit {
+    /// The raw index as a `usize`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for Clbit {
+    fn from(v: u32) -> Self {
+        Clbit(v)
+    }
+}
+
+impl From<usize> for Clbit {
+    fn from(v: usize) -> Self {
+        Clbit(u32::try_from(v).expect("clbit index fits in u32"))
+    }
+}
+
+impl fmt::Display for Clbit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A gate applied to concrete operands.
+///
+/// For a [`Gate::Measure`], `clbits` holds the destination classical bit.
+/// For a [`Gate::Barrier`], `qubits` may span any subset of the register.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_circuit::{Gate, Instruction, Qubit};
+///
+/// let cx = Instruction::gate(Gate::Cx, &[Qubit(0), Qubit(1)]);
+/// assert!(cx.gate.is_two_qubit());
+/// assert_eq!(cx.qubits, vec![Qubit(0), Qubit(1)]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instruction {
+    /// The operation being applied.
+    pub gate: Gate,
+    /// Qubit operands, in gate-significant order (`[control, target]` for CX).
+    pub qubits: Vec<Qubit>,
+    /// Classical bit operands (only measurements use these today).
+    pub clbits: Vec<Clbit>,
+}
+
+impl Instruction {
+    /// Create a purely-quantum instruction (no classical operands).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count does not match the gate's arity (barriers
+    /// excepted, which accept any non-zero number of qubits).
+    #[must_use]
+    pub fn gate(gate: Gate, qubits: &[Qubit]) -> Self {
+        if gate.is_directive() {
+            assert!(!qubits.is_empty(), "barrier needs at least one qubit");
+        } else {
+            assert_eq!(
+                qubits.len(),
+                gate.num_qubits(),
+                "gate {} expects {} operand(s), got {}",
+                gate.name(),
+                gate.num_qubits(),
+                qubits.len()
+            );
+        }
+        Instruction {
+            gate,
+            qubits: qubits.to_vec(),
+            clbits: Vec::new(),
+        }
+    }
+
+    /// Create a measurement instruction `qubit -> clbit`.
+    #[must_use]
+    pub fn measure(qubit: Qubit, clbit: Clbit) -> Self {
+        Instruction {
+            gate: Gate::Measure,
+            qubits: vec![qubit],
+            clbits: vec![clbit],
+        }
+    }
+
+    /// Whether this instruction touches the given qubit.
+    #[must_use]
+    pub fn touches(&self, qubit: Qubit) -> bool {
+        self.qubits.contains(&qubit)
+    }
+
+    /// Remap qubit operands through `f` (used by layout application and
+    /// routing). Classical operands are unchanged.
+    #[must_use]
+    pub fn map_qubits(&self, f: impl Fn(Qubit) -> Qubit) -> Instruction {
+        Instruction {
+            gate: self.gate,
+            qubits: self.qubits.iter().map(|&q| f(q)).collect(),
+            clbits: self.clbits.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let qs = self
+            .qubits
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        if self.clbits.is_empty() {
+            write!(f, "{} {}", self.gate, qs)
+        } else {
+            let cs = self
+                .clbits
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            write!(f, "{} {} -> {}", self.gate, qs, cs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_single_qubit() {
+        let i = Instruction::gate(Gate::H, &[Qubit(2)]);
+        assert_eq!(i.qubits.len(), 1);
+        assert!(i.touches(Qubit(2)));
+        assert!(!i.touches(Qubit(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 operand(s)")]
+    fn wrong_arity_panics() {
+        let _ = Instruction::gate(Gate::Cx, &[Qubit(0)]);
+    }
+
+    #[test]
+    fn barrier_accepts_many() {
+        let i = Instruction::gate(Gate::Barrier, &[Qubit(0), Qubit(1), Qubit(2)]);
+        assert_eq!(i.qubits.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "barrier needs at least one qubit")]
+    fn empty_barrier_panics() {
+        let _ = Instruction::gate(Gate::Barrier, &[]);
+    }
+
+    #[test]
+    fn measure_binds_clbit() {
+        let i = Instruction::measure(Qubit(1), Clbit(0));
+        assert_eq!(i.gate, Gate::Measure);
+        assert_eq!(i.clbits, vec![Clbit(0)]);
+        assert_eq!(i.to_string(), "measure q1 -> c0");
+    }
+
+    #[test]
+    fn map_qubits_applies_permutation() {
+        let i = Instruction::gate(Gate::Cx, &[Qubit(0), Qubit(1)]);
+        let j = i.map_qubits(|q| Qubit(q.0 + 10));
+        assert_eq!(j.qubits, vec![Qubit(10), Qubit(11)]);
+        assert_eq!(j.gate, Gate::Cx);
+    }
+
+    #[test]
+    fn qubit_conversions() {
+        assert_eq!(Qubit::from(5u32), Qubit(5));
+        assert_eq!(Qubit::from(5usize).index(), 5);
+        assert_eq!(Clbit::from(2usize), Clbit(2));
+        assert_eq!(Qubit(7).to_string(), "q7");
+    }
+}

@@ -1,0 +1,40 @@
+//! # qcs-circuit
+//!
+//! Quantum circuit intermediate representation for the `qcs` quantum-cloud
+//! study: a gate set, an instruction stream [`Circuit`] container,
+//! dependency analysis ([`dag`]), structural metrics ([`CircuitMetrics`]),
+//! a benchmark-circuit [`library`], and OpenQASM 2.0 serialization
+//! ([`qasm`]).
+//!
+//! This crate is the bottom of the workspace dependency stack: the
+//! transpiler rewrites these circuits, the simulator executes them, and the
+//! cloud/workload crates ship them around as job payloads.
+//!
+//! # Examples
+//!
+//! ```
+//! use qcs_circuit::{library, CircuitMetrics};
+//!
+//! let qft = library::qft(8);
+//! let metrics = CircuitMetrics::of(&qft);
+//! assert_eq!(metrics.width, 8);
+//! assert_eq!(metrics.cx_total, 8 * 7 / 2 + 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod circuit;
+pub mod dag;
+mod draw;
+mod gate;
+mod instruction;
+pub mod library;
+mod metrics;
+pub mod qasm;
+
+pub use circuit::{Circuit, CircuitError};
+pub use draw::draw;
+pub use gate::Gate;
+pub use instruction::{Clbit, Instruction, Qubit};
+pub use metrics::CircuitMetrics;

@@ -1,0 +1,522 @@
+//! A library of benchmark circuits.
+//!
+//! These are the workloads the paper's experiments run: the Quantum Fourier
+//! Transform used in Figs 5 and 7, plus the standard NISQ benchmark suite
+//! (GHZ, Bernstein–Vazirani, quantum volume, ansatz circuits, adders) that
+//! populates the synthetic workload mix.
+
+use std::f64::consts::PI;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Circuit, Gate};
+
+/// The n-qubit Quantum Fourier Transform (with final qubit-reversal swaps),
+/// measured at the end.
+///
+/// Gate count: `n` Hadamards, `n(n-1)/2` controlled-phase rotations and
+/// `floor(n/2)` swaps — quadratic in `n`, which is what makes QFT a good
+/// compile-time stressor (Fig 5).
+///
+/// # Examples
+///
+/// ```
+/// use qcs_circuit::library::qft;
+/// let c = qft(4);
+/// assert_eq!(c.num_qubits(), 4);
+/// assert_eq!(c.cx_count(), 4 * 3 / 2 + 2); // cp gates + swaps
+/// ```
+#[must_use]
+pub fn qft(n: usize) -> Circuit {
+    let mut c = Circuit::new(n).named(format!("qft_{n}"));
+    for i in 0..n {
+        c.h(i);
+        for j in (i + 1)..n {
+            let angle = PI / f64::powi(2.0, (j - i) as i32);
+            c.cp(angle, j, i);
+        }
+    }
+    for i in 0..n / 2 {
+        c.swap(i, n - 1 - i);
+    }
+    c.measure_all();
+    c
+}
+
+/// The n-qubit GHZ state preparation circuit: `H` then a CX chain.
+#[must_use]
+pub fn ghz(n: usize) -> Circuit {
+    assert!(n >= 1, "ghz needs at least one qubit");
+    let mut c = Circuit::new(n).named(format!("ghz_{n}"));
+    c.h(0);
+    for i in 1..n {
+        c.cx(i - 1, i);
+    }
+    c.measure_all();
+    c
+}
+
+/// Bernstein–Vazirani circuit for an `n`-bit hidden string `secret`
+/// (only the low `n` bits of `secret` are used). Uses `n + 1` qubits.
+#[must_use]
+pub fn bernstein_vazirani(n: usize, secret: u64) -> Circuit {
+    let mut c = Circuit::with_clbits(n + 1, n).named(format!("bv_{n}"));
+    let anc = n;
+    c.x(anc);
+    for q in 0..=n {
+        c.h(q);
+    }
+    for q in 0..n {
+        if (secret >> q) & 1 == 1 {
+            c.cx(q, anc);
+        }
+    }
+    for q in 0..n {
+        c.h(q);
+    }
+    for q in 0..n {
+        c.measure(q, q);
+    }
+    c
+}
+
+/// An IBM-style quantum-volume model circuit: `depth` layers, each a random
+/// permutation of qubits followed by random two-qubit blocks (decomposed
+/// here as CX + random single-qubit rotations).
+#[must_use]
+pub fn quantum_volume(n: usize, depth: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n).named(format!("qv_{n}_{depth}"));
+    for _ in 0..depth {
+        let mut perm: Vec<usize> = (0..n).collect();
+        // Fisher-Yates shuffle.
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        for pair in perm.chunks_exact(2) {
+            let (a, b) = (pair[0], pair[1]);
+            for &q in &[a, b] {
+                c.rz(rng.gen_range(0.0..2.0 * PI), q);
+                c.ry(rng.gen_range(0.0..2.0 * PI), q);
+            }
+            c.cx(a, b);
+            for &q in &[a, b] {
+                c.ry(rng.gen_range(0.0..2.0 * PI), q);
+                c.rz(rng.gen_range(0.0..2.0 * PI), q);
+            }
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// A random circuit with the given number of qubits and target two-qubit
+/// gate count; single-qubit gates are interleaved at roughly 2:1.
+///
+/// Used by the workload generator for "anonymous user circuits".
+#[must_use]
+pub fn random_circuit(n: usize, two_qubit_gates: usize, seed: u64) -> Circuit {
+    assert!(n >= 1, "random circuit needs at least one qubit");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n).named(format!("rand_{n}_{two_qubit_gates}"));
+    let one_q = [Gate::H, Gate::X, Gate::S, Gate::T, Gate::Sx];
+    for _ in 0..two_qubit_gates {
+        for _ in 0..2 {
+            let g = one_q[rng.gen_range(0..one_q.len())];
+            let q = rng.gen_range(0..n);
+            c.apply(g, &[q]);
+        }
+        if n >= 2 {
+            let a = rng.gen_range(0..n);
+            let mut b = rng.gen_range(0..n - 1);
+            if b >= a {
+                b += 1;
+            }
+            c.cx(a, b);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// A hardware-efficient variational ansatz: `layers` of per-qubit Ry/Rz
+/// rotations followed by a linear CX entangling ladder. The rotation
+/// angles are seeded so circuits are reproducible.
+#[must_use]
+pub fn hardware_efficient_ansatz(n: usize, layers: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n).named(format!("hea_{n}_{layers}"));
+    for _ in 0..layers {
+        for q in 0..n {
+            c.ry(rng.gen_range(0.0..2.0 * PI), q);
+            c.rz(rng.gen_range(0.0..2.0 * PI), q);
+        }
+        for q in 0..n.saturating_sub(1) {
+            c.cx(q, q + 1);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// A cuccaro-style ripple-carry adder skeleton over two `n`-bit registers
+/// plus carry-in/out (2n + 2 qubits). The CX/Toffoli structure is modeled
+/// with the Toffolis decomposed into the standard 6-CX network.
+#[must_use]
+pub fn ripple_carry_adder(n: usize) -> Circuit {
+    assert!(n >= 1, "adder needs at least 1-bit registers");
+    let width = 2 * n + 2;
+    let mut c = Circuit::new(width).named(format!("adder_{n}"));
+    let a = |i: usize| 1 + 2 * i; // interleave registers for locality
+    let b = |i: usize| 2 + 2 * i;
+    let cin = 0;
+    let cout = width - 1;
+    // MAJ / UMA cascade with decomposed Toffolis.
+    let toffoli = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.h(z);
+        c.cx(y, z);
+        c.apply(Gate::Tdg, &[z]);
+        c.cx(x, z);
+        c.t(z);
+        c.cx(y, z);
+        c.apply(Gate::Tdg, &[z]);
+        c.cx(x, z);
+        c.t(y);
+        c.t(z);
+        c.h(z);
+        c.cx(x, y);
+        c.t(x);
+        c.apply(Gate::Tdg, &[y]);
+        c.cx(x, y);
+    };
+    for i in 0..n {
+        let prev = if i == 0 { cin } else { a(i - 1) };
+        c.cx(a(i), b(i));
+        c.cx(a(i), prev);
+        toffoli(&mut c, prev, b(i), a(i));
+    }
+    c.cx(a(n - 1), cout);
+    for i in (0..n).rev() {
+        let prev = if i == 0 { cin } else { a(i - 1) };
+        toffoli(&mut c, prev, b(i), a(i));
+        c.cx(a(i), prev);
+        c.cx(prev, b(i));
+    }
+    c.measure_all();
+    c
+}
+
+/// The W-state preparation circuit on `n` qubits (cascade of controlled
+/// rotations and CX gates).
+#[must_use]
+pub fn w_state(n: usize) -> Circuit {
+    assert!(n >= 1, "w state needs at least one qubit");
+    let mut c = Circuit::new(n).named(format!("w_{n}"));
+    c.x(0);
+    for i in 0..n - 1 {
+        // Distribute amplitude from qubit i to i+1.
+        let remaining = (n - i) as f64;
+        let theta = 2.0 * (1.0 / remaining.sqrt()).acos();
+        c.ry(-theta / 2.0, i + 1);
+        c.cz(i, i + 1);
+        c.ry(theta / 2.0, i + 1);
+        c.cx(i + 1, i);
+    }
+    c.measure_all();
+    c
+}
+
+/// Grover search on `n` qubits for a single marked basis state `marked`
+/// (low `n` bits used), with the standard optimal iteration count
+/// `floor(pi/4 * sqrt(2^n))`. The ideal output concentrates on `marked`,
+/// making this a natural deterministic-outcome fidelity benchmark.
+///
+/// The multi-controlled phases are decomposed exactly but with
+/// exponential gate count in `n`, so the width is capped at 10.
+///
+/// # Panics
+///
+/// Panics if `n` is outside `1..=10`.
+#[must_use]
+pub fn grover(n: usize, marked: u64) -> Circuit {
+    assert!((1..=10).contains(&n), "grover supports 1..=10 qubits");
+    let mut c = Circuit::new(n).named(format!("grover_{n}"));
+    let iterations = ((std::f64::consts::FRAC_PI_4) * f64::powi(2.0, n as i32).sqrt())
+        .floor()
+        .max(1.0) as usize;
+    for q in 0..n {
+        c.h(q);
+    }
+    // Multi-controlled Z on all qubits, decomposed recursively via
+    // controlled-phase halving (exact, CX-free: cp ladders).
+    let mcz = |c: &mut Circuit| {
+        // C^{n-1}Z implemented as cascaded controlled-phase gates:
+        // exact for small n using the phase-halving construction.
+        apply_mcz(c, &(0..n).collect::<Vec<_>>());
+    };
+    for _ in 0..iterations {
+        // Oracle: flip phase of |marked> = X-conjugated MCZ.
+        for q in 0..n {
+            if (marked >> q) & 1 == 0 {
+                c.x(q);
+            }
+        }
+        mcz(&mut c);
+        for q in 0..n {
+            if (marked >> q) & 1 == 0 {
+                c.x(q);
+            }
+        }
+        // Diffusion: H X ... MCZ ... X H.
+        for q in 0..n {
+            c.h(q);
+            c.x(q);
+        }
+        mcz(&mut c);
+        for q in 0..n {
+            c.x(q);
+            c.h(q);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// Apply a multi-controlled Z over `qubits` via the textbook recursive
+/// construction (exact; exponential two-qubit gate count in the number of
+/// controls — fine at benchmark sizes).
+fn apply_mcz(c: &mut Circuit, qubits: &[usize]) {
+    match qubits {
+        [] => {}
+        [q] => {
+            c.z(*q);
+        }
+        [a, b] => {
+            c.cz(*a, *b);
+        }
+        [controls @ .., target] => {
+            apply_mcp(c, controls, *target, std::f64::consts::PI);
+        }
+    }
+}
+
+/// Controlled^k phase: apply phase `theta` iff all `controls` and the
+/// target are 1, via the standard halving recursion
+/// `C^kP(t) = CP(t/2; c_k, tgt) MCX CP(-t/2; c_k, tgt) MCX C^{k-1}P(t/2)`.
+fn apply_mcp(c: &mut Circuit, controls: &[usize], target: usize, theta: f64) {
+    match controls {
+        [] => {
+            // Uncontrolled phase gate P(theta) (phase-exact, unlike rz).
+            c.apply(Gate::U(0.0, 0.0, theta), &[target]);
+        }
+        [single] => {
+            c.cp(theta, *single, target);
+        }
+        [rest @ .., last] => {
+            c.cp(theta / 2.0, *last, target);
+            apply_mcx(c, rest, *last);
+            c.cp(-theta / 2.0, *last, target);
+            apply_mcx(c, rest, *last);
+            apply_mcp(c, rest, target, theta / 2.0);
+        }
+    }
+}
+
+/// Multi-controlled X: `MCX = H(tgt) . MCP(pi) . H(tgt)`.
+fn apply_mcx(c: &mut Circuit, controls: &[usize], target: usize) {
+    match controls {
+        [] => {
+            c.x(target);
+        }
+        [single] => {
+            c.cx(*single, target);
+        }
+        _ => {
+            c.h(target);
+            apply_mcp(c, controls, target, std::f64::consts::PI);
+            c.h(target);
+        }
+    }
+}
+
+/// Quantum phase estimation of the phase gate `P(2*pi*phase)` using
+/// `precision` counting qubits (total `precision + 1` qubits). With
+/// `phase = k / 2^precision` the ideal outcome is exactly `k` on the
+/// counting register, giving another deterministic benchmark.
+///
+/// # Panics
+///
+/// Panics if `precision == 0`.
+#[must_use]
+pub fn phase_estimation(precision: usize, phase: f64) -> Circuit {
+    assert!(precision >= 1, "need at least one counting qubit");
+    let n = precision + 1;
+    let eigen = precision; // the eigenstate qubit
+    let mut c = Circuit::with_clbits(n, precision).named(format!("qpe_{precision}"));
+    c.x(eigen); // |1> is the P-gate eigenstate with eigenvalue e^{2*pi*i*phase}
+    for q in 0..precision {
+        c.h(q);
+    }
+    for (q, power) in (0..precision).map(|q| (q, 1u64 << q)) {
+        let angle = 2.0 * PI * phase * power as f64;
+        c.cp(angle, q, eigen);
+    }
+    // Inverse QFT on the counting register (no swaps; the bit reversal is
+    // absorbed into the measurement mapping below).
+    for i in (0..precision).rev() {
+        c.h(i);
+        for j in (0..i).rev() {
+            let angle = -PI / f64::powi(2.0, (i - j) as i32);
+            c.cp(angle, j, i);
+        }
+    }
+    for q in 0..precision {
+        c.measure(q, precision - 1 - q);
+    }
+    c
+}
+
+/// Names of all fixed-shape library families, used by the workload mixer.
+pub const FAMILIES: &[&str] = &["qft", "ghz", "bv", "qv", "rand", "hea", "adder", "w"];
+
+/// Construct a library circuit by family name for a given width.
+///
+/// Families needing extra parameters use deterministic defaults derived
+/// from `seed`. Returns `None` for an unknown family name.
+#[must_use]
+pub fn by_family(family: &str, n: usize, seed: u64) -> Option<Circuit> {
+    let n = n.max(1);
+    Some(match family {
+        "qft" => qft(n),
+        "ghz" => ghz(n),
+        "bv" => bernstein_vazirani(n.max(2) - 1, seed),
+        "qv" => quantum_volume(n, n.min(8), seed),
+        "rand" => random_circuit(n, 2 * n + 1, seed),
+        "hea" => hardware_efficient_ansatz(n, 3, seed),
+        "adder" => ripple_carry_adder((n.saturating_sub(2) / 2).max(1)),
+        "w" => w_state(n),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitMetrics;
+
+    #[test]
+    fn qft_gate_counts() {
+        let n = 6;
+        let c = qft(n);
+        let m = CircuitMetrics::of(&c);
+        assert_eq!(m.width, n);
+        assert_eq!(m.single_qubit_gates, n); // hadamards
+        assert_eq!(m.cx_total, n * (n - 1) / 2 + n / 2);
+        assert_eq!(m.measurements, n);
+    }
+
+    #[test]
+    fn qft_scales_quadratically() {
+        let small = qft(8).cx_count();
+        let big = qft(16).cx_count();
+        // 16q QFT has ~4x the two-qubit gates of 8q QFT.
+        assert!(big > 3 * small && big < 5 * small);
+    }
+
+    #[test]
+    fn ghz_depth_linear() {
+        let c = ghz(10);
+        assert_eq!(c.cx_count(), 9);
+        assert_eq!(c.cx_depth(), 9);
+        assert_eq!(c.active_qubits(), 10);
+    }
+
+    #[test]
+    fn bv_uses_ancilla() {
+        let c = bernstein_vazirani(5, 0b10110);
+        assert_eq!(c.num_qubits(), 6);
+        assert_eq!(c.cx_count(), 3); // popcount of the secret
+        assert_eq!(c.measure_count(), 5);
+    }
+
+    #[test]
+    fn bv_zero_secret_has_no_cx() {
+        assert_eq!(bernstein_vazirani(4, 0).cx_count(), 0);
+    }
+
+    #[test]
+    fn qv_is_reproducible() {
+        let a = quantum_volume(6, 6, 42);
+        let b = quantum_volume(6, 6, 42);
+        assert_eq!(a, b);
+        let c = quantum_volume(6, 6, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_circuit_hits_target_cx() {
+        let c = random_circuit(5, 20, 7);
+        assert_eq!(c.cx_count(), 20);
+    }
+
+    #[test]
+    fn random_circuit_single_qubit_ok() {
+        let c = random_circuit(1, 5, 1);
+        assert_eq!(c.cx_count(), 0);
+        assert_eq!(c.num_qubits(), 1);
+    }
+
+    #[test]
+    fn ansatz_layer_structure() {
+        let c = hardware_efficient_ansatz(4, 3, 0);
+        assert_eq!(c.cx_count(), 3 * 3);
+        assert_eq!(c.single_qubit_gate_count(), 3 * 4 * 2);
+    }
+
+    #[test]
+    fn adder_width() {
+        let c = ripple_carry_adder(3);
+        assert_eq!(c.num_qubits(), 8);
+        assert!(c.cx_count() > 0);
+    }
+
+    #[test]
+    fn w_state_structure() {
+        let c = w_state(4);
+        assert_eq!(c.num_qubits(), 4);
+        assert_eq!(c.active_qubits(), 4);
+    }
+
+    #[test]
+    fn grover_structure() {
+        let c = grover(3, 0b101);
+        assert_eq!(c.num_qubits(), 3);
+        assert!(c.cx_count() > 0);
+        assert_eq!(c.measure_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "grover supports")]
+    fn grover_rejects_oversize() {
+        let _ = grover(11, 0);
+    }
+
+    #[test]
+    fn qpe_structure() {
+        let c = phase_estimation(3, 0.25);
+        assert_eq!(c.num_qubits(), 4);
+        assert_eq!(c.measure_count(), 3);
+        assert!(c.cx_count() > 0);
+    }
+
+    #[test]
+    fn by_family_covers_all() {
+        for fam in FAMILIES {
+            let c = by_family(fam, 5, 3).unwrap_or_else(|| panic!("family {fam}"));
+            assert!(c.size() > 0, "family {fam} produced empty circuit");
+        }
+        assert!(by_family("nope", 5, 0).is_none());
+    }
+}

@@ -1,0 +1,156 @@
+//! Aggregate circuit metrics — the quantities the paper correlates against
+//! fidelity and runtime (Figs 7, 14, 15).
+
+use crate::Circuit;
+
+/// A summary of the structural characteristics of a circuit.
+///
+/// These are exactly the "circuit characteristics" features of the paper's
+/// runtime-prediction model (§VI-C: depth, width, total gates) plus the
+/// CX-centric fidelity indicators of §IV-B.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_circuit::{Circuit, CircuitMetrics};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1).measure_all();
+/// let m = CircuitMetrics::of(&c);
+/// assert_eq!(m.width, 2);
+/// assert_eq!(m.cx_total, 1);
+/// assert_eq!(m.depth, 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CircuitMetrics {
+    /// Register width (number of qubits the circuit is declared over).
+    pub width: usize,
+    /// Number of qubits actually touched by at least one gate.
+    pub active_qubits: usize,
+    /// Total non-directive instructions.
+    pub total_gates: usize,
+    /// Critical-path length counting every gate.
+    pub depth: usize,
+    /// Critical-path length counting only two-qubit gates ("CX-Depth").
+    pub cx_depth: usize,
+    /// Total two-qubit gates ("CX-Total").
+    pub cx_total: usize,
+    /// Total single-qubit unitary gates.
+    pub single_qubit_gates: usize,
+    /// Number of measurement operations.
+    pub measurements: usize,
+}
+
+impl CircuitMetrics {
+    /// Compute all metrics for `circuit` in one pass over the instruction
+    /// stream (plus two depth computations).
+    #[must_use]
+    pub fn of(circuit: &Circuit) -> Self {
+        CircuitMetrics {
+            width: circuit.num_qubits(),
+            active_qubits: circuit.active_qubits(),
+            total_gates: circuit.size(),
+            depth: circuit.depth(),
+            cx_depth: circuit.cx_depth(),
+            cx_total: circuit.cx_count(),
+            single_qubit_gates: circuit.single_qubit_gate_count(),
+            measurements: circuit.measure_count(),
+        }
+    }
+
+    /// CX-Depth x average CX error — the paper's "CX-D * CX-Err" fidelity
+    /// indicator (Fig 7). `avg_cx_error` comes from the target machine's
+    /// calibration.
+    #[must_use]
+    pub fn cx_depth_error_product(&self, avg_cx_error: f64) -> f64 {
+        self.cx_depth as f64 * avg_cx_error
+    }
+
+    /// CX-Total x average CX error — the paper's "CX-T * CX-Err" indicator.
+    #[must_use]
+    pub fn cx_total_error_product(&self, avg_cx_error: f64) -> f64 {
+        self.cx_total as f64 * avg_cx_error
+    }
+
+    /// A first-order estimated success probability from gate counts:
+    /// `(1 - e1)^n1 * (1 - e2)^n2 * (1 - em)^nm`.
+    ///
+    /// This is the standard analytic ESP heuristic; the noisy simulator in
+    /// `qcs-sim` provides the empirical counterpart.
+    #[must_use]
+    pub fn estimated_success_probability(
+        &self,
+        avg_1q_error: f64,
+        avg_cx_error: f64,
+        avg_readout_error: f64,
+    ) -> f64 {
+        (1.0 - avg_1q_error).powi(self.single_qubit_gates as i32)
+            * (1.0 - avg_cx_error).powi(self.cx_total as i32)
+            * (1.0 - avg_readout_error).powi(self.measurements as i32)
+    }
+}
+
+impl From<&Circuit> for CircuitMetrics {
+    fn from(c: &Circuit) -> Self {
+        CircuitMetrics::of(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ghzish(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for i in 1..n {
+            c.cx(i - 1, i);
+        }
+        c.measure_all();
+        c
+    }
+
+    #[test]
+    fn metrics_of_chain() {
+        let m = CircuitMetrics::of(&ghzish(4));
+        assert_eq!(m.width, 4);
+        assert_eq!(m.active_qubits, 4);
+        assert_eq!(m.cx_total, 3);
+        assert_eq!(m.cx_depth, 3);
+        assert_eq!(m.single_qubit_gates, 1);
+        assert_eq!(m.measurements, 4);
+        assert_eq!(m.total_gates, 8);
+    }
+
+    #[test]
+    fn esp_decreases_with_gates() {
+        let small = CircuitMetrics::of(&ghzish(3));
+        let large = CircuitMetrics::of(&ghzish(8));
+        let esp_s = small.estimated_success_probability(1e-3, 1e-2, 2e-2);
+        let esp_l = large.estimated_success_probability(1e-3, 1e-2, 2e-2);
+        assert!(esp_s > esp_l);
+        assert!(esp_s <= 1.0 && esp_l > 0.0);
+    }
+
+    #[test]
+    fn esp_perfect_machine_is_one() {
+        let m = CircuitMetrics::of(&ghzish(5));
+        let esp = m.estimated_success_probability(0.0, 0.0, 0.0);
+        assert!((esp - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_products_scale_linearly() {
+        let m = CircuitMetrics::of(&ghzish(5));
+        assert!((m.cx_depth_error_product(0.01) - m.cx_depth as f64 * 0.01).abs() < 1e-12);
+        assert!((m.cx_total_error_product(0.02) - m.cx_total as f64 * 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_ref_matches_of() {
+        let c = ghzish(3);
+        let a = CircuitMetrics::of(&c);
+        let b: CircuitMetrics = (&c).into();
+        assert_eq!(a, b);
+    }
+}

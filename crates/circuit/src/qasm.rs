@@ -1,0 +1,375 @@
+//! Minimal OpenQASM 2.0 serialization.
+//!
+//! Emits the subset of OpenQASM 2.0 our gate set maps onto, and parses it
+//! back. This is the wire format jobs carry through the cloud simulator,
+//! mirroring how real clients ship circuits to IBM's cloud.
+
+use std::fmt::Write as _;
+
+use crate::{Circuit, CircuitError, Gate};
+
+/// Errors from parsing OpenQASM text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QasmError {
+    /// The header (`OPENQASM 2.0;`) was missing or malformed.
+    MissingHeader,
+    /// No quantum register declaration was found before gates.
+    MissingRegister,
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Offending text.
+        text: String,
+    },
+    /// An unknown gate mnemonic.
+    UnknownGate {
+        /// 1-based line number.
+        line: usize,
+        /// The mnemonic.
+        name: String,
+    },
+    /// The parsed instruction failed circuit validation.
+    Invalid(CircuitError),
+}
+
+impl std::fmt::Display for QasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QasmError::MissingHeader => write!(f, "missing OPENQASM header"),
+            QasmError::MissingRegister => write!(f, "missing qreg declaration"),
+            QasmError::Syntax { line, text } => write!(f, "syntax error on line {line}: {text}"),
+            QasmError::UnknownGate { line, name } => {
+                write!(f, "unknown gate '{name}' on line {line}")
+            }
+            QasmError::Invalid(e) => write!(f, "invalid instruction: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+impl From<CircuitError> for QasmError {
+    fn from(e: CircuitError) -> Self {
+        QasmError::Invalid(e)
+    }
+}
+
+/// Serialize a circuit to OpenQASM 2.0 text.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_circuit::{qasm, Circuit};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1).measure_all();
+/// let text = qasm::to_qasm(&c);
+/// assert!(text.contains("cx q[0],q[1];"));
+/// let back = qasm::from_qasm(&text).unwrap();
+/// assert_eq!(back.cx_count(), 1);
+/// ```
+#[must_use]
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    if circuit.num_clbits() > 0 {
+        let _ = writeln!(out, "creg c[{}];", circuit.num_clbits());
+    }
+    for inst in circuit.instructions() {
+        match inst.gate {
+            Gate::Measure => {
+                let _ = writeln!(
+                    out,
+                    "measure q[{}] -> c[{}];",
+                    inst.qubits[0].0, inst.clbits[0].0
+                );
+            }
+            Gate::Barrier => {
+                let qs = inst
+                    .qubits
+                    .iter()
+                    .map(|q| format!("q[{}]", q.0))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                let _ = writeln!(out, "barrier {qs};");
+            }
+            ref g => {
+                let params = g.params();
+                let qs = inst
+                    .qubits
+                    .iter()
+                    .map(|q| format!("q[{}]", q.0))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                if params.is_empty() {
+                    let _ = writeln!(out, "{} {qs};", g.name());
+                } else {
+                    let ps = params
+                        .iter()
+                        .map(|p| format!("{p:.12}"))
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    let _ = writeln!(out, "{}({ps}) {qs};", g.name());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parse OpenQASM 2.0 text emitted by [`to_qasm`] (a practical subset:
+/// single `qreg q[..]`/`creg c[..]` registers, the gate set of [`Gate`]).
+///
+/// # Errors
+///
+/// Returns [`QasmError`] on malformed input or gates outside the supported
+/// set.
+pub fn from_qasm(text: &str) -> Result<Circuit, QasmError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.split("//").next().unwrap_or("").trim()))
+        .filter(|(_, l)| !l.is_empty());
+
+    let (_, header) = lines.next().ok_or(QasmError::MissingHeader)?;
+    if !header.starts_with("OPENQASM") {
+        return Err(QasmError::MissingHeader);
+    }
+
+    let mut circuit: Option<Circuit> = None;
+    let mut num_qubits = 0usize;
+    let mut num_clbits = 0usize;
+    let mut pending: Vec<(usize, String)> = Vec::new();
+
+    for (lineno, line) in lines {
+        let line = line.trim_end_matches(';').trim();
+        if line.is_empty() || line.starts_with("include") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("qreg") {
+            num_qubits = parse_reg_size(rest, lineno)?;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("creg") {
+            num_clbits = parse_reg_size(rest, lineno)?;
+            continue;
+        }
+        pending.push((lineno, line.to_string()));
+    }
+
+    if num_qubits == 0 {
+        return Err(QasmError::MissingRegister);
+    }
+    let mut c = Circuit::with_clbits(num_qubits, num_clbits.max(num_qubits));
+    for (lineno, line) in pending {
+        parse_statement(&mut c, &line, lineno)?;
+    }
+    let _ = circuit.get_or_insert_with(Circuit::default);
+    Ok(c)
+}
+
+fn parse_reg_size(rest: &str, line: usize) -> Result<usize, QasmError> {
+    let open = rest.find('[');
+    let close = rest.find(']');
+    match (open, close) {
+        (Some(o), Some(cl)) if cl > o => rest[o + 1..cl]
+            .parse::<usize>()
+            .map_err(|_| QasmError::Syntax {
+                line,
+                text: rest.to_string(),
+            }),
+        _ => Err(QasmError::Syntax {
+            line,
+            text: rest.to_string(),
+        }),
+    }
+}
+
+fn parse_index(token: &str, line: usize) -> Result<usize, QasmError> {
+    let open = token.find('[');
+    let close = token.find(']');
+    match (open, close) {
+        (Some(o), Some(c)) if c > o => {
+            token[o + 1..c]
+                .parse::<usize>()
+                .map_err(|_| QasmError::Syntax {
+                    line,
+                    text: token.to_string(),
+                })
+        }
+        _ => Err(QasmError::Syntax {
+            line,
+            text: token.to_string(),
+        }),
+    }
+}
+
+fn parse_statement(c: &mut Circuit, line: &str, lineno: usize) -> Result<(), QasmError> {
+    if let Some(rest) = line.strip_prefix("measure") {
+        let parts: Vec<&str> = rest.split("->").collect();
+        if parts.len() != 2 {
+            return Err(QasmError::Syntax {
+                line: lineno,
+                text: line.to_string(),
+            });
+        }
+        let q = parse_index(parts[0].trim(), lineno)?;
+        let cl = parse_index(parts[1].trim(), lineno)?;
+        c.measure(q, cl);
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("barrier") {
+        let qs: Result<Vec<usize>, _> = rest
+            .split(',')
+            .map(|t| parse_index(t.trim(), lineno))
+            .collect();
+        let qs = qs?;
+        let qubits: Vec<crate::Qubit> = qs.into_iter().map(crate::Qubit::from).collect();
+        c.try_push(crate::Instruction::gate(Gate::Barrier, &qubits))?;
+        return Ok(());
+    }
+
+    // "name(p1,p2) q[a],q[b]" or "name q[a],q[b]"
+    let (head, operands) = match line.find(' ') {
+        Some(sp) => (&line[..sp], line[sp + 1..].trim()),
+        None => {
+            return Err(QasmError::Syntax {
+                line: lineno,
+                text: line.to_string(),
+            })
+        }
+    };
+    let (name, params): (&str, Vec<f64>) = match head.find('(') {
+        Some(o) => {
+            let close = head.rfind(')').ok_or_else(|| QasmError::Syntax {
+                line: lineno,
+                text: line.to_string(),
+            })?;
+            let ps: Result<Vec<f64>, _> = head[o + 1..close]
+                .split(',')
+                .map(|t| t.trim().parse::<f64>())
+                .collect();
+            (
+                &head[..o],
+                ps.map_err(|_| QasmError::Syntax {
+                    line: lineno,
+                    text: line.to_string(),
+                })?,
+            )
+        }
+        None => (head, Vec::new()),
+    };
+
+    let gate = gate_from_name(name, &params).ok_or_else(|| QasmError::UnknownGate {
+        line: lineno,
+        name: name.to_string(),
+    })?;
+    let qs: Result<Vec<usize>, _> = operands
+        .split(',')
+        .map(|t| parse_index(t.trim(), lineno))
+        .collect();
+    let qs = qs?;
+    let qubits: Vec<crate::Qubit> = qs.into_iter().map(crate::Qubit::from).collect();
+    c.try_push(crate::Instruction::gate(gate, &qubits))?;
+    Ok(())
+}
+
+fn gate_from_name(name: &str, params: &[f64]) -> Option<Gate> {
+    Some(match (name, params.len()) {
+        ("id", 0) => Gate::Id,
+        ("x", 0) => Gate::X,
+        ("y", 0) => Gate::Y,
+        ("z", 0) => Gate::Z,
+        ("h", 0) => Gate::H,
+        ("s", 0) => Gate::S,
+        ("sdg", 0) => Gate::Sdg,
+        ("t", 0) => Gate::T,
+        ("tdg", 0) => Gate::Tdg,
+        ("sx", 0) => Gate::Sx,
+        ("rx", 1) => Gate::Rx(params[0]),
+        ("ry", 1) => Gate::Ry(params[0]),
+        ("rz", 1) => Gate::Rz(params[0]),
+        ("u", 3) | ("u3", 3) => Gate::U(params[0], params[1], params[2]),
+        ("cp", 1) | ("cu1", 1) => Gate::Cp(params[0]),
+        ("cx", 0) => Gate::Cx,
+        ("cz", 0) => Gate::Cz,
+        ("swap", 0) => Gate::Swap,
+        ("reset", 0) => Gate::Reset,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn round_trip_bell() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let back = from_qasm(&to_qasm(&c)).unwrap();
+        assert_eq!(back.num_qubits(), 2);
+        assert_eq!(back.size(), c.size());
+        assert_eq!(back.cx_count(), 1);
+        assert_eq!(back.measure_count(), 2);
+    }
+
+    #[test]
+    fn round_trip_qft_preserves_metrics() {
+        let c = library::qft(5);
+        let back = from_qasm(&to_qasm(&c)).unwrap();
+        assert_eq!(back.cx_count(), c.cx_count());
+        assert_eq!(back.depth(), c.depth());
+        assert_eq!(back.size(), c.size());
+    }
+
+    #[test]
+    fn round_trip_parametric_angles() {
+        let mut c = Circuit::new(1);
+        c.rz(1.234_567_89, 0).rx(-0.5, 0);
+        let back = from_qasm(&to_qasm(&c)).unwrap();
+        match back.instructions()[0].gate {
+            Gate::Rz(t) => assert!((t - 1.234_567_89).abs() < 1e-9),
+            ref g => panic!("expected rz, got {g:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(from_qasm("qreg q[2];"), Err(QasmError::MissingHeader));
+    }
+
+    #[test]
+    fn missing_register_rejected() {
+        assert_eq!(
+            from_qasm("OPENQASM 2.0;\nh q[0];").unwrap_err(),
+            QasmError::MissingRegister
+        );
+    }
+
+    #[test]
+    fn unknown_gate_rejected() {
+        let err = from_qasm("OPENQASM 2.0;\nqreg q[1];\nccx q[0];").unwrap_err();
+        assert!(matches!(err, QasmError::UnknownGate { .. }));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "OPENQASM 2.0;\n// a comment\nqreg q[2];\n\nh q[0]; // trailing\n";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.size(), 1);
+    }
+
+    #[test]
+    fn barrier_round_trip() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.barrier();
+        c.h(1);
+        let back = from_qasm(&to_qasm(&c)).unwrap();
+        assert_eq!(back.depth(), 2);
+    }
+}

@@ -1,0 +1,215 @@
+//! Pluggable queue disciplines.
+//!
+//! The paper observes that "strategies for queuing and job scheduling are
+//! simplistic at the present" and recommends vendor-side scheduling
+//! research (§V-E ①④). [`Discipline`] selects the policy a machine's
+//! queue uses; [`JobQueue`] adapts the chosen policy behind one interface
+//! for the simulator.
+
+use std::collections::VecDeque;
+
+use crate::{FairShareQueue, JobSpec};
+
+/// Queue scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Discipline {
+    /// IBM-style fair-share across providers (the production default).
+    FairShare {
+        /// Usage decay half-life, hours.
+        half_life_hours: f64,
+    },
+    /// First-in-first-out, provider-blind.
+    Fifo,
+    /// Shortest-expected-job-first (by estimated service time), with FIFO
+    /// tie-breaking. A classical HPC heuristic that minimizes mean wait at
+    /// the cost of starving long jobs.
+    ShortestJobFirst,
+}
+
+impl Default for Discipline {
+    fn default() -> Self {
+        Discipline::FairShare {
+            half_life_hours: 24.0,
+        }
+    }
+}
+
+/// A single machine's queue under some [`Discipline`].
+#[derive(Debug, Clone)]
+pub enum JobQueue {
+    /// Fair-share state.
+    FairShare(FairShareQueue),
+    /// FIFO state.
+    Fifo(VecDeque<JobSpec>),
+    /// SJF state: jobs with a precomputed service estimate.
+    ShortestJobFirst(Vec<(f64, JobSpec)>),
+}
+
+impl JobQueue {
+    /// Create an empty queue for the given discipline.
+    #[must_use]
+    pub fn new(discipline: Discipline, num_providers: usize) -> Self {
+        match discipline {
+            Discipline::FairShare { half_life_hours } => {
+                JobQueue::FairShare(FairShareQueue::new(num_providers, half_life_hours * 3600.0))
+            }
+            Discipline::Fifo => JobQueue::Fifo(VecDeque::new()),
+            Discipline::ShortestJobFirst => JobQueue::ShortestJobFirst(Vec::new()),
+        }
+    }
+
+    /// Number of queued jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            JobQueue::FairShare(q) => q.len(),
+            JobQueue::Fifo(q) => q.len(),
+            JobQueue::ShortestJobFirst(q) => q.len(),
+        }
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue a job. `service_estimate_s` is the machine's expected
+    /// execution time for the job (used by SJF only).
+    pub fn push(&mut self, job: JobSpec, service_estimate_s: f64) {
+        match self {
+            JobQueue::FairShare(q) => q.push(job),
+            JobQueue::Fifo(q) => q.push_back(job),
+            JobQueue::ShortestJobFirst(q) => q.push((service_estimate_s, job)),
+        }
+    }
+
+    /// Pop the next job to execute at time `now_s`.
+    pub fn pop(&mut self, now_s: f64) -> Option<JobSpec> {
+        match self {
+            JobQueue::FairShare(q) => q.pop(now_s),
+            JobQueue::Fifo(q) => q.pop_front(),
+            JobQueue::ShortestJobFirst(q) => {
+                let idx = q
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, (sa, ja)), (_, (sb, jb))| {
+                        sa.partial_cmp(sb)
+                            .expect("service estimates are finite")
+                            .then_with(|| {
+                                ja.submit_s
+                                    .partial_cmp(&jb.submit_s)
+                                    .expect("submit times are finite")
+                            })
+                    })
+                    .map(|(i, _)| i)?;
+                Some(q.swap_remove(idx).1)
+            }
+        }
+    }
+
+    /// Charge provider usage (fair-share only; a no-op otherwise).
+    pub fn charge(&mut self, provider: u32, seconds: f64) {
+        if let JobQueue::FairShare(q) = self {
+            q.charge(provider, seconds);
+        }
+    }
+
+    /// Remove a queued job by id (user cancellation).
+    pub fn remove(&mut self, job_id: u64) -> Option<JobSpec> {
+        match self {
+            JobQueue::FairShare(q) => q.remove(job_id),
+            JobQueue::Fifo(q) => {
+                let pos = q.iter().position(|j| j.id == job_id)?;
+                q.remove(pos)
+            }
+            JobQueue::ShortestJobFirst(q) => {
+                let pos = q.iter().position(|(_, j)| j.id == job_id)?;
+                Some(q.remove(pos).1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, provider: u32, submit: f64) -> JobSpec {
+        JobSpec {
+            id,
+            provider,
+            machine: 0,
+            circuits: 1,
+            shots: 1024,
+            mean_depth: 10.0,
+            mean_width: 2.0,
+            submit_s: submit,
+            is_study: false,
+            patience_s: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = JobQueue::new(Discipline::Fifo, 4);
+        q.push(job(1, 0, 0.0), 100.0);
+        q.push(job(2, 1, 1.0), 1.0);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(5.0).unwrap().id, 1);
+        assert_eq!(q.pop(5.0).unwrap().id, 2);
+        assert!(q.pop(5.0).is_none());
+    }
+
+    #[test]
+    fn sjf_prefers_short_jobs() {
+        let mut q = JobQueue::new(Discipline::ShortestJobFirst, 4);
+        q.push(job(1, 0, 0.0), 500.0);
+        q.push(job(2, 0, 1.0), 5.0);
+        q.push(job(3, 0, 2.0), 50.0);
+        assert_eq!(q.pop(5.0).unwrap().id, 2);
+        assert_eq!(q.pop(5.0).unwrap().id, 3);
+        assert_eq!(q.pop(5.0).unwrap().id, 1);
+    }
+
+    #[test]
+    fn sjf_ties_break_fifo() {
+        let mut q = JobQueue::new(Discipline::ShortestJobFirst, 4);
+        q.push(job(1, 0, 0.0), 10.0);
+        q.push(job(2, 0, 1.0), 10.0);
+        assert_eq!(q.pop(5.0).unwrap().id, 1);
+    }
+
+    #[test]
+    fn fair_share_variant_delegates() {
+        let mut q = JobQueue::new(Discipline::default(), 2);
+        q.push(job(1, 0, 0.0), 1.0);
+        q.charge(0, 1000.0);
+        q.push(job(2, 1, 1.0), 1.0);
+        // Provider 1 has no usage: its job goes first.
+        assert_eq!(q.pop(2.0).unwrap().id, 2);
+    }
+
+    #[test]
+    fn remove_works_for_all_variants() {
+        for discipline in [
+            Discipline::default(),
+            Discipline::Fifo,
+            Discipline::ShortestJobFirst,
+        ] {
+            let mut q = JobQueue::new(discipline, 4);
+            q.push(job(1, 0, 0.0), 1.0);
+            q.push(job(2, 1, 1.0), 2.0);
+            assert_eq!(q.remove(1).map(|j| j.id), Some(1));
+            assert_eq!(q.len(), 1);
+            assert!(q.remove(99).is_none());
+        }
+    }
+
+    #[test]
+    fn empty_checks() {
+        let q = JobQueue::new(Discipline::Fifo, 1);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! IBM-style fair-share queuing.
+//!
+//! "Fair-share queuing executes jobs on a quantum system in a dynamic order
+//! so that no user can monopolize the system ... jobs from various
+//! providers are inter-weaved in a non-trivial manner, and the order in
+//! which jobs complete is not necessarily the order in which they were
+//! submitted" (paper §II-B ⑤). Each provider accumulates decayed usage;
+//! the next job comes from the eligible provider with the lowest
+//! usage-to-share ratio (FIFO within a provider).
+
+use std::collections::VecDeque;
+
+use crate::JobSpec;
+
+/// A single machine's fair-share queue.
+#[derive(Debug, Clone)]
+pub struct FairShareQueue {
+    /// Per-provider FIFO queues (indexed by provider id).
+    queues: Vec<VecDeque<JobSpec>>,
+    /// Per-provider share entitlement (default 1.0).
+    shares: Vec<f64>,
+    /// Per-provider exponentially-decayed usage, seconds of machine time.
+    usage: Vec<f64>,
+    /// Usage half-life, seconds.
+    half_life_s: f64,
+    /// Last time usage was decayed.
+    last_decay_s: f64,
+    /// Total queued jobs.
+    len: usize,
+}
+
+impl FairShareQueue {
+    /// Create a queue for `num_providers` providers with uniform shares.
+    #[must_use]
+    pub fn new(num_providers: usize, half_life_s: f64) -> Self {
+        FairShareQueue {
+            queues: vec![VecDeque::new(); num_providers],
+            shares: vec![1.0; num_providers],
+            usage: vec![0.0; num_providers],
+            half_life_s,
+            last_decay_s: 0.0,
+            len: 0,
+        }
+    }
+
+    /// Override a provider's share entitlement (larger = more throughput).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `share <= 0` or the provider is unknown.
+    pub fn set_share(&mut self, provider: u32, share: f64) {
+        assert!(share > 0.0, "share must be positive");
+        self.shares[provider as usize] = share;
+    }
+
+    /// Number of queued jobs (excluding any executing job).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no jobs are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Enqueue a job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job's provider id is out of range.
+    pub fn push(&mut self, job: JobSpec) {
+        self.queues[job.provider as usize].push_back(job);
+        self.len += 1;
+    }
+
+    /// Decay usage to `now` and pop the next job under fair-share order.
+    pub fn pop(&mut self, now_s: f64) -> Option<JobSpec> {
+        self.decay_to(now_s);
+        let provider = self
+            .queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.is_empty())
+            .min_by(|(a, _), (b, _)| {
+                let ra = self.usage[*a] / self.shares[*a];
+                let rb = self.usage[*b] / self.shares[*b];
+                ra.partial_cmp(&rb)
+                    .expect("usage ratios are finite")
+                    // Tie-break on earliest submission for FIFO-ish fairness.
+                    .then_with(|| {
+                        let ta = self.queues[*a].front().map(|j| j.submit_s);
+                        let tb = self.queues[*b].front().map(|j| j.submit_s);
+                        ta.partial_cmp(&tb).expect("submit times are finite")
+                    })
+            })
+            .map(|(i, _)| i)?;
+        let job = self.queues[provider].pop_front();
+        if job.is_some() {
+            self.len -= 1;
+        }
+        job
+    }
+
+    /// Charge `seconds` of machine usage to `provider`.
+    pub fn charge(&mut self, provider: u32, seconds: f64) {
+        self.usage[provider as usize] += seconds;
+    }
+
+    /// Remove a specific queued job by id (user cancellation). Returns the
+    /// job if it was still queued.
+    pub fn remove(&mut self, job_id: u64) -> Option<JobSpec> {
+        for queue in &mut self.queues {
+            if let Some(pos) = queue.iter().position(|j| j.id == job_id) {
+                self.len -= 1;
+                return queue.remove(pos);
+            }
+        }
+        None
+    }
+
+    /// Exponentially decay all providers' usage to time `now_s`.
+    fn decay_to(&mut self, now_s: f64) {
+        let dt = now_s - self.last_decay_s;
+        if dt <= 0.0 {
+            return;
+        }
+        let factor = 0.5f64.powf(dt / self.half_life_s);
+        for u in &mut self.usage {
+            *u *= factor;
+        }
+        self.last_decay_s = now_s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, provider: u32, submit: f64) -> JobSpec {
+        JobSpec {
+            id,
+            provider,
+            machine: 0,
+            circuits: 1,
+            shots: 1024,
+            mean_depth: 10.0,
+            mean_width: 2.0,
+            submit_s: submit,
+            is_study: false,
+            patience_s: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn fifo_within_provider() {
+        let mut q = FairShareQueue::new(1, 3600.0);
+        q.push(job(1, 0, 0.0));
+        q.push(job(2, 0, 1.0));
+        assert_eq!(q.pop(2.0).unwrap().id, 1);
+        assert_eq!(q.pop(2.0).unwrap().id, 2);
+        assert!(q.pop(2.0).is_none());
+    }
+
+    #[test]
+    fn low_usage_provider_jumps_ahead() {
+        let mut q = FairShareQueue::new(2, 3600.0);
+        q.charge(0, 1000.0); // provider 0 has been hogging
+        q.push(job(1, 0, 0.0));
+        q.push(job(2, 1, 5.0)); // later submit, but fresher provider
+        assert_eq!(q.pop(10.0).unwrap().id, 2);
+        assert_eq!(q.pop(10.0).unwrap().id, 1);
+    }
+
+    #[test]
+    fn shares_weight_priority() {
+        let mut q = FairShareQueue::new(2, 3600.0);
+        q.set_share(1, 10.0);
+        q.charge(0, 100.0);
+        q.charge(1, 500.0); // more usage but 10x share -> ratio 50 < 100
+        q.push(job(1, 0, 0.0));
+        q.push(job(2, 1, 1.0));
+        assert_eq!(q.pop(2.0).unwrap().id, 2);
+    }
+
+    #[test]
+    fn usage_decays_over_time() {
+        // Old usage is forgiven relative to fresh usage.
+        let mut q = FairShareQueue::new(2, 100.0);
+        q.charge(0, 1000.0); // ancient hog
+        let mut later = q.clone();
+        // Immediately, provider 0 loses to untouched provider 1.
+        q.push(job(1, 0, 0.0));
+        q.push(job(2, 1, 1.0));
+        assert_eq!(q.pop(0.0).unwrap().id, 2);
+        // Ten half-lives later, provider 0's usage ~1s; provider 1 charged
+        // 500s recently, so provider 0 now wins.
+        later.decay_to(1000.0);
+        later.charge(1, 500.0);
+        later.push(job(1, 0, 1000.0));
+        later.push(job(2, 1, 1000.5));
+        assert_eq!(later.pop(1000.0).unwrap().id, 1);
+    }
+
+    #[test]
+    fn remove_cancels_queued_job() {
+        let mut q = FairShareQueue::new(1, 3600.0);
+        q.push(job(1, 0, 0.0));
+        q.push(job(2, 0, 1.0));
+        let removed = q.remove(1).unwrap();
+        assert_eq!(removed.id, 1);
+        assert_eq!(q.len(), 1);
+        assert!(q.remove(99).is_none());
+        assert_eq!(q.pop(2.0).unwrap().id, 2);
+    }
+
+    #[test]
+    fn interleaving_across_providers() {
+        // With equal shares and continuous charging, providers alternate.
+        let mut q = FairShareQueue::new(2, 1e12);
+        for i in 0..4 {
+            q.push(job(i, 0, i as f64));
+        }
+        for i in 4..8 {
+            q.push(job(i, 1, i as f64));
+        }
+        let mut order = Vec::new();
+        let mut now = 10.0;
+        while let Some(j) = q.pop(now) {
+            q.charge(j.provider, 60.0);
+            order.push(j.provider);
+            now += 60.0;
+        }
+        assert_eq!(order, vec![0, 1, 0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share must be positive")]
+    fn zero_share_rejected() {
+        let mut q = FairShareQueue::new(1, 10.0);
+        q.set_share(0, 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # qcs-cloud
+//!
+//! A discrete-event simulator of a quantum cloud service for the `qcs`
+//! study: jobs ([`JobSpec`]) arrive at machines, wait in per-machine
+//! [`FairShareQueue`]s (IBM-style dynamic priority), execute under the
+//! machine's cost model with fault injection, and leave [`JobRecord`]s.
+//! Queue lengths are sampled periodically ([`QueueSample`]).
+//!
+//! This crate is the substitute for IBM's production cloud in the paper's
+//! queuing and execution analyses (Figs 2-4 and 9-14).
+//!
+//! # Examples
+//!
+//! ```
+//! use qcs_cloud::{CloudConfig, JobSpec, Simulation};
+//! use qcs_machine::Fleet;
+//!
+//! let jobs: Vec<JobSpec> = (0..10)
+//!     .map(|i| JobSpec {
+//!         id: i, provider: (i % 3) as u32, machine: 1, circuits: 20,
+//!         shots: 1024, mean_depth: 15.0, mean_width: 3.0,
+//!         submit_s: i as f64, is_study: true, patience_s: f64::INFINITY,
+//!     })
+//!     .collect();
+//! let result = Simulation::new(Fleet::ibm_like(), CloudConfig::default()).run(jobs);
+//! assert_eq!(result.records.len(), 10);
+//! // Later arrivals on a busy machine wait longer.
+//! assert!(result.records.iter().any(|r| r.queue_time_s() > 0.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod discipline;
+mod fairshare;
+mod job;
+mod outage;
+mod sim;
+pub mod trace;
+
+pub use discipline::{Discipline, JobQueue};
+pub use fairshare::FairShareQueue;
+pub use job::{JobOutcome, JobRecord, JobSpec, QueueSample};
+pub use outage::OutagePlan;
+pub use sim::{CloudConfig, Simulation, SimulationResult};

@@ -1,0 +1,809 @@
+//! The discrete-event simulator of the quantum cloud.
+//!
+//! Each machine is a single server fed by a [`FairShareQueue`]. Jobs
+//! arrive at their submission times, wait, execute for a duration given by
+//! the machine's [`qcs_machine::ExecutionCostModel`] (plus small stochastic
+//! variation), and leave a [`JobRecord`]. Impatient users cancel queued
+//! jobs; a small fraction of executions error out (paper Fig 2b). Queue
+//! lengths are sampled periodically (Fig 9).
+//!
+//! Full-study runs process millions of background jobs; to keep memory
+//! proportional to what the analysis needs, per-job records can be
+//! *sampled* for background jobs (study jobs are always recorded) while
+//! aggregate counters (job totals, outcome counts, daily execution counts)
+//! cover the entire population.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use qcs_calibration::distributions::lognormal_with_cov;
+use qcs_machine::Fleet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Discipline, JobOutcome, JobQueue, JobRecord, JobSpec, OutagePlan, QueueSample};
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloudConfig {
+    /// RNG seed for execution noise and fault injection.
+    pub seed: u64,
+    /// Number of fair-share providers across the user population.
+    pub num_providers: usize,
+    /// Queue scheduling policy for every machine.
+    pub discipline: Discipline,
+    /// Coefficient of variation of execution-time noise.
+    pub exec_noise_cov: f64,
+    /// Probability that an execution errors out mid-run.
+    pub error_rate: f64,
+    /// Queue-length sampling interval, hours.
+    pub sample_interval_hours: f64,
+    /// Keep a full [`JobRecord`] for background jobs whose
+    /// `id % divisor == 0` (study jobs are always kept). `1` keeps all.
+    pub background_record_divisor: u64,
+}
+
+impl Default for CloudConfig {
+    fn default() -> Self {
+        CloudConfig {
+            seed: 0,
+            num_providers: 40,
+            discipline: Discipline::default(),
+            exec_noise_cov: 0.08,
+            error_rate: 0.045,
+            sample_interval_hours: 6.0,
+            background_record_divisor: 1,
+        }
+    }
+}
+
+/// Everything the simulation produced.
+#[derive(Debug, Clone, Default)]
+pub struct SimulationResult {
+    /// Per-job records (all study jobs; background jobs subject to the
+    /// configured sampling divisor), in terminal-event order.
+    pub records: Vec<JobRecord>,
+    /// Periodic queue-length samples across all machines.
+    pub queue_samples: Vec<QueueSample>,
+    /// Total jobs that reached a terminal state (whole population).
+    pub total_jobs: u64,
+    /// Jobs per outcome `[completed, errored, cancelled]` (whole
+    /// population).
+    pub outcome_counts: [u64; 3],
+    /// Machine executions (circuits x shots) of completed/errored jobs,
+    /// binned by the day the job finished (whole population).
+    pub daily_executions: Vec<u64>,
+}
+
+impl SimulationResult {
+    /// Records belonging to the instrumented study subset.
+    #[must_use]
+    pub fn study_records(&self) -> Vec<&JobRecord> {
+        self.records.iter().filter(|r| r.is_study).collect()
+    }
+
+    /// Records for one machine.
+    #[must_use]
+    pub fn records_for_machine(&self, machine: usize) -> Vec<&JobRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.machine == machine)
+            .collect()
+    }
+
+    /// Fraction of jobs with each outcome: `(completed, errored,
+    /// cancelled)` over the whole population.
+    #[must_use]
+    pub fn outcome_fractions(&self) -> (f64, f64, f64) {
+        let total = self.total_jobs.max(1) as f64;
+        (
+            self.outcome_counts[0] as f64 / total,
+            self.outcome_counts[1] as f64 / total,
+            self.outcome_counts[2] as f64 / total,
+        )
+    }
+
+    /// Cumulative executions over time: `(day, cumulative executions)` per
+    /// day with any activity (paper Fig 2a).
+    #[must_use]
+    pub fn cumulative_executions(&self) -> Vec<(usize, u64)> {
+        let mut acc = 0u64;
+        self.daily_executions
+            .iter()
+            .enumerate()
+            .map(|(day, &n)| {
+                acc += n;
+                (day, acc)
+            })
+            .collect()
+    }
+
+    /// Mean pending jobs per machine over a time window (paper Fig 9's
+    /// week-long average).
+    #[must_use]
+    pub fn mean_pending(&self, machine: usize, from_s: f64, to_s: f64) -> f64 {
+        let samples: Vec<usize> = self
+            .queue_samples
+            .iter()
+            .filter(|s| s.machine == machine && s.time_s >= from_s && s.time_s < to_s)
+            .map(|s| s.pending)
+            .collect();
+        if samples.is_empty() {
+            return 0.0;
+        }
+        samples.iter().sum::<usize>() as f64 / samples.len() as f64
+    }
+
+    /// Fraction of executed (non-cancelled) recorded jobs that crossed a
+    /// calibration boundary between submission and execution (Fig 12a).
+    #[must_use]
+    pub fn calibration_crossover_fraction(&self) -> f64 {
+        let executed: Vec<&JobRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.outcome != JobOutcome::Cancelled)
+            .collect();
+        if executed.is_empty() {
+            return 0.0;
+        }
+        executed.iter().filter(|r| r.crossed_calibration).count() as f64 / executed.len() as f64
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    Completion { machine: usize },
+    CancelCheck { job_id: u64, machine: usize },
+    Resume { machine: usize },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Event {
+    time_s: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time_s
+            .partial_cmp(&self.time_s)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Executing {
+    job: JobSpec,
+    start_s: f64,
+    end_s: f64,
+    outcome: JobOutcome,
+    crossed: bool,
+    pending_at_submit: usize,
+}
+
+/// The cloud simulator.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_cloud::{CloudConfig, JobSpec, Simulation};
+/// use qcs_machine::Fleet;
+///
+/// let fleet = Fleet::ibm_like();
+/// let jobs = vec![JobSpec {
+///     id: 0, provider: 0, machine: 1, circuits: 10, shots: 1024,
+///     mean_depth: 20.0, mean_width: 3.0, submit_s: 0.0, is_study: true,
+///     patience_s: f64::INFINITY,
+/// }];
+/// let result = Simulation::new(fleet, CloudConfig::default()).run(jobs);
+/// assert_eq!(result.records.len(), 1);
+/// assert!(result.records[0].exec_time_s() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    fleet: Fleet,
+    config: CloudConfig,
+    outages: OutagePlan,
+}
+
+impl Simulation {
+    /// Create a simulator over a fleet with no machine outages.
+    #[must_use]
+    pub fn new(fleet: Fleet, config: CloudConfig) -> Self {
+        let machines = fleet.len();
+        Simulation {
+            fleet,
+            config,
+            outages: OutagePlan::none(machines),
+        }
+    }
+
+    /// Attach a maintenance/outage plan: machines stop dispatching new
+    /// jobs during their windows (in-flight jobs finish), and the backlog
+    /// drains afterwards — the mechanism behind day-long queue tails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan covers a different number of machines.
+    #[must_use]
+    pub fn with_outages(mut self, outages: OutagePlan) -> Self {
+        assert_eq!(
+            outages.num_machines(),
+            self.fleet.len(),
+            "outage plan machine count mismatch"
+        );
+        self.outages = outages;
+        self
+    }
+
+    /// The fleet under simulation.
+    #[must_use]
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// Run the simulation over a set of jobs (any submission order).
+    ///
+    /// Deterministic for a fixed `(fleet, config, jobs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job references a machine index outside the fleet or a
+    /// provider outside `config.num_providers`.
+    #[must_use]
+    pub fn run(&self, mut jobs: Vec<JobSpec>) -> SimulationResult {
+        let n_machines = self.fleet.len();
+        for job in &jobs {
+            assert!(
+                job.machine < n_machines,
+                "job {} targets unknown machine",
+                job.id
+            );
+            assert!(
+                (job.provider as usize) < self.config.num_providers,
+                "job {} has unknown provider",
+                job.id
+            );
+        }
+        jobs.sort_by(|a, b| {
+            a.submit_s
+                .partial_cmp(&b.submit_s)
+                .expect("submit times are finite")
+        });
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut queues: Vec<JobQueue> = (0..n_machines)
+            .map(|_| JobQueue::new(self.config.discipline, self.config.num_providers))
+            .collect();
+        let mut executing: Vec<Option<Executing>> = (0..n_machines).map(|_| None).collect();
+        let mut resume_scheduled: Vec<bool> = vec![false; n_machines];
+
+        let mut events: BinaryHeap<Event> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut result = SimulationResult::default();
+        let sample_interval_s = self.config.sample_interval_hours * 3600.0;
+        let mut next_sample_s = sample_interval_s;
+
+        // pending-at-submit memo for jobs currently queued or executing;
+        // entries are removed at terminal events to bound memory.
+        let mut pending_memo: HashMap<u64, usize> = HashMap::new();
+
+        let mut arrivals = jobs.into_iter().peekable();
+
+        loop {
+            let next_arrival_s = arrivals.peek().map(|j| j.submit_s);
+            let next_event_s = events.peek().map(|e| e.time_s);
+            let now_s = match (next_arrival_s, next_event_s) {
+                (None, None) => break,
+                (Some(a), None) => a,
+                (None, Some(e)) => e,
+                (Some(a), Some(e)) => a.min(e),
+            };
+
+            // Emit queue samples for all machines up to `now_s`.
+            while next_sample_s <= now_s {
+                for (m, queue) in queues.iter().enumerate() {
+                    let pending = queue.len() + usize::from(executing[m].is_some());
+                    result.queue_samples.push(QueueSample {
+                        time_s: next_sample_s,
+                        machine: m,
+                        pending,
+                    });
+                }
+                next_sample_s += sample_interval_s;
+            }
+
+            // Arrivals win ties so a job can start on an exactly-coincident
+            // completion.
+            if next_arrival_s.is_some_and(|a| next_event_s.is_none_or(|e| a <= e)) {
+                let job = arrivals.next().expect("peeked arrival exists");
+                let machine = job.machine;
+                let pending = queues[machine].len() + usize::from(executing[machine].is_some());
+                pending_memo.insert(job.id, pending);
+                if job.patience_s.is_finite() {
+                    events.push(Event {
+                        time_s: job.submit_s + job.patience_s,
+                        seq,
+                        kind: EventKind::CancelCheck {
+                            job_id: job.id,
+                            machine,
+                        },
+                    });
+                    seq += 1;
+                }
+                let estimate_s = self.fleet.machines()[machine]
+                    .cost_model()
+                    .job_time_uniform_s(
+                        job.circuits,
+                        job.mean_depth.round().max(1.0) as usize,
+                        job.shots,
+                    );
+                queues[machine].push(job, estimate_s);
+                if executing[machine].is_none() {
+                    self.start_next(
+                        machine,
+                        now_s,
+                        &mut queues,
+                        &mut executing,
+                        &mut resume_scheduled,
+                        &mut events,
+                        &mut seq,
+                        &mut rng,
+                        &pending_memo,
+                    );
+                }
+                continue;
+            }
+
+            let event = events.pop().expect("event exists");
+            match event.kind {
+                EventKind::Completion { machine } => {
+                    let done = executing[machine].take().expect("completion without job");
+                    queues[machine].charge(done.job.provider, done.end_s - done.start_s);
+                    pending_memo.remove(&done.job.id);
+                    self.finish(
+                        &mut result,
+                        JobRecord {
+                            id: done.job.id,
+                            provider: done.job.provider,
+                            machine,
+                            circuits: done.job.circuits,
+                            shots: done.job.shots,
+                            mean_width: done.job.mean_width,
+                            mean_depth: done.job.mean_depth,
+                            is_study: done.job.is_study,
+                            submit_s: done.job.submit_s,
+                            start_s: done.start_s,
+                            end_s: done.end_s,
+                            outcome: done.outcome,
+                            pending_at_submit: done.pending_at_submit,
+                            crossed_calibration: done.crossed,
+                        },
+                    );
+                    self.start_next(
+                        machine,
+                        event.time_s,
+                        &mut queues,
+                        &mut executing,
+                        &mut resume_scheduled,
+                        &mut events,
+                        &mut seq,
+                        &mut rng,
+                        &pending_memo,
+                    );
+                }
+                EventKind::Resume { machine } => {
+                    resume_scheduled[machine] = false;
+                    if executing[machine].is_none() {
+                        self.start_next(
+                            machine,
+                            event.time_s,
+                            &mut queues,
+                            &mut executing,
+                            &mut resume_scheduled,
+                            &mut events,
+                            &mut seq,
+                            &mut rng,
+                            &pending_memo,
+                        );
+                    }
+                }
+                EventKind::CancelCheck { job_id, machine } => {
+                    if let Some(job) = queues[machine].remove(job_id) {
+                        let pending = pending_memo.remove(&job.id).unwrap_or(0);
+                        self.finish(
+                            &mut result,
+                            JobRecord {
+                                id: job.id,
+                                provider: job.provider,
+                                machine,
+                                circuits: job.circuits,
+                                shots: job.shots,
+                                mean_width: job.mean_width,
+                                mean_depth: job.mean_depth,
+                                is_study: job.is_study,
+                                submit_s: job.submit_s,
+                                start_s: event.time_s,
+                                end_s: event.time_s,
+                                outcome: JobOutcome::Cancelled,
+                                pending_at_submit: pending,
+                                crossed_calibration: false,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Record a terminal job state: aggregates always, the full record
+    /// subject to background sampling.
+    fn finish(&self, result: &mut SimulationResult, record: JobRecord) {
+        result.total_jobs += 1;
+        let slot = match record.outcome {
+            JobOutcome::Completed => 0,
+            JobOutcome::Errored => 1,
+            JobOutcome::Cancelled => 2,
+        };
+        result.outcome_counts[slot] += 1;
+        if record.outcome != JobOutcome::Cancelled {
+            let day = (record.end_s / 86_400.0).floor().max(0.0) as usize;
+            if result.daily_executions.len() <= day {
+                result.daily_executions.resize(day + 1, 0);
+            }
+            result.daily_executions[day] += record.executions();
+        }
+        let keep = record.is_study
+            || self.config.background_record_divisor <= 1
+            || record.id.is_multiple_of(self.config.background_record_divisor);
+        if keep {
+            result.records.push(record);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_next(
+        &self,
+        machine: usize,
+        now_s: f64,
+        queues: &mut [JobQueue],
+        executing: &mut [Option<Executing>],
+        resume_scheduled: &mut [bool],
+        events: &mut BinaryHeap<Event>,
+        seq: &mut u64,
+        rng: &mut StdRng,
+        pending_memo: &HashMap<u64, usize>,
+    ) {
+        // A machine in maintenance dispatches nothing until the window
+        // ends; queued jobs keep waiting.
+        if let Some(until_s) = self.outages.down_until(machine, now_s) {
+            if !resume_scheduled[machine] && !queues[machine].is_empty() {
+                resume_scheduled[machine] = true;
+                events.push(Event {
+                    time_s: until_s,
+                    seq: *seq,
+                    kind: EventKind::Resume { machine },
+                });
+                *seq += 1;
+            }
+            return;
+        }
+        let Some(job) = queues[machine].pop(now_s) else {
+            return;
+        };
+        let m = &self.fleet.machines()[machine];
+        let base = m.cost_model().job_time_uniform_s(
+            job.circuits,
+            job.mean_depth.round().max(1.0) as usize,
+            job.shots,
+        );
+        let noisy = base * lognormal_with_cov(rng, 1.0, self.config.exec_noise_cov);
+        let (outcome, duration) = if rng.gen_range(0.0..1.0) < self.config.error_rate {
+            // Errored jobs die partway through their execution.
+            (JobOutcome::Errored, noisy * rng.gen_range(0.05..0.8))
+        } else {
+            (JobOutcome::Completed, noisy)
+        };
+        let crossed = m
+            .schedule()
+            .crossover(job.submit_s / 3600.0, now_s / 3600.0);
+        let pending = pending_memo.get(&job.id).copied().unwrap_or(0);
+        let end_s = now_s + duration;
+        events.push(Event {
+            time_s: end_s,
+            seq: *seq,
+            kind: EventKind::Completion { machine },
+        });
+        *seq += 1;
+        executing[machine] = Some(Executing {
+            job,
+            start_s: now_s,
+            end_s,
+            outcome,
+            crossed,
+            pending_at_submit: pending,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, machine: usize, submit: f64) -> JobSpec {
+        JobSpec {
+            id,
+            provider: (id % 4) as u32,
+            machine,
+            circuits: 5,
+            shots: 1024,
+            mean_depth: 20.0,
+            mean_width: 3.0,
+            submit_s: submit,
+            is_study: id.is_multiple_of(2),
+            patience_s: f64::INFINITY,
+        }
+    }
+
+    fn sim() -> Simulation {
+        Simulation::new(Fleet::ibm_like(), CloudConfig::default())
+    }
+
+    #[test]
+    fn single_job_executes_immediately() {
+        let result = sim().run(vec![job(0, 1, 100.0)]);
+        assert_eq!(result.records.len(), 1);
+        let r = &result.records[0];
+        assert_eq!(r.queue_time_s(), 0.0);
+        assert!(r.exec_time_s() > 0.0);
+        assert_eq!(r.pending_at_submit, 0);
+        assert_eq!(result.total_jobs, 1);
+    }
+
+    #[test]
+    fn back_to_back_jobs_queue() {
+        let jobs = vec![job(0, 1, 0.0), job(1, 1, 1.0)];
+        let result = sim().run(jobs);
+        assert_eq!(result.records.len(), 2);
+        let second = result.records.iter().find(|r| r.id == 1).unwrap();
+        assert!(second.queue_time_s() > 0.0, "second job should wait");
+        assert_eq!(second.pending_at_submit, 1);
+    }
+
+    #[test]
+    fn different_machines_run_in_parallel() {
+        let jobs = vec![job(0, 1, 0.0), job(1, 2, 0.0)];
+        let result = sim().run(jobs);
+        assert!(result.records.iter().all(|r| r.queue_time_s() == 0.0));
+    }
+
+    #[test]
+    fn impatient_job_cancels() {
+        let mut blocked = job(1, 1, 1.0);
+        blocked.patience_s = 2.0; // gives up after 2 seconds in queue
+        let jobs = vec![job(0, 1, 0.0), blocked];
+        // Disable fault injection so the first job runs full length.
+        let config = CloudConfig {
+            error_rate: 0.0,
+            ..CloudConfig::default()
+        };
+        let result = Simulation::new(Fleet::ibm_like(), config).run(jobs);
+        let cancelled = result.records.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(cancelled.outcome, JobOutcome::Cancelled);
+        assert_eq!(cancelled.exec_time_s(), 0.0);
+        assert!((cancelled.start_s - 3.0).abs() < 1e-9);
+        assert_eq!(result.outcome_counts, [1, 0, 1]);
+    }
+
+    #[test]
+    fn error_rate_produces_errored_jobs() {
+        let config = CloudConfig {
+            error_rate: 0.5,
+            ..CloudConfig::default()
+        };
+        let jobs: Vec<JobSpec> = (0..200).map(|i| job(i, 1, i as f64 * 500.0)).collect();
+        let result = Simulation::new(Fleet::ibm_like(), config).run(jobs);
+        let (completed, errored, cancelled) = result.outcome_fractions();
+        assert!(errored > 0.3 && errored < 0.7, "errored {errored}");
+        assert!((completed + errored + cancelled - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let jobs: Vec<JobSpec> = (0..50)
+            .map(|i| job(i, (i % 3) as usize + 1, i as f64 * 10.0))
+            .collect();
+        let a = sim().run(jobs.clone());
+        let b = sim().run(jobs);
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.queue_samples, b.queue_samples);
+        assert_eq!(a.daily_executions, b.daily_executions);
+    }
+
+    #[test]
+    fn queue_samples_emitted() {
+        let config = CloudConfig {
+            sample_interval_hours: 0.001, // dense sampling for the test
+            ..CloudConfig::default()
+        };
+        let jobs = vec![job(0, 1, 0.0), job(1, 1, 1.0), job(2, 1, 2.0)];
+        let result = Simulation::new(Fleet::ibm_like(), config).run(jobs);
+        assert!(!result.queue_samples.is_empty());
+        let max_pending = result
+            .queue_samples
+            .iter()
+            .filter(|s| s.machine == 1)
+            .map(|s| s.pending)
+            .max()
+            .unwrap();
+        assert!(max_pending >= 2, "max pending {max_pending}");
+        assert!(result.mean_pending(1, 0.0, 1e9) > 0.0);
+    }
+
+    #[test]
+    fn crossover_detected_for_overnight_waits() {
+        // Submit just before the machine's calibration hour; a long queue
+        // forces execution after calibration.
+        let fleet = Fleet::ibm_like();
+        let m = 1;
+        let cal_hour = fleet.machines()[m].schedule().calibration_hour;
+        let submit = (cal_hour - 0.01) * 3600.0;
+        let mut big = job(0, m, submit - 50.0);
+        big.circuits = 900;
+        big.shots = 8192; // occupies the machine for a long time
+        let small = job(1, m, submit);
+        let result = Simulation::new(fleet, CloudConfig::default()).run(vec![big, small]);
+        let r = result.records.iter().find(|r| r.id == 1).unwrap();
+        assert!(r.queue_time_s() > 0.0);
+        assert!(r.crossed_calibration, "queued across calibration");
+        assert!(result.calibration_crossover_fraction() > 0.0);
+    }
+
+    #[test]
+    fn study_filter() {
+        let jobs = vec![job(0, 1, 0.0), job(1, 1, 1.0)];
+        let result = sim().run(jobs);
+        assert_eq!(result.study_records().len(), 1);
+        assert_eq!(result.records_for_machine(1).len(), 2);
+        assert!(result.records_for_machine(5).is_empty());
+    }
+
+    #[test]
+    fn background_sampling_keeps_aggregates() {
+        let config = CloudConfig {
+            background_record_divisor: 10,
+            ..CloudConfig::default()
+        };
+        // ids 1,3,5,... are background (is_study = id % 2 == 0).
+        let jobs: Vec<JobSpec> = (0..100).map(|i| job(i, 1, i as f64 * 400.0)).collect();
+        let result = Simulation::new(Fleet::ibm_like(), config).run(jobs);
+        assert_eq!(result.total_jobs, 100);
+        // All 50 study records plus background ids divisible by 10.
+        let study = result.records.iter().filter(|r| r.is_study).count();
+        let background = result.records.len() - study;
+        assert_eq!(study, 50);
+        assert!(background < 50, "background sampled, got {background}");
+    }
+
+    #[test]
+    fn cumulative_executions_monotonic() {
+        let jobs: Vec<JobSpec> = (0..20)
+            .map(|i| job(i, 1, i as f64 * 40_000.0))
+            .collect();
+        let result = sim().run(jobs);
+        let cum = result.cumulative_executions();
+        assert!(!cum.is_empty());
+        assert!(cum.windows(2).all(|w| w[0].1 <= w[1].1));
+        let total: u64 = result.daily_executions.iter().sum();
+        assert_eq!(cum.last().unwrap().1, total);
+    }
+
+    #[test]
+    fn outage_blocks_dispatch_until_window_end() {
+        use crate::OutagePlan;
+        let fleet = Fleet::ibm_like();
+        let mut windows = vec![Vec::new(); fleet.len()];
+        windows[1] = vec![(0.0, 1000.0)];
+        let sim = Simulation::new(fleet, CloudConfig::default())
+            .with_outages(OutagePlan::from_windows(windows));
+        let result = sim.run(vec![job(0, 1, 10.0)]);
+        let r = &result.records[0];
+        assert!(
+            (r.start_s - 1000.0).abs() < 1e-6,
+            "job should start at outage end, started {}",
+            r.start_s
+        );
+        assert!(r.queue_time_s() >= 989.0);
+    }
+
+    #[test]
+    fn outage_on_other_machine_is_invisible() {
+        use crate::OutagePlan;
+        let fleet = Fleet::ibm_like();
+        let mut windows = vec![Vec::new(); fleet.len()];
+        windows[2] = vec![(0.0, 1000.0)];
+        let sim = Simulation::new(fleet, CloudConfig::default())
+            .with_outages(OutagePlan::from_windows(windows));
+        let result = sim.run(vec![job(0, 1, 10.0)]);
+        assert_eq!(result.records[0].queue_time_s(), 0.0);
+    }
+
+    #[test]
+    fn all_jobs_error_under_full_fault_injection() {
+        let config = CloudConfig {
+            error_rate: 1.0,
+            ..CloudConfig::default()
+        };
+        let jobs: Vec<JobSpec> = (0..30).map(|i| job(i, 1, i as f64 * 100.0)).collect();
+        let result = Simulation::new(Fleet::ibm_like(), config).run(jobs);
+        assert_eq!(result.outcome_counts[1], 30);
+        // Errored jobs still execute partially.
+        assert!(result.records.iter().all(|r| r.exec_time_s() > 0.0));
+    }
+
+    #[test]
+    fn outage_spanning_whole_run_delays_everything() {
+        use crate::OutagePlan;
+        let fleet = Fleet::ibm_like();
+        let mut windows = vec![Vec::new(); fleet.len()];
+        windows[1] = vec![(0.0, 1e6)];
+        let sim = Simulation::new(fleet, CloudConfig::default())
+            .with_outages(OutagePlan::from_windows(windows));
+        let jobs: Vec<JobSpec> = (0..5).map(|i| job(i, 1, i as f64)).collect();
+        let result = sim.run(jobs);
+        // All jobs eventually run, after the outage lifts.
+        assert_eq!(result.records.len(), 5);
+        assert!(result.records.iter().all(|r| r.start_s >= 1e6));
+    }
+
+    #[test]
+    fn sjf_discipline_changes_order() {
+        use crate::Discipline;
+        // A long job and a short job arrive while the machine is busy;
+        // SJF runs the short one first, FIFO preserves arrival order.
+        let mut long_job = job(1, 1, 1.0);
+        long_job.circuits = 900;
+        long_job.shots = 8192;
+        let short_job = job(2, 1, 2.0);
+        let blocker = job(0, 1, 0.0);
+        for (discipline, expect_first) in
+            [(Discipline::Fifo, 1u64), (Discipline::ShortestJobFirst, 2)]
+        {
+            let config = CloudConfig {
+                discipline,
+                error_rate: 0.0,
+                ..CloudConfig::default()
+            };
+            let result = Simulation::new(Fleet::ibm_like(), config).run(vec![
+                blocker.clone(),
+                long_job.clone(),
+                short_job.clone(),
+            ]);
+            let mut by_start: Vec<&JobRecord> =
+                result.records.iter().filter(|r| r.id != 0).collect();
+            by_start.sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).unwrap());
+            assert_eq!(
+                by_start[0].id, expect_first,
+                "unexpected order under {discipline:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn executions_counted() {
+        let result = sim().run(vec![job(0, 1, 0.0)]);
+        assert_eq!(result.records[0].executions(), 5 * 1024);
+    }
+}

@@ -1,0 +1,268 @@
+//! Trace serialization: write job records to CSV and read them back.
+//!
+//! The paper's artifact is fundamentally a trace of job records; this
+//! module makes our simulated equivalent portable to external analysis
+//! tools (pandas, R, gnuplot) and lets long runs be archived and re-read
+//! without re-simulation.
+
+use std::io::{BufRead, Write};
+
+use crate::{JobOutcome, JobRecord};
+
+/// The CSV header written by [`write_records`].
+pub const TRACE_HEADER: &str = "id,provider,machine,circuits,shots,mean_width,mean_depth,\
+is_study,submit_s,start_s,end_s,outcome,pending_at_submit,crossed_calibration";
+
+/// Errors from reading a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line.
+    Parse {
+        /// 1-based line number (the header is line 1).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Parse { line, message } => {
+                write!(f, "trace parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Write records as CSV (header + one row per record).
+///
+/// # Errors
+///
+/// Returns [`TraceError::Io`] on write failure.
+pub fn write_records<W: Write>(mut writer: W, records: &[JobRecord]) -> Result<(), TraceError> {
+    writeln!(writer, "{TRACE_HEADER}")?;
+    for r in records {
+        let outcome = match r.outcome {
+            JobOutcome::Completed => "completed",
+            JobOutcome::Errored => "errored",
+            JobOutcome::Cancelled => "cancelled",
+        };
+        writeln!(
+            writer,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.id,
+            r.provider,
+            r.machine,
+            r.circuits,
+            r.shots,
+            r.mean_width,
+            r.mean_depth,
+            r.is_study,
+            r.submit_s,
+            r.start_s,
+            r.end_s,
+            outcome,
+            r.pending_at_submit,
+            r.crossed_calibration
+        )?;
+    }
+    Ok(())
+}
+
+/// Read records from CSV written by [`write_records`].
+///
+/// # Errors
+///
+/// Returns [`TraceError`] on I/O failure, a missing/odd header, or any
+/// malformed row.
+pub fn read_records<R: BufRead>(reader: R) -> Result<Vec<JobRecord>, TraceError> {
+    let mut lines = reader.lines().enumerate();
+    let (_, header) = lines.next().ok_or(TraceError::Parse {
+        line: 1,
+        message: "empty trace".to_string(),
+    })?;
+    let header = header?;
+    if header.trim() != TRACE_HEADER {
+        return Err(TraceError::Parse {
+            line: 1,
+            message: format!("unexpected header: {header}"),
+        });
+    }
+    let mut records = Vec::new();
+    for (idx, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push(parse_row(&line, idx + 1)?);
+    }
+    Ok(records)
+}
+
+fn parse_row(line: &str, lineno: usize) -> Result<JobRecord, TraceError> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 14 {
+        return Err(TraceError::Parse {
+            line: lineno,
+            message: format!("expected 14 fields, got {}", fields.len()),
+        });
+    }
+    let err = |message: String| TraceError::Parse {
+        line: lineno,
+        message,
+    };
+    let parse_num = |field: &str, name: &str| -> Result<f64, TraceError> {
+        field
+            .parse::<f64>()
+            .map_err(|_| err(format!("bad {name}: {field}")))
+    };
+    let outcome = match fields[11] {
+        "completed" => JobOutcome::Completed,
+        "errored" => JobOutcome::Errored,
+        "cancelled" => JobOutcome::Cancelled,
+        other => return Err(err(format!("unknown outcome: {other}"))),
+    };
+    Ok(JobRecord {
+        id: fields[0]
+            .parse()
+            .map_err(|_| err(format!("bad id: {}", fields[0])))?,
+        provider: fields[1]
+            .parse()
+            .map_err(|_| err(format!("bad provider: {}", fields[1])))?,
+        machine: fields[2]
+            .parse()
+            .map_err(|_| err(format!("bad machine: {}", fields[2])))?,
+        circuits: fields[3]
+            .parse()
+            .map_err(|_| err(format!("bad circuits: {}", fields[3])))?,
+        shots: fields[4]
+            .parse()
+            .map_err(|_| err(format!("bad shots: {}", fields[4])))?,
+        mean_width: parse_num(fields[5], "mean_width")?,
+        mean_depth: parse_num(fields[6], "mean_depth")?,
+        is_study: fields[7]
+            .parse()
+            .map_err(|_| err(format!("bad is_study: {}", fields[7])))?,
+        submit_s: parse_num(fields[8], "submit_s")?,
+        start_s: parse_num(fields[9], "start_s")?,
+        end_s: parse_num(fields[10], "end_s")?,
+        outcome,
+        pending_at_submit: fields[12]
+            .parse()
+            .map_err(|_| err(format!("bad pending: {}", fields[12])))?,
+        crossed_calibration: fields[13]
+            .trim()
+            .parse()
+            .map_err(|_| err(format!("bad crossed: {}", fields[13])))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<JobRecord> {
+        vec![
+            JobRecord {
+                id: 1,
+                provider: 3,
+                machine: 7,
+                circuits: 20,
+                shots: 8192,
+                mean_width: 4.5,
+                mean_depth: 31.25,
+                is_study: true,
+                submit_s: 100.5,
+                start_s: 400.0,
+                end_s: 460.25,
+                outcome: JobOutcome::Completed,
+                pending_at_submit: 2,
+                crossed_calibration: true,
+            },
+            JobRecord {
+                id: 2,
+                provider: 0,
+                machine: 0,
+                circuits: 1,
+                shots: 1024,
+                mean_width: 1.0,
+                mean_depth: 5.0,
+                is_study: false,
+                submit_s: 0.0,
+                start_s: 50.0,
+                end_s: 50.0,
+                outcome: JobOutcome::Cancelled,
+                pending_at_submit: 9,
+                crossed_calibration: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let records = sample_records();
+        let mut buffer = Vec::new();
+        write_records(&mut buffer, &records).unwrap();
+        let back = read_records(buffer.as_slice()).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buffer = Vec::new();
+        write_records(&mut buffer, &[]).unwrap();
+        let back = read_records(buffer.as_slice()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_records("id,foo\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 1, .. }));
+        assert!(err.to_string().contains("unexpected header"));
+    }
+
+    #[test]
+    fn rejects_short_row() {
+        let text = format!("{TRACE_HEADER}\n1,2,3\n");
+        let err = read_records(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_outcome() {
+        let mut buffer = Vec::new();
+        write_records(&mut buffer, &sample_records()).unwrap();
+        let corrupted = String::from_utf8(buffer).unwrap().replace("completed", "exploded");
+        let err = read_records(corrupted.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown outcome"));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let mut buffer = Vec::new();
+        write_records(&mut buffer, &sample_records()).unwrap();
+        let mut text = String::from_utf8(buffer).unwrap();
+        text.push_str("\n\n");
+        assert_eq!(read_records(text.as_bytes()).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,415 @@
+//! The study fleet: 25 IBM-like machines spanning 1–65 qubits.
+
+use qcs_calibration::{CalibrationSchedule, NoiseProfile};
+use qcs_topology::{families, CouplingGraph};
+
+use crate::{Access, ExecutionCostModel, Generation, Machine};
+
+/// A named collection of machines, indexable by name.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_machine::Fleet;
+///
+/// let fleet = Fleet::ibm_like();
+/// assert_eq!(fleet.len(), 25);
+/// assert!(fleet.get("athens").unwrap().access().is_public());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Fleet {
+    machines: Vec<Machine>,
+}
+
+impl Fleet {
+    /// An empty fleet.
+    #[must_use]
+    pub fn new() -> Self {
+        Fleet::default()
+    }
+
+    /// Build a fleet from machines.
+    #[must_use]
+    pub fn from_machines(machines: Vec<Machine>) -> Self {
+        Fleet { machines }
+    }
+
+    /// Add a machine.
+    pub fn push(&mut self, machine: Machine) {
+        self.machines.push(machine);
+    }
+
+    /// Number of machines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Whether the fleet is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// All machines, in registration order (sorted by size in
+    /// [`Fleet::ibm_like`]).
+    #[must_use]
+    pub fn machines(&self) -> &[Machine] {
+        &self.machines
+    }
+
+    /// Find a machine by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Machine> {
+        self.machines.iter().find(|m| m.name() == name)
+    }
+
+    /// Index of a machine by name.
+    #[must_use]
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.machines.iter().position(|m| m.name() == name)
+    }
+
+    /// Iterate over machines.
+    pub fn iter(&self) -> impl Iterator<Item = &Machine> {
+        self.machines.iter()
+    }
+
+    /// The 25-machine IBM-like study fleet, ordered by qubit count.
+    ///
+    /// Composition mirrors the paper's §IV ("25 different quantum machines
+    /// with qubits ranging from 1 to 65"):
+    ///
+    /// * 1x 1-qubit (armonk, public)
+    /// * 12x 5-qubit (linear, T and bowtie layouts; several public)
+    /// * 3x 7-qubit H (casablanca, jakarta, lagos)
+    /// * 1x 15-qubit ladder (melbourne, public)
+    /// * 1x 16-qubit Falcon (guadalupe)
+    /// * 5x 27-qubit Falcon (toronto public in our model so each size block
+    ///   has a public representative, matching the demand pattern of Fig 9)
+    /// * 2x 65-qubit Hummingbird (manhattan, brooklyn)
+    ///
+    /// Error-rate quality varies across machines (up to ~2x around the
+    /// fleet mean) so that application fidelity varies machine-to-machine
+    /// as in Fig 7: casablanca is among the cleanest, manhattan among the
+    /// noisiest.
+    #[must_use]
+    pub fn ibm_like() -> Self {
+        let mut fleet = Fleet::new();
+        let mut seed = 0xA11CEu64;
+        let mut next_seed = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed
+        };
+
+        struct Spec {
+            name: &'static str,
+            topology: CouplingGraph,
+            access: Access,
+            generation: Generation,
+            /// Error scale relative to the default profile (lower = better).
+            quality: f64,
+        }
+
+        let specs = vec![
+            Spec {
+                name: "armonk",
+                topology: CouplingGraph::edgeless(1),
+                access: Access::Public,
+                generation: Generation::Canary,
+                quality: 1.3,
+            },
+            // --- 5-qubit block ------------------------------------------
+            Spec {
+                name: "athens",
+                topology: families::line(5),
+                access: Access::Public,
+                generation: Generation::Sparrow,
+                quality: 0.9,
+            },
+            Spec {
+                name: "santiago",
+                topology: families::line(5),
+                access: Access::Privileged,
+                generation: Generation::Sparrow,
+                quality: 0.85,
+            },
+            Spec {
+                name: "bogota",
+                topology: families::line(5),
+                access: Access::Privileged,
+                generation: Generation::Sparrow,
+                quality: 0.9,
+            },
+            Spec {
+                name: "manila",
+                topology: families::line(5),
+                access: Access::Privileged,
+                generation: Generation::Sparrow,
+                quality: 0.95,
+            },
+            Spec {
+                name: "rome",
+                topology: families::line(5),
+                access: Access::Privileged,
+                generation: Generation::Sparrow,
+                quality: 1.1,
+            },
+            Spec {
+                name: "vigo",
+                topology: families::ibm_t_5q(),
+                access: Access::Public,
+                generation: Generation::Sparrow,
+                quality: 1.0,
+            },
+            Spec {
+                name: "ourense",
+                topology: families::ibm_t_5q(),
+                access: Access::Public,
+                generation: Generation::Sparrow,
+                quality: 1.05,
+            },
+            Spec {
+                name: "valencia",
+                topology: families::ibm_t_5q(),
+                access: Access::Public,
+                generation: Generation::Sparrow,
+                quality: 1.0,
+            },
+            Spec {
+                name: "essex",
+                topology: families::ibm_t_5q(),
+                access: Access::Public,
+                generation: Generation::Sparrow,
+                quality: 1.25,
+            },
+            Spec {
+                name: "burlington",
+                topology: families::ibm_t_5q(),
+                access: Access::Privileged,
+                generation: Generation::Sparrow,
+                quality: 1.3,
+            },
+            Spec {
+                name: "london",
+                topology: families::ibm_t_5q(),
+                access: Access::Privileged,
+                generation: Generation::Sparrow,
+                quality: 1.15,
+            },
+            Spec {
+                name: "yorktown",
+                topology: families::ibm_bowtie_5q(),
+                access: Access::Public,
+                generation: Generation::Sparrow,
+                quality: 1.4,
+            },
+            // --- 7–16 qubit block ---------------------------------------
+            Spec {
+                name: "casablanca",
+                topology: families::ibm_h_7q(),
+                access: Access::Privileged,
+                generation: Generation::Falcon,
+                quality: 0.7,
+            },
+            Spec {
+                name: "jakarta",
+                topology: families::ibm_h_7q(),
+                access: Access::Privileged,
+                generation: Generation::Falcon,
+                quality: 0.8,
+            },
+            Spec {
+                name: "lagos",
+                topology: families::ibm_h_7q(),
+                access: Access::Privileged,
+                generation: Generation::Falcon,
+                quality: 0.75,
+            },
+            Spec {
+                name: "melbourne",
+                topology: families::ibm_melbourne_15q(),
+                access: Access::Public,
+                generation: Generation::Falcon,
+                quality: 1.5,
+            },
+            Spec {
+                name: "guadalupe",
+                topology: families::ibm_guadalupe_16q(),
+                access: Access::Privileged,
+                generation: Generation::Falcon,
+                quality: 0.95,
+            },
+            // --- 27–65 qubit block --------------------------------------
+            Spec {
+                name: "toronto",
+                topology: families::ibm_falcon_27q(),
+                access: Access::Public,
+                generation: Generation::FalconR4,
+                quality: 0.9,
+            },
+            Spec {
+                name: "paris",
+                topology: families::ibm_falcon_27q(),
+                access: Access::Privileged,
+                generation: Generation::FalconR4,
+                quality: 0.85,
+            },
+            Spec {
+                name: "sydney",
+                topology: families::ibm_falcon_27q(),
+                access: Access::Privileged,
+                generation: Generation::FalconR4,
+                quality: 0.9,
+            },
+            Spec {
+                name: "montreal",
+                topology: families::ibm_falcon_27q(),
+                access: Access::Privileged,
+                generation: Generation::FalconR4,
+                quality: 0.75,
+            },
+            Spec {
+                name: "mumbai",
+                topology: families::ibm_falcon_27q(),
+                access: Access::Privileged,
+                generation: Generation::FalconR4,
+                quality: 0.8,
+            },
+            Spec {
+                name: "manhattan",
+                topology: families::ibm_hummingbird_65q(),
+                access: Access::Privileged,
+                generation: Generation::Hummingbird,
+                quality: 2.4,
+            },
+            Spec {
+                name: "brooklyn",
+                topology: families::ibm_hummingbird_65q(),
+                access: Access::Privileged,
+                generation: Generation::Hummingbird,
+                quality: 2.1,
+            },
+        ];
+
+        for spec in specs {
+            let n = spec.topology.num_qubits();
+            let profile = NoiseProfile::with_seed(next_seed()).scaled_errors(spec.quality);
+            // Calibration hour staggered per machine within 00:00-02:00.
+            let hour = (next_seed() % 120) as f64 / 60.0;
+            let schedule = CalibrationSchedule::daily_at(hour);
+            let cost = ExecutionCostModel {
+                job_overhead_s: 3.0 + 0.10 * n as f64,
+                circuit_load_s: 0.015 + 0.0008 * n as f64,
+                shot_overhead_us: 200.0 + 1.5 * n as f64,
+                layer_time_us: 0.25 + 0.002 * n as f64,
+            };
+            fleet.push(Machine::new(
+                spec.name,
+                spec.topology,
+                profile,
+                schedule,
+                spec.access,
+                spec.generation,
+                cost,
+            ));
+        }
+        fleet
+    }
+}
+
+impl<'a> IntoIterator for &'a Fleet {
+    type Item = &'a Machine;
+    type IntoIter = std::slice::Iter<'a, Machine>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.machines.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_has_25_machines() {
+        let f = Fleet::ibm_like();
+        assert_eq!(f.len(), 25);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn qubit_range_1_to_65() {
+        let f = Fleet::ibm_like();
+        let sizes: Vec<usize> = f.iter().map(Machine::num_qubits).collect();
+        assert_eq!(*sizes.iter().min().unwrap(), 1);
+        assert_eq!(*sizes.iter().max().unwrap(), 65);
+        // Ordered by size.
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn each_size_block_has_a_public_machine() {
+        let f = Fleet::ibm_like();
+        let block = |lo: usize, hi: usize| {
+            f.iter()
+                .filter(move |m| (lo..=hi).contains(&m.num_qubits()))
+                .any(|m| m.access().is_public())
+        };
+        assert!(block(1, 1));
+        assert!(block(5, 5));
+        assert!(block(7, 16));
+        assert!(block(27, 65));
+    }
+
+    #[test]
+    fn names_unique_and_lookup_works() {
+        let f = Fleet::ibm_like();
+        let mut names: Vec<&str> = f.iter().map(Machine::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 25);
+        assert_eq!(f.get("manhattan").unwrap().num_qubits(), 65);
+        assert!(f.get("atlantis").is_none());
+        assert_eq!(f.index_of("armonk"), Some(0));
+    }
+
+    #[test]
+    fn machines_have_distinct_noise() {
+        let f = Fleet::ibm_like();
+        let a = f.get("casablanca").unwrap();
+        let b = f.get("manhattan").unwrap();
+        // Averaged over days, casablanca should be cleaner than manhattan.
+        let avg = |m: &Machine| {
+            (0..40)
+                .map(|d| m.profile().snapshot(m.topology(), d).avg_cx_error())
+                .sum::<f64>()
+                / 40.0
+        };
+        assert!(avg(a) < avg(b));
+    }
+
+    #[test]
+    fn calibration_hours_in_window() {
+        let f = Fleet::ibm_like();
+        for m in &f {
+            let h = m.schedule().calibration_hour;
+            assert!((0.0..2.0).contains(&h), "{} calibrates at {h}", m.name());
+        }
+    }
+
+    #[test]
+    fn larger_machines_have_higher_overheads() {
+        let f = Fleet::ibm_like();
+        let small = f.get("athens").unwrap().cost_model().job_overhead_s;
+        let large = f.get("manhattan").unwrap().cost_model().job_overhead_s;
+        assert!(large > small);
+    }
+
+    #[test]
+    fn into_iterator_for_ref() {
+        let f = Fleet::ibm_like();
+        let count = (&f).into_iter().count();
+        assert_eq!(count, 25);
+    }
+}

@@ -1,0 +1,30 @@
+//! # qcs-predictor
+//!
+//! Job runtime prediction for the `qcs` quantum-cloud study: the paper's
+//! product-of-linear-terms model over execution, circuit, and
+//! machine-overhead features (§VI-C), with 70/30 train/test evaluation and
+//! per-machine Pearson correlations (Figs 15–16).
+//!
+//! # Examples
+//!
+//! ```
+//! use qcs_predictor::{JobFeatures, RuntimePredictor};
+//!
+//! // Fit on (features, runtime) pairs; here a trivial single-feature law.
+//! let rows = vec![vec![1.0], vec![2.0], vec![3.0]];
+//! let runtimes = vec![10.0, 20.0, 30.0];
+//! let predictor = RuntimePredictor::fit(&rows, &runtimes);
+//! let p = predictor.predict(&[2.5]);
+//! assert!((p - 25.0).abs() < 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod features;
+mod predictor;
+mod queue;
+
+pub use features::{memory_slots, JobFeatures, FEATURE_NAMES};
+pub use predictor::{run_prediction_study, MachineEvaluation, PredictionStudy, RuntimePredictor};
+pub use queue::{evaluate_queue_prediction, QueuePredictionReport, QueueWaitModel};

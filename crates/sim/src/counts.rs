@@ -1,0 +1,220 @@
+//! Measurement result histograms, as returned to cloud clients.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A histogram of measured classical bit-strings.
+///
+/// Keys are clbit words (bit `i` = classical bit `i`); the paper's
+/// "Results" object (§II-B ⑥): one count of bitstrings per executed
+/// circuit.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_sim::Counts;
+///
+/// let mut counts = Counts::new(2);
+/// counts.record(0b11, 3);
+/// counts.record(0b00, 1);
+/// assert_eq!(counts.total(), 4);
+/// assert_eq!(counts.frequency(0b11), 0.75);
+/// assert_eq!(Counts::to_bitstring(0b01, 2), "01");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Counts {
+    width: usize,
+    histogram: BTreeMap<u64, u64>,
+}
+
+impl Counts {
+    /// An empty histogram over `width` classical bits.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        Counts {
+            width,
+            histogram: BTreeMap::new(),
+        }
+    }
+
+    /// Number of classical bits per outcome.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Add `n` observations of `outcome`.
+    pub fn record(&mut self, outcome: u64, n: u64) {
+        *self.histogram.entry(outcome).or_insert(0) += n;
+    }
+
+    /// Total shots recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.histogram.values().sum()
+    }
+
+    /// Count of a specific outcome.
+    #[must_use]
+    pub fn count(&self, outcome: u64) -> u64 {
+        self.histogram.get(&outcome).copied().unwrap_or(0)
+    }
+
+    /// Relative frequency of `outcome` (0 if no shots recorded).
+    #[must_use]
+    pub fn frequency(&self, outcome: u64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(outcome) as f64 / total as f64
+        }
+    }
+
+    /// The most frequent outcome, if any (ties broken by smaller word).
+    #[must_use]
+    pub fn most_common(&self) -> Option<u64> {
+        self.histogram
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(&k, _)| k)
+    }
+
+    /// Iterate `(outcome, count)` in ascending outcome order.
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &u64)> {
+        self.histogram.iter()
+    }
+
+    /// Number of distinct outcomes observed.
+    #[must_use]
+    pub fn num_outcomes(&self) -> usize {
+        self.histogram.len()
+    }
+
+    /// Merge another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn merge(&mut self, other: &Counts) {
+        assert_eq!(self.width, other.width, "width mismatch");
+        for (&k, &v) in other.iter() {
+            self.record(k, v);
+        }
+    }
+
+    /// Render an outcome word as a bitstring, most-significant bit first.
+    #[must_use]
+    pub fn to_bitstring(outcome: u64, width: usize) -> String {
+        (0..width)
+            .rev()
+            .map(|b| if (outcome >> b) & 1 == 1 { '1' } else { '0' })
+            .collect()
+    }
+
+    /// Hellinger fidelity against an ideal probability vector indexed by
+    /// outcome word: `(sum_k sqrt(p_k * q_k))^2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ideal.len() != 2^width`.
+    #[must_use]
+    pub fn hellinger_fidelity(&self, ideal: &[f64]) -> f64 {
+        assert_eq!(ideal.len(), 1usize << self.width, "ideal length mismatch");
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for (&k, &v) in &self.histogram {
+            let p = v as f64 / total as f64;
+            let q = ideal.get(k as usize).copied().unwrap_or(0.0);
+            sum += (p * q).sqrt();
+        }
+        sum * sum
+    }
+}
+
+impl fmt::Display for Counts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (&k, &v)) in self.histogram.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {v}", Counts::to_bitstring(k, self.width))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut c = Counts::new(3);
+        c.record(0b101, 5);
+        c.record(0b101, 2);
+        c.record(0b000, 3);
+        assert_eq!(c.total(), 10);
+        assert_eq!(c.count(0b101), 7);
+        assert_eq!(c.frequency(0b000), 0.3);
+        assert_eq!(c.most_common(), Some(0b101));
+        assert_eq!(c.num_outcomes(), 2);
+    }
+
+    #[test]
+    fn empty_counts() {
+        let c = Counts::new(2);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.frequency(0), 0.0);
+        assert_eq!(c.most_common(), None);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = Counts::new(2);
+        a.record(0b01, 2);
+        let mut b = Counts::new(2);
+        b.record(0b01, 3);
+        b.record(0b10, 1);
+        a.merge(&b);
+        assert_eq!(a.count(0b01), 5);
+        assert_eq!(a.count(0b10), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn merge_rejects_width_mismatch() {
+        let mut a = Counts::new(2);
+        a.merge(&Counts::new(3));
+    }
+
+    #[test]
+    fn bitstring_rendering() {
+        assert_eq!(Counts::to_bitstring(0b110, 3), "110");
+        assert_eq!(Counts::to_bitstring(0, 4), "0000");
+        let mut c = Counts::new(2);
+        c.record(0b10, 1);
+        assert_eq!(c.to_string(), "{10: 1}");
+    }
+
+    #[test]
+    fn hellinger_perfect_match() {
+        let mut c = Counts::new(1);
+        c.record(0, 50);
+        c.record(1, 50);
+        let f = c.hellinger_fidelity(&[0.5, 0.5]);
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hellinger_mismatch() {
+        let mut c = Counts::new(1);
+        c.record(0, 100);
+        let f = c.hellinger_fidelity(&[0.0, 1.0]);
+        assert!(f.abs() < 1e-12);
+    }
+}

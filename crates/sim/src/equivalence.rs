@@ -1,0 +1,159 @@
+//! Unitary equivalence checking up to global phase.
+//!
+//! Distribution comparison (see [`crate::clbit_distribution`]) cannot see
+//! relative phases; this module catches phase bugs by driving both
+//! circuits with random product states and comparing full state overlap.
+
+use qcs_circuit::{Circuit, Gate, Instruction, Qubit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{SimError, Statevector};
+
+/// Whether two circuits implement the same unitary up to global phase,
+/// tested on `trials` Haar-ish random product input states.
+///
+/// Both circuits must have the same width; measurements and barriers are
+/// ignored (only the unitary part is compared). A deterministic result
+/// for a given seed.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if either circuit cannot be simulated.
+///
+/// # Panics
+///
+/// Panics if the circuits have different widths or `trials == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_circuit::Circuit;
+/// use qcs_sim::equivalent_unitaries;
+///
+/// let mut a = Circuit::new(1);
+/// a.h(0).h(0); // identity
+/// let identity = Circuit::new(1);
+/// assert!(equivalent_unitaries(&a, &identity, 8, 1)?);
+///
+/// let mut b = Circuit::new(1);
+/// b.x(0);
+/// assert!(!equivalent_unitaries(&b, &identity, 8, 1)?);
+/// # Ok::<(), qcs_sim::SimError>(())
+/// ```
+pub fn equivalent_unitaries(
+    a: &Circuit,
+    b: &Circuit,
+    trials: usize,
+    seed: u64,
+) -> Result<bool, SimError> {
+    assert_eq!(a.num_qubits(), b.num_qubits(), "width mismatch");
+    assert!(trials > 0, "need at least one trial");
+    let n = a.num_qubits();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..trials {
+        // Random product-state preparation prefix.
+        let mut prep = Circuit::new(n.max(1));
+        for q in 0..n {
+            let theta = rng.gen_range(0.0..std::f64::consts::PI);
+            let phi = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+            let lambda = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+            prep.push(Instruction::gate(Gate::U(theta, phi, lambda), &[Qubit::from(q)]));
+        }
+        let state_a = run_unitary(&prep, a)?;
+        let state_b = run_unitary(&prep, b)?;
+        if (state_a.overlap(&state_b) - 1.0).abs() > 1e-9 {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Run `prep` then the unitary part of `circuit`.
+fn run_unitary(prep: &Circuit, circuit: &Circuit) -> Result<Statevector, SimError> {
+    let mut state = Statevector::from_circuit(prep)?;
+    for inst in circuit.instructions() {
+        if inst.gate.is_unitary() && !inst.gate.is_directive() {
+            state.apply(inst)?;
+        }
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_circuit::library;
+
+    #[test]
+    fn identity_decompositions() {
+        // S S = Z, T T = S, H X H = Z, up to global phase.
+        let mut ss = Circuit::new(1);
+        ss.s(0).s(0);
+        let mut z = Circuit::new(1);
+        z.z(0);
+        assert!(equivalent_unitaries(&ss, &z, 8, 1).unwrap());
+
+        let mut hxh = Circuit::new(1);
+        hxh.h(0).x(0).h(0);
+        assert!(equivalent_unitaries(&hxh, &z, 8, 2).unwrap());
+    }
+
+    #[test]
+    fn swap_equals_three_cx() {
+        let mut swap = Circuit::new(2);
+        swap.swap(0, 1);
+        let mut cxs = Circuit::new(2);
+        cxs.cx(0, 1).cx(1, 0).cx(0, 1);
+        assert!(equivalent_unitaries(&swap, &cxs, 8, 3).unwrap());
+    }
+
+    #[test]
+    fn cz_symmetry() {
+        let mut ab = Circuit::new(2);
+        ab.cz(0, 1);
+        let mut ba = Circuit::new(2);
+        ba.cz(1, 0);
+        assert!(equivalent_unitaries(&ab, &ba, 8, 4).unwrap());
+    }
+
+    #[test]
+    fn cx_direction_matters() {
+        let mut ab = Circuit::new(2);
+        ab.cx(0, 1);
+        let mut ba = Circuit::new(2);
+        ba.cx(1, 0);
+        assert!(!equivalent_unitaries(&ab, &ba, 8, 5).unwrap());
+    }
+
+    #[test]
+    fn rz_vs_phase_differ_only_globally() {
+        // rz(t) = e^{-it/2} p(t): equal up to global phase.
+        let t = 0.731;
+        let mut rz = Circuit::new(1);
+        rz.rz(t, 0);
+        let mut u = Circuit::new(1);
+        u.apply(Gate::U(0.0, 0.0, t), &[0]); // the phase gate p(t)
+        assert!(equivalent_unitaries(&rz, &u, 8, 6).unwrap());
+    }
+
+    #[test]
+    fn inverse_composition_is_identity() {
+        let qft = library::qft(3);
+        let mut both = Circuit::new(3);
+        for inst in qft.instructions() {
+            if inst.gate.is_unitary() {
+                both.push(inst.clone());
+            }
+        }
+        both.extend_from(&qft.inverse()).unwrap();
+        let identity = Circuit::new(3);
+        assert!(equivalent_unitaries(&both, &identity, 6, 7).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let _ = equivalent_unitaries(&Circuit::new(1), &Circuit::new(2), 1, 0);
+    }
+}

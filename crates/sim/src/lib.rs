@@ -1,0 +1,39 @@
+//! # qcs-sim
+//!
+//! Quantum circuit simulation for the `qcs` quantum-cloud study: an ideal
+//! [`Statevector`] engine, measurement [`Counts`], and a calibration-driven
+//! Monte-Carlo [`NoisySimulator`] that substitutes for real-hardware
+//! execution in the paper's fidelity experiments (Fig 7).
+//!
+//! # Examples
+//!
+//! ```
+//! use qcs_calibration::NoiseProfile;
+//! use qcs_sim::{probability_of_success, qft_pos_circuit, NoisySimulator};
+//! use qcs_topology::families;
+//!
+//! let circuit = qft_pos_circuit(3);
+//! let snapshot = NoiseProfile::with_seed(1).snapshot(&families::complete(3), 0);
+//! let counts = NoisySimulator::with_seed(7).run(&circuit, &snapshot, 1024)?;
+//! let pos = probability_of_success(&counts, 0);
+//! assert!(pos > 0.5); // mild noise, small circuit
+//! # Ok::<(), qcs_sim::SimError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod complex;
+mod counts;
+mod equivalence;
+mod noisy;
+mod statevector;
+
+pub use complex::Complex;
+pub use equivalence::equivalent_unitaries;
+pub use counts::Counts;
+pub use noisy::{
+    clbit_distribution, measurement_map, probability_of_success, qft_pos_circuit,
+    used_clbit_width, NoisySimulator,
+};
+pub use statevector::{SimError, Statevector, MAX_QUBITS};

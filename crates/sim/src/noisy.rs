@@ -1,0 +1,474 @@
+//! Noisy execution: Monte-Carlo Pauli-trajectory simulation driven by a
+//! machine's calibration snapshot.
+//!
+//! This stands in for real-hardware execution in the paper's fidelity
+//! experiments (Fig 7): each gate fails with its calibrated error
+//! probability (injecting a random Pauli on its operands), and each
+//! measured bit flips with its calibrated readout error. Error magnitudes
+//! come straight from the calibration snapshot, so fidelity inherits the
+//! machine-to-machine and day-to-day variation of the calibration model.
+
+use qcs_calibration::CalibrationSnapshot;
+use qcs_circuit::{Circuit, Gate, Instruction, Qubit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Counts, SimError, Statevector};
+
+/// Monte-Carlo noisy simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoisySimulator {
+    /// Number of independent Pauli trajectories; shots are distributed
+    /// evenly across them.
+    pub trajectories: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Also apply T1 amplitude damping and T2 dephasing, scaled by each
+    /// gate's duration against the operand qubits' calibrated coherence
+    /// times. Off by default (gate + readout errors only).
+    pub decoherence: bool,
+}
+
+impl Default for NoisySimulator {
+    fn default() -> Self {
+        NoisySimulator {
+            trajectories: 128,
+            seed: 0,
+            decoherence: false,
+        }
+    }
+}
+
+impl NoisySimulator {
+    /// A simulator with the given seed and default trajectory count.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        NoisySimulator {
+            seed,
+            ..NoisySimulator::default()
+        }
+    }
+
+    /// Enable duration-scaled T1/T2 decoherence; returns the modified
+    /// simulator for chaining.
+    #[must_use]
+    pub fn with_decoherence(mut self) -> Self {
+        self.decoherence = true;
+        self
+    }
+
+    /// Execute `circuit` for `shots` shots under the noise described by
+    /// `snapshot`. Operand indices of the circuit must be physical qubits
+    /// covered by the snapshot (i.e. run this on *transpiled* circuits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the circuit exceeds simulator limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots == 0` or the snapshot does not cover the circuit
+    /// width.
+    pub fn run(
+        &self,
+        circuit: &Circuit,
+        snapshot: &CalibrationSnapshot,
+        shots: u32,
+    ) -> Result<Counts, SimError> {
+        assert!(shots > 0, "shots must be positive");
+        assert!(
+            snapshot.num_qubits() >= circuit.num_qubits(),
+            "snapshot narrower than circuit"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let measure_map = measurement_map(circuit);
+        let width = used_clbit_width(&measure_map);
+        let mut counts = Counts::new(width);
+
+        let trajectories = self.trajectories.clamp(1, shots as usize);
+        let base = shots as usize / trajectories;
+        let extra = shots as usize % trajectories;
+
+        for t in 0..trajectories {
+            let traj_shots = base + usize::from(t < extra);
+            if traj_shots == 0 {
+                continue;
+            }
+            let state = self.run_trajectory(circuit, snapshot, &mut rng)?;
+            for _ in 0..traj_shots {
+                let basis = state.sample(&mut rng);
+                let mut word = 0u64;
+                for &(q, c) in &measure_map {
+                    let mut bit = (basis >> q) & 1;
+                    let ro = snapshot.qubit(q).readout_error;
+                    if rng.gen_range(0.0..1.0) < ro {
+                        bit ^= 1;
+                    }
+                    word |= (bit as u64) << c;
+                }
+                counts.record(word, 1);
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Run one Pauli trajectory: the ideal circuit with stochastic Pauli
+    /// injections after faulty gates.
+    fn run_trajectory(
+        &self,
+        circuit: &Circuit,
+        snapshot: &CalibrationSnapshot,
+        rng: &mut StdRng,
+    ) -> Result<Statevector, SimError> {
+        let mut state = Statevector::zero(circuit.num_qubits())?;
+        for inst in circuit.instructions() {
+            state.apply_with_rng(inst, rng)?;
+            if !inst.gate.is_unitary() || inst.gate.is_directive() || inst.gate == Gate::Id {
+                continue;
+            }
+            let error_prob = gate_error(inst, snapshot);
+            if error_prob > 0.0 && rng.gen_range(0.0..1.0) < error_prob {
+                inject_pauli(&mut state, &inst.qubits, rng)?;
+            }
+            if self.decoherence {
+                let duration_ns = gate_duration_ns(inst, snapshot);
+                for q in &inst.qubits {
+                    apply_decoherence(&mut state, q.index(), duration_ns, snapshot, rng);
+                }
+            }
+        }
+        Ok(state)
+    }
+}
+
+/// Nominal duration of an instruction for decoherence purposes, ns
+/// (mirrors the transpiler's duration model).
+fn gate_duration_ns(inst: &Instruction, snapshot: &CalibrationSnapshot) -> f64 {
+    if inst.gate == Gate::Measure {
+        return 4000.0;
+    }
+    if inst.gate.is_two_qubit() {
+        let (a, b) = (inst.qubits[0].index(), inst.qubits[1].index());
+        let base = snapshot.edge(a, b).map_or(350.0, |e| e.cx_duration_ns);
+        if inst.gate == Gate::Swap {
+            return 3.0 * base;
+        }
+        return base;
+    }
+    if matches!(inst.gate, Gate::Rz(_) | Gate::Id) {
+        return 0.0; // virtual / no pulse
+    }
+    35.0
+}
+
+/// One T1/T2 trajectory step on qubit `q` over `duration_ns`.
+fn apply_decoherence(
+    state: &mut Statevector,
+    q: usize,
+    duration_ns: f64,
+    snapshot: &CalibrationSnapshot,
+    rng: &mut StdRng,
+) {
+    if duration_ns <= 0.0 {
+        return;
+    }
+    let cal = snapshot.qubit(q);
+    let t_us = duration_ns / 1000.0;
+    if cal.t1_us.is_finite() && cal.t1_us > 0.0 {
+        let gamma = 1.0 - (-t_us / cal.t1_us).exp();
+        state.apply_amplitude_damping(q, gamma, rng);
+    }
+    // Pure dephasing rate: 1/T_phi = 1/T2 - 1/(2 T1).
+    if cal.t2_us.is_finite() && cal.t2_us > 0.0 {
+        let inv_t1 = if cal.t1_us.is_finite() && cal.t1_us > 0.0 {
+            1.0 / (2.0 * cal.t1_us)
+        } else {
+            0.0
+        };
+        let inv_tphi = (1.0 / cal.t2_us - inv_t1).max(0.0);
+        let p_phase = 0.5 * (1.0 - (-t_us * inv_tphi).exp());
+        state.apply_dephasing(q, p_phase, rng);
+    }
+}
+
+/// The calibrated error probability of one instruction.
+fn gate_error(inst: &Instruction, snapshot: &CalibrationSnapshot) -> f64 {
+    if inst.gate.is_two_qubit() {
+        let (a, b) = (inst.qubits[0].index(), inst.qubits[1].index());
+        let edge = snapshot.edge(a, b).map_or_else(
+            // Uncoupled pair (e.g. pre-routing circuit): charge the average.
+            || snapshot.avg_cx_error(),
+            |e| e.cx_error,
+        );
+        // A swap is three CX applications.
+        if inst.gate == Gate::Swap {
+            1.0 - (1.0 - edge).powi(3)
+        } else {
+            edge
+        }
+    } else {
+        snapshot.qubit(inst.qubits[0].index()).single_qubit_error
+    }
+}
+
+/// Apply a uniformly random non-identity Pauli word on the given qubits.
+fn inject_pauli(
+    state: &mut Statevector,
+    qubits: &[Qubit],
+    rng: &mut StdRng,
+) -> Result<(), SimError> {
+    // Sample a non-identity Pauli word: for k qubits there are 4^k - 1.
+    let k = qubits.len();
+    let choices = 4usize.pow(k as u32) - 1;
+    let word = rng.gen_range(1..=choices);
+    for (i, &q) in qubits.iter().enumerate() {
+        let pauli = (word >> (2 * i)) & 3;
+        let gate = match pauli {
+            0 => continue,
+            1 => Gate::X,
+            2 => Gate::Y,
+            _ => Gate::Z,
+        };
+        state.apply(&Instruction::gate(gate, &[q]))?;
+    }
+    Ok(())
+}
+
+/// The `(qubit, clbit)` pairs of final measurements (later measurements of
+/// the same qubit override earlier ones).
+#[must_use]
+pub fn measurement_map(circuit: &Circuit) -> Vec<(usize, usize)> {
+    let mut map: Vec<(usize, usize)> = Vec::new();
+    for inst in circuit.instructions() {
+        if inst.gate == Gate::Measure {
+            let q = inst.qubits[0].index();
+            let c = inst.clbits[0].index();
+            map.retain(|&(mq, _)| mq != q);
+            map.push((q, c));
+        }
+    }
+    map.sort_unstable();
+    map
+}
+
+/// Width of the classical word actually used by a measurement map: one
+/// past the highest measured clbit (minimum 1).
+#[must_use]
+pub fn used_clbit_width(measure_map: &[(usize, usize)]) -> usize {
+    measure_map.iter().map(|&(_, c)| c + 1).max().unwrap_or(1)
+}
+
+/// The exact clbit-word distribution of `circuit` under noiseless
+/// execution (unitary evolution + measurement map, no sampling). The
+/// distribution is indexed by clbit word and sized by the highest clbit
+/// actually measured.
+///
+/// # Errors
+///
+/// Returns [`SimError`] for oversized or unsupported circuits, including
+/// measurement maps spanning more clbits than [`crate::MAX_QUBITS`].
+pub fn clbit_distribution(circuit: &Circuit) -> Result<Vec<f64>, SimError> {
+    let state = Statevector::from_circuit(circuit)?;
+    let probs = state.probabilities();
+    let map = measurement_map(circuit);
+    let width = used_clbit_width(&map);
+    if width > crate::MAX_QUBITS {
+        return Err(SimError::TooManyQubits { requested: width });
+    }
+    let mut dist = vec![0.0f64; 1 << width];
+    for (basis, &p) in probs.iter().enumerate() {
+        let mut word = 0u64;
+        for &(q, c) in &map {
+            word |= (((basis >> q) & 1) as u64) << c;
+        }
+        dist[word as usize] += p;
+    }
+    Ok(dist)
+}
+
+/// Probability of success against a known ideal outcome: the fraction of
+/// shots that produced exactly `ideal_outcome` (paper Fig 7's POS).
+#[must_use]
+pub fn probability_of_success(counts: &Counts, ideal_outcome: u64) -> f64 {
+    counts.frequency(ideal_outcome)
+}
+
+/// Build the QFT fidelity benchmark used for Fig 7: prepare |+...+> with a
+/// layer of Hadamards, apply the inverse QFT (which maps it to |0...0>),
+/// and measure. Ideal outcome: the all-zeros word.
+#[must_use]
+pub fn qft_pos_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n).named(format!("qft_pos_{n}"));
+    for q in 0..n {
+        c.h(q);
+    }
+    let inverse = qcs_circuit::library::qft(n).inverse();
+    c.extend_from(&inverse)
+        .expect("inverse QFT fits the same register");
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_calibration::NoiseProfile;
+    use qcs_topology::families;
+
+    fn noiseless_snapshot(n: usize) -> CalibrationSnapshot {
+        let profile = NoiseProfile {
+            mean_1q_error: 1e-6,
+            mean_cx_error: 1e-6,
+            mean_readout_error: 1e-6,
+            temporal_cov: 0.0,
+            spatial_cov_cx: 0.0,
+            spatial_cov_coherence: 0.0,
+            ..NoiseProfile::with_seed(0)
+        };
+        profile.snapshot(&families::complete(n.max(2)), 0)
+    }
+
+    fn noisy_snapshot(n: usize, scale: f64) -> CalibrationSnapshot {
+        NoiseProfile::with_seed(1)
+            .scaled_errors(scale)
+            .snapshot(&families::complete(n.max(2)), 0)
+    }
+
+    #[test]
+    fn qft_pos_circuit_is_deterministic_ideally() {
+        let c = qft_pos_circuit(3);
+        let dist = clbit_distribution(&c).unwrap();
+        assert!((dist[0] - 1.0).abs() < 1e-9, "dist {dist:?}");
+    }
+
+    #[test]
+    fn noiseless_run_gives_full_pos() {
+        let c = qft_pos_circuit(3);
+        let sim = NoisySimulator::with_seed(7);
+        let counts = sim.run(&c, &noiseless_snapshot(3), 2048).unwrap();
+        assert_eq!(counts.total(), 2048);
+        assert!(probability_of_success(&counts, 0) > 0.99);
+    }
+
+    #[test]
+    fn noise_reduces_pos() {
+        let c = qft_pos_circuit(4);
+        let sim = NoisySimulator::with_seed(7);
+        let clean = sim.run(&c, &noiseless_snapshot(4), 2048).unwrap();
+        let noisy = sim.run(&c, &noisy_snapshot(4, 3.0), 2048).unwrap();
+        let pos_clean = probability_of_success(&clean, 0);
+        let pos_noisy = probability_of_success(&noisy, 0);
+        assert!(
+            pos_noisy < pos_clean - 0.05,
+            "clean {pos_clean} noisy {pos_noisy}"
+        );
+    }
+
+    #[test]
+    fn more_noise_lower_pos() {
+        let c = qft_pos_circuit(4);
+        let sim = NoisySimulator::with_seed(3);
+        let mild = sim.run(&c, &noisy_snapshot(4, 1.0), 4096).unwrap();
+        let harsh = sim.run(&c, &noisy_snapshot(4, 6.0), 4096).unwrap();
+        assert!(
+            probability_of_success(&harsh, 0) < probability_of_success(&mild, 0),
+        );
+    }
+
+    #[test]
+    fn readout_error_flips_bits() {
+        // Pure readout noise on an identity circuit.
+        let mut c = Circuit::new(2);
+        c.measure_all();
+        let profile = NoiseProfile {
+            mean_1q_error: 1e-9,
+            mean_cx_error: 1e-9,
+            mean_readout_error: 0.25,
+            temporal_cov: 0.0,
+            spatial_cov_cx: 0.0,
+            spatial_cov_coherence: 0.0,
+            ..NoiseProfile::with_seed(0)
+        };
+        let snap = profile.snapshot(&families::complete(2), 0);
+        let counts = NoisySimulator::with_seed(1).run(&c, &snap, 8192).unwrap();
+        let pos = probability_of_success(&counts, 0);
+        // Expect ~(1-0.25)^2 = 0.5625.
+        assert!((pos - 0.5625).abs() < 0.05, "pos {pos}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = qft_pos_circuit(3);
+        let snap = noisy_snapshot(3, 2.0);
+        let a = NoisySimulator::with_seed(9).run(&c, &snap, 512).unwrap();
+        let b = NoisySimulator::with_seed(9).run(&c, &snap, 512).unwrap();
+        assert_eq!(a, b);
+        let c2 = NoisySimulator::with_seed(10).run(&c, &snap, 512).unwrap();
+        assert_ne!(a, c2);
+    }
+
+    #[test]
+    fn decoherence_reduces_pos() {
+        let c = qft_pos_circuit(4);
+        let snap = noisy_snapshot(4, 1.0);
+        let plain = NoisySimulator::with_seed(3).run(&c, &snap, 4096).unwrap();
+        let decohering = NoisySimulator::with_seed(3)
+            .with_decoherence()
+            .run(&c, &snap, 4096)
+            .unwrap();
+        let pos_plain = probability_of_success(&plain, 0);
+        let pos_deco = probability_of_success(&decohering, 0);
+        assert!(
+            pos_deco < pos_plain,
+            "decoherence should hurt: {pos_deco} vs {pos_plain}"
+        );
+    }
+
+    #[test]
+    fn decoherence_negligible_for_long_coherence() {
+        // T1/T2 of seconds: decoherence must be invisible.
+        let profile = NoiseProfile {
+            mean_t1_us: 1e9,
+            mean_t2_us: 1e9,
+            mean_1q_error: 1e-9,
+            mean_cx_error: 1e-9,
+            mean_readout_error: 1e-9,
+            temporal_cov: 0.0,
+            spatial_cov_cx: 0.0,
+            spatial_cov_coherence: 0.0,
+            ..NoiseProfile::with_seed(0)
+        };
+        let snap = profile.snapshot(&families::complete(3), 0);
+        let c = qft_pos_circuit(3);
+        let counts = NoisySimulator::with_seed(1)
+            .with_decoherence()
+            .run(&c, &snap, 2048)
+            .unwrap();
+        assert!(probability_of_success(&counts, 0) > 0.99);
+    }
+
+    #[test]
+    fn measurement_map_last_wins() {
+        let mut c = Circuit::new(2);
+        c.measure(0, 0).measure(0, 1);
+        assert_eq!(measurement_map(&c), vec![(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shots must be positive")]
+    fn zero_shots_rejected() {
+        let c = qft_pos_circuit(2);
+        let _ = NoisySimulator::default().run(&c, &noiseless_snapshot(2), 0);
+    }
+
+    #[test]
+    fn shots_distributed_across_trajectories() {
+        let c = qft_pos_circuit(2);
+        let sim = NoisySimulator {
+            trajectories: 7,
+            ..NoisySimulator::default()
+        };
+        let counts = sim.run(&c, &noiseless_snapshot(2), 100).unwrap();
+        assert_eq!(counts.total(), 100);
+    }
+}

@@ -1,0 +1,319 @@
+//! Regression: ordinary least squares and Levenberg–Marquardt nonlinear
+//! least squares, including the paper's product-of-linear-terms runtime
+//! model (§VI-C).
+
+/// Simple OLS fit `y = intercept + slope * x`.
+///
+/// Returns `(intercept, slope)`; a constant `x` yields slope 0.
+///
+/// # Panics
+///
+/// Panics if lengths differ or input is empty.
+#[must_use]
+pub fn linear_fit(x: &[f64], y: &[f64]) -> (f64, f64) {
+    assert_eq!(x.len(), y.len(), "sample length mismatch");
+    assert!(!x.is_empty(), "empty input");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+    }
+    if sxx == 0.0 {
+        return (my, 0.0);
+    }
+    let slope = sxy / sxx;
+    (my - slope * mx, slope)
+}
+
+/// The paper's execution-time model: `y = prod_i (a_i + b_i * x_i)` over
+/// `k` features, fitted with Levenberg–Marquardt (the role scipy
+/// `curve_fit` plays in §VI-C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProductModel {
+    /// Per-feature intercepts `a_i`.
+    pub a: Vec<f64>,
+    /// Per-feature slopes `b_i`.
+    pub b: Vec<f64>,
+}
+
+impl ProductModel {
+    /// Number of features.
+    #[must_use]
+    pub fn num_features(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Evaluate the model on one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != self.num_features()`.
+    #[must_use]
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.a.len(), "feature count mismatch");
+        self.a
+            .iter()
+            .zip(&self.b)
+            .zip(features)
+            .map(|((&a, &b), &x)| a + b * x)
+            .product()
+    }
+
+    /// Fit the model to rows of features and targets.
+    ///
+    /// Initialization: each factor starts at `mean(y)^(1/k)` with zero
+    /// slope; LM then descends. Typical convergence is well under the
+    /// `max_iterations` bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty, ragged, or lengths differ.
+    #[must_use]
+    pub fn fit(rows: &[Vec<f64>], targets: &[f64], max_iterations: usize) -> Self {
+        assert_eq!(rows.len(), targets.len(), "row/target length mismatch");
+        assert!(!rows.is_empty(), "empty training set");
+        let k = rows[0].len();
+        assert!(k > 0, "need at least one feature");
+        assert!(rows.iter().all(|r| r.len() == k), "ragged feature rows");
+
+        let mean_y = targets.iter().sum::<f64>() / targets.len() as f64;
+        let init = mean_y.abs().max(1e-6).powf(1.0 / k as f64);
+        let mut params = vec![0.0; 2 * k];
+        for i in 0..k {
+            params[2 * i] = init; // a_i
+            params[2 * i + 1] = 0.0; // b_i
+        }
+
+        let mut lambda = 1e-3;
+        let mut current_sse = sse(&params, rows, targets);
+
+        for _ in 0..max_iterations {
+            // Build J^T J and J^T r with the analytic Jacobian.
+            let p = 2 * k;
+            let mut jtj = vec![vec![0.0f64; p]; p];
+            let mut jtr = vec![0.0f64; p];
+            for (row, &y) in rows.iter().zip(targets) {
+                let factors: Vec<f64> = (0..k)
+                    .map(|i| params[2 * i] + params[2 * i + 1] * row[i])
+                    .collect();
+                let yhat: f64 = factors.iter().product();
+                let r = yhat - y;
+                let mut grad = vec![0.0f64; p];
+                for i in 0..k {
+                    // d yhat / d a_i = prod_{j != i} factor_j
+                    let others: f64 = factors
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != i)
+                        .map(|(_, &f)| f)
+                        .product();
+                    grad[2 * i] = others;
+                    grad[2 * i + 1] = others * row[i];
+                }
+                for u in 0..p {
+                    jtr[u] += grad[u] * r;
+                    for v in 0..p {
+                        jtj[u][v] += grad[u] * grad[v];
+                    }
+                }
+            }
+
+            // Solve (J^T J + lambda diag) delta = J^T r.
+            let mut damped = jtj.clone();
+            for (u, row) in damped.iter_mut().enumerate() {
+                row[u] += lambda * (jtj[u][u].max(1e-12));
+            }
+            let Some(delta) = solve(&mut damped, &jtr) else {
+                lambda *= 10.0;
+                continue;
+            };
+
+            let candidate: Vec<f64> = params.iter().zip(&delta).map(|(p, d)| p - d).collect();
+            let candidate_sse = sse(&candidate, rows, targets);
+            if candidate_sse < current_sse {
+                let improvement = (current_sse - candidate_sse) / current_sse.max(1e-30);
+                params = candidate;
+                current_sse = candidate_sse;
+                lambda = (lambda * 0.5).max(1e-12);
+                if improvement < 1e-10 {
+                    break;
+                }
+            } else {
+                lambda *= 10.0;
+                if lambda > 1e12 {
+                    break;
+                }
+            }
+        }
+
+        let (a, b): (Vec<f64>, Vec<f64>) = (0..k)
+            .map(|i| (params[2 * i], params[2 * i + 1]))
+            .unzip();
+        ProductModel { a, b }
+    }
+}
+
+fn sse(params: &[f64], rows: &[Vec<f64>], targets: &[f64]) -> f64 {
+    let k = params.len() / 2;
+    rows.iter()
+        .zip(targets)
+        .map(|(row, &y)| {
+            let yhat: f64 = (0..k)
+                .map(|i| params[2 * i] + params[2 * i + 1] * row[i])
+                .product();
+            (yhat - y).powi(2)
+        })
+        .sum()
+}
+
+/// Gaussian elimination with partial pivoting; `None` if singular.
+#[allow(clippy::needless_range_loop)] // row/column indices address two arrays
+fn solve(a: &mut [Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    let mut x = b.to_vec();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite")
+        })?;
+        if a[pivot][col].abs() < 1e-14 {
+            return None;
+        }
+        a.swap(col, pivot);
+        x.swap(col, pivot);
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            for c in col..n {
+                a[row][c] -= factor * a[col][c];
+            }
+            x[row] -= factor * x[col];
+        }
+    }
+    for col in (0..n).rev() {
+        x[col] /= a[col][col];
+        for row in 0..col {
+            let f = a[row][col];
+            x[row] -= f * x[col];
+            a[row][col] = 0.0;
+        }
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn linear_fit_exact() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let (b0, b1) = linear_fit(&x, &y);
+        assert!((b0 - 1.0).abs() < 1e-12);
+        assert!((b1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_constant_x() {
+        let (b0, b1) = linear_fit(&[2.0, 2.0], &[3.0, 5.0]);
+        assert_eq!(b1, 0.0);
+        assert_eq!(b0, 4.0);
+    }
+
+    #[test]
+    fn product_model_recovers_single_factor() {
+        // y = 2 + 3x: one factor, exact recovery expected.
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![f64::from(i) / 10.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 + 3.0 * r[0]).collect();
+        let model = ProductModel::fit(&rows, &y, 200);
+        for (row, &target) in rows.iter().zip(&y) {
+            assert!((model.predict(row) - target).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn product_model_recovers_two_factors() {
+        // y = (1 + 2x0)(3 + 0.5x1), noiseless.
+        let mut rng = StdRng::seed_from_u64(1);
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)])
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| (1.0 + 2.0 * r[0]) * (3.0 + 0.5 * r[1]))
+            .collect();
+        let model = ProductModel::fit(&rows, &y, 400);
+        let max_rel = rows
+            .iter()
+            .zip(&y)
+            .map(|(r, &t)| ((model.predict(r) - t) / t).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_rel < 0.01, "max relative error {max_rel}");
+    }
+
+    #[test]
+    fn product_model_tolerates_noise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let rows: Vec<Vec<f64>> = (0..500)
+            .map(|_| vec![rng.gen_range(1.0..10.0), rng.gen_range(0.0..2.0)])
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| (0.5 + 1.5 * r[0]) * (2.0 + r[1]) * rng.gen_range(0.95..1.05))
+            .collect();
+        let model = ProductModel::fit(&rows, &y, 300);
+        // Predictions correlate strongly with targets.
+        let preds: Vec<f64> = rows.iter().map(|r| model.predict(r)).collect();
+        let corr = crate::pearson(&preds, &y);
+        assert!(corr > 0.99, "corr {corr}");
+    }
+
+    #[test]
+    fn predict_checks_arity() {
+        let model = ProductModel {
+            a: vec![1.0],
+            b: vec![1.0],
+        };
+        assert_eq!(model.num_features(), 1);
+        assert_eq!(model.predict(&[2.0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn predict_wrong_arity_panics() {
+        let model = ProductModel {
+            a: vec![1.0],
+            b: vec![1.0],
+        };
+        let _ = model.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn fit_empty_panics() {
+        let _ = ProductModel::fit(&[], &[], 10);
+    }
+
+    #[test]
+    fn solver_handles_identity() {
+        let mut a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(&mut a, &[3.0, 4.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solver_detects_singular() {
+        let mut a = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        assert!(solve(&mut a, &[1.0, 2.0]).is_none());
+    }
+}

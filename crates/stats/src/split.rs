@@ -1,0 +1,87 @@
+//! Deterministic train/test splitting.
+
+/// Split indices `0..n` into `(train, test)` with the given train fraction,
+/// using a seeded Fisher–Yates shuffle (the paper uses a 70/30 split).
+///
+/// # Panics
+///
+/// Panics if `train_fraction` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_stats::train_test_split;
+///
+/// let (train, test) = train_test_split(10, 0.7, 42);
+/// assert_eq!(train.len(), 7);
+/// assert_eq!(test.len(), 3);
+/// ```
+#[must_use]
+pub fn train_test_split(n: usize, train_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        (0.0..=1.0).contains(&train_fraction),
+        "train fraction must be in [0, 1]"
+    );
+    let mut indices: Vec<usize> = (0..n).collect();
+    // SplitMix64-driven Fisher-Yates (no external RNG needed here).
+    let mut state = seed;
+    let mut next = || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        indices.swap(i, j);
+    }
+    let cut = (n as f64 * train_fraction).round() as usize;
+    let test = indices.split_off(cut.min(n));
+    (indices, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_fraction() {
+        let (train, test) = train_test_split(100, 0.7, 1);
+        assert_eq!(train.len(), 70);
+        assert_eq!(test.len(), 30);
+    }
+
+    #[test]
+    fn covers_all_indices_once() {
+        let (train, test) = train_test_split(50, 0.5, 3);
+        let mut all: Vec<usize> = train.into_iter().chain(test).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(train_test_split(20, 0.6, 7), train_test_split(20, 0.6, 7));
+        assert_ne!(
+            train_test_split(20, 0.6, 7).0,
+            train_test_split(20, 0.6, 8).0
+        );
+    }
+
+    #[test]
+    fn degenerate_fractions() {
+        let (train, test) = train_test_split(5, 0.0, 0);
+        assert!(train.is_empty());
+        assert_eq!(test.len(), 5);
+        let (train, test) = train_test_split(5, 1.0, 0);
+        assert_eq!(train.len(), 5);
+        assert!(test.is_empty());
+    }
+
+    #[test]
+    fn empty_input() {
+        let (train, test) = train_test_split(0, 0.7, 0);
+        assert!(train.is_empty() && test.is_empty());
+    }
+}

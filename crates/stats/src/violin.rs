@@ -1,0 +1,123 @@
+//! Violin-plot summaries: quartiles plus a kernel density profile, enough
+//! to regenerate the paper's violin figures (Figs 8, 10, 13) as data.
+
+use crate::descriptive::Summary;
+
+/// The data behind one violin: a [`Summary`] plus a smoothed density
+/// profile sampled at evenly spaced points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViolinSummary {
+    /// Quartile summary of the sample.
+    pub summary: Summary,
+    /// `(position, density)` pairs spanning `[min, max]`.
+    pub density: Vec<(f64, f64)>,
+}
+
+impl ViolinSummary {
+    /// Build a violin summary with a Gaussian KDE evaluated at `points`
+    /// positions (Silverman's bandwidth).
+    ///
+    /// Empty samples produce an empty density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points == 0`.
+    #[must_use]
+    pub fn of(values: &[f64], points: usize) -> Self {
+        assert!(points > 0, "need at least one density point");
+        let summary = Summary::of(values);
+        if values.is_empty() {
+            return ViolinSummary {
+                summary,
+                density: Vec::new(),
+            };
+        }
+        let n = values.len() as f64;
+        // Silverman's rule of thumb; fall back to a nominal width for
+        // degenerate samples.
+        let bandwidth = if summary.std_dev > 0.0 {
+            1.06 * summary.std_dev * n.powf(-0.2)
+        } else {
+            (summary.max.abs() + 1.0) * 0.01
+        };
+        let lo = summary.min;
+        let hi = summary.max;
+        let span = (hi - lo).max(f64::MIN_POSITIVE);
+        let mut density = Vec::with_capacity(points);
+        for k in 0..points {
+            let x = if points == 1 {
+                (lo + hi) / 2.0
+            } else {
+                lo + span * k as f64 / (points - 1) as f64
+            };
+            let d: f64 = values
+                .iter()
+                .map(|&v| {
+                    let z = (x - v) / bandwidth;
+                    (-0.5 * z * z).exp()
+                })
+                .sum::<f64>()
+                / (n * bandwidth * (2.0 * std::f64::consts::PI).sqrt());
+            density.push((x, d));
+        }
+        ViolinSummary { summary, density }
+    }
+
+    /// Position of the density peak (mode estimate); `None` if empty.
+    #[must_use]
+    pub fn mode(&self) -> Option<f64> {
+        self.density
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("densities are finite"))
+            .map(|&(x, _)| x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_carries_quartiles() {
+        let v = ViolinSummary::of(&[1.0, 2.0, 3.0, 4.0, 5.0], 16);
+        assert_eq!(v.summary.median, 3.0);
+        assert_eq!(v.density.len(), 16);
+    }
+
+    #[test]
+    fn empty_sample() {
+        let v = ViolinSummary::of(&[], 8);
+        assert!(v.density.is_empty());
+        assert_eq!(v.mode(), None);
+    }
+
+    #[test]
+    fn mode_near_cluster() {
+        // Heavy cluster at ~10, outlier at 100.
+        let mut values = vec![9.0, 9.5, 10.0, 10.2, 10.5, 11.0, 10.1, 9.8];
+        values.push(100.0);
+        let v = ViolinSummary::of(&values, 64);
+        let mode = v.mode().unwrap();
+        assert!(mode < 20.0, "mode {mode}");
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let values: Vec<f64> = (0..200).map(|i| f64::from(i) / 10.0).collect();
+        let v = ViolinSummary::of(&values, 256);
+        // Trapezoidal integral over [min, max] should be close to 1
+        // (slightly less due to tail truncation).
+        let mut integral = 0.0;
+        for w in v.density.windows(2) {
+            integral += 0.5 * (w[0].1 + w[1].1) * (w[1].0 - w[0].0);
+        }
+        assert!(integral > 0.85 && integral < 1.05, "integral {integral}");
+    }
+
+    #[test]
+    fn degenerate_sample_ok() {
+        let v = ViolinSummary::of(&[5.0, 5.0, 5.0], 8);
+        assert_eq!(v.summary.std_dev, 0.0);
+        assert!(v.density.iter().all(|&(_, d)| d.is_finite()));
+    }
+}

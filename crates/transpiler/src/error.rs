@@ -1,0 +1,96 @@
+//! Transpiler error types.
+
+use std::fmt;
+
+/// Errors produced by transpilation passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranspileError {
+    /// The circuit needs more qubits than the target provides.
+    CircuitTooWide {
+        /// Qubits required by the circuit.
+        circuit_qubits: usize,
+        /// Qubits available on the target.
+        target_qubits: usize,
+    },
+    /// No connected region of the required size exists on the target.
+    NoConnectedRegion {
+        /// Required region size.
+        required: usize,
+        /// Target size.
+        target_qubits: usize,
+    },
+    /// A layout mapped two logical qubits to the same physical qubit.
+    InvalidLayout {
+        /// The physical qubit used twice.
+        physical_qubit: usize,
+    },
+    /// A two-qubit gate spans physically disconnected qubits.
+    DisconnectedQubits {
+        /// First physical qubit.
+        a: usize,
+        /// Second physical qubit.
+        b: usize,
+        /// Target name.
+        target: String,
+    },
+    /// Routing exceeded its SWAP safety budget (indicates a pathological
+    /// input or an internal bug).
+    RoutingBudgetExceeded {
+        /// SWAPs inserted before giving up.
+        swaps: usize,
+        /// Target name.
+        target: String,
+    },
+}
+
+impl fmt::Display for TranspileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranspileError::CircuitTooWide {
+                circuit_qubits,
+                target_qubits,
+            } => write!(
+                f,
+                "circuit needs {circuit_qubits} qubits but target has {target_qubits}"
+            ),
+            TranspileError::NoConnectedRegion {
+                required,
+                target_qubits,
+            } => write!(
+                f,
+                "no connected region of {required} qubits on a {target_qubits}-qubit target"
+            ),
+            TranspileError::InvalidLayout { physical_qubit } => {
+                write!(f, "layout maps physical qubit {physical_qubit} twice")
+            }
+            TranspileError::DisconnectedQubits { a, b, target } => {
+                write!(f, "qubits {a} and {b} are disconnected on target {target}")
+            }
+            TranspileError::RoutingBudgetExceeded { swaps, target } => {
+                write!(f, "routing exceeded {swaps} swaps on target {target}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranspileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TranspileError::CircuitTooWide {
+            circuit_qubits: 10,
+            target_qubits: 5,
+        };
+        assert!(e.to_string().contains("10 qubits"));
+        let e = TranspileError::DisconnectedQubits {
+            a: 1,
+            b: 2,
+            target: "x".into(),
+        };
+        assert!(e.to_string().contains("disconnected"));
+    }
+}

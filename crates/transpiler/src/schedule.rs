@@ -1,0 +1,281 @@
+//! Instruction scheduling: assigning start times and computing the
+//! wall-clock duration of one shot of a circuit on a target.
+//!
+//! Durations follow superconducting-hardware conventions: `rz` is virtual
+//! (zero duration, implemented as a frame change), `sx`/`x` take a fixed
+//! pulse length, `cx` duration comes from the edge calibration, and
+//! measurement is the long readout operation.
+
+use qcs_circuit::{Circuit, Gate};
+
+use crate::Target;
+
+/// Duration constants for non-CX operations, nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DurationModel {
+    /// Single-qubit pulse gates (sx, x, and parametric rotations when not
+    /// basis-translated).
+    pub single_qubit_ns: f64,
+    /// Readout duration.
+    pub measure_ns: f64,
+    /// Reset duration.
+    pub reset_ns: f64,
+    /// Fallback CX duration when the target lacks edge calibration.
+    pub default_cx_ns: f64,
+}
+
+impl Default for DurationModel {
+    fn default() -> Self {
+        DurationModel {
+            single_qubit_ns: 35.0,
+            measure_ns: 4000.0,
+            reset_ns: 1000.0,
+            default_cx_ns: 350.0,
+        }
+    }
+}
+
+/// An ASAP-scheduled circuit: per-instruction start times plus the total
+/// single-shot duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledCircuit {
+    /// Start time of each instruction (ns), aligned with the circuit's
+    /// instruction order.
+    pub start_times_ns: Vec<f64>,
+    /// Total duration of one shot, nanoseconds.
+    pub duration_ns: f64,
+}
+
+impl ScheduledCircuit {
+    /// Total duration in microseconds.
+    #[must_use]
+    pub fn duration_us(&self) -> f64 {
+        self.duration_ns / 1000.0
+    }
+}
+
+/// Duration of a single instruction on the target, nanoseconds.
+#[must_use]
+pub fn instruction_duration_ns(gate: &Gate, qubits: &[usize], target: &Target, model: &DurationModel) -> f64 {
+    match gate {
+        Gate::Barrier | Gate::Id => 0.0,
+        Gate::Rz(_) => 0.0, // virtual Z
+        Gate::Measure => model.measure_ns,
+        Gate::Reset => model.reset_ns,
+        g if g.is_two_qubit() => {
+            let base = target
+                .snapshot()
+                .edge(qubits[0], qubits[1])
+                .map_or(model.default_cx_ns, |e| e.cx_duration_ns);
+            // A swap is three CX pulses back-to-back.
+            if *g == Gate::Swap {
+                3.0 * base
+            } else {
+                base
+            }
+        }
+        _ => model.single_qubit_ns,
+    }
+}
+
+/// ASAP-schedule `circuit` on `target` with the default duration model.
+#[must_use]
+pub fn schedule_asap(circuit: &Circuit, target: &Target) -> ScheduledCircuit {
+    schedule_asap_with(circuit, target, &DurationModel::default())
+}
+
+/// ASAP-schedule with an explicit duration model.
+///
+/// # Panics
+///
+/// Panics if the circuit is wider than the target.
+#[must_use]
+pub fn schedule_asap_with(
+    circuit: &Circuit,
+    target: &Target,
+    model: &DurationModel,
+) -> ScheduledCircuit {
+    assert!(
+        circuit.num_qubits() <= target.num_qubits(),
+        "circuit wider than target"
+    );
+    let mut qubit_free = vec![0.0f64; circuit.num_qubits().max(1)];
+    let mut starts = Vec::with_capacity(circuit.instructions().len());
+    let mut total = 0.0f64;
+    for inst in circuit.instructions() {
+        let qs: Vec<usize> = inst.qubits.iter().map(|q| q.index()).collect();
+        let start = qs
+            .iter()
+            .map(|&q| qubit_free[q])
+            .fold(0.0f64, f64::max);
+        let dur = instruction_duration_ns(&inst.gate, &qs, target, model);
+        let end = start + dur;
+        for &q in &qs {
+            qubit_free[q] = end;
+        }
+        starts.push(start);
+        total = total.max(end);
+    }
+    ScheduledCircuit {
+        start_times_ns: starts,
+        duration_ns: total,
+    }
+}
+
+/// ALAP-schedule `circuit` on `target` with the default duration model:
+/// every instruction starts as *late* as possible without extending the
+/// ASAP makespan. Idle time is pushed to the front of each wire, which
+/// minimizes the decoherence window between a qubit's last gate and its
+/// measurement (the reason hardware schedulers prefer ALAP).
+#[must_use]
+pub fn schedule_alap(circuit: &Circuit, target: &Target) -> ScheduledCircuit {
+    schedule_alap_with(circuit, target, &DurationModel::default())
+}
+
+/// ALAP-schedule with an explicit duration model.
+///
+/// # Panics
+///
+/// Panics if the circuit is wider than the target.
+#[must_use]
+pub fn schedule_alap_with(
+    circuit: &Circuit,
+    target: &Target,
+    model: &DurationModel,
+) -> ScheduledCircuit {
+    assert!(
+        circuit.num_qubits() <= target.num_qubits(),
+        "circuit wider than target"
+    );
+    let asap = schedule_asap_with(circuit, target, model);
+    let makespan = asap.duration_ns;
+    // Walk backwards: each instruction ends as late as its qubits allow.
+    let mut qubit_busy_from = vec![makespan; circuit.num_qubits().max(1)];
+    let mut starts = vec![0.0f64; circuit.instructions().len()];
+    for (idx, inst) in circuit.instructions().iter().enumerate().rev() {
+        let qs: Vec<usize> = inst.qubits.iter().map(|q| q.index()).collect();
+        let end = qs
+            .iter()
+            .map(|&q| qubit_busy_from[q])
+            .fold(makespan, f64::min);
+        let dur = instruction_duration_ns(&inst.gate, &qs, target, model);
+        let start = end - dur;
+        for &q in &qs {
+            qubit_busy_from[q] = start;
+        }
+        starts[idx] = start;
+    }
+    ScheduledCircuit {
+        start_times_ns: starts,
+        duration_ns: makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_circuit::Circuit;
+    use qcs_topology::families;
+
+    fn target() -> Target {
+        Target::noiseless("line", families::line(5))
+    }
+
+    #[test]
+    fn rz_is_free() {
+        let mut c = Circuit::new(1);
+        c.rz(1.0, 0).rz(2.0, 0);
+        let s = schedule_asap(&c, &target());
+        assert_eq!(s.duration_ns, 0.0);
+    }
+
+    #[test]
+    fn sequential_gates_accumulate() {
+        let mut c = Circuit::new(1);
+        c.x(0).x(0);
+        let s = schedule_asap(&c, &target());
+        assert!((s.duration_ns - 70.0).abs() < 1e-9);
+        assert_eq!(s.start_times_ns, vec![0.0, 35.0]);
+    }
+
+    #[test]
+    fn parallel_gates_overlap() {
+        let mut c = Circuit::new(2);
+        c.x(0).x(1);
+        let s = schedule_asap(&c, &target());
+        assert!((s.duration_ns - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cx_uses_edge_duration() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let s = schedule_asap(&c, &target());
+        assert!((s.duration_ns - 300.0).abs() < 1e-9); // noiseless target edge duration
+    }
+
+    #[test]
+    fn swap_is_three_cx_long() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let s = schedule_asap(&c, &target());
+        assert!((s.duration_ns - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measurement_dominates_short_circuits() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let s = schedule_asap(&c, &target());
+        assert!(s.duration_ns > 4000.0);
+        assert!(s.duration_us() > 4.0);
+    }
+
+    #[test]
+    fn alap_matches_asap_makespan() {
+        let mut c = Circuit::new(3);
+        c.x(0).cx(0, 1).x(2).measure_all();
+        let t = target();
+        let asap = schedule_asap(&c, &t);
+        let alap = schedule_alap(&c, &t);
+        assert!((asap.duration_ns - alap.duration_ns).abs() < 1e-9);
+        // Every ALAP start is at or after its ASAP start.
+        for (a, l) in asap.start_times_ns.iter().zip(&alap.start_times_ns) {
+            assert!(l >= a, "alap {l} before asap {a}");
+        }
+    }
+
+    #[test]
+    fn alap_delays_isolated_gates() {
+        // x(2) has no successors and sits beside a longer CX chain: ASAP
+        // puts it at t=0, ALAP pushes it to the end of the schedule.
+        let mut c = Circuit::new(3);
+        c.x(2).cx(0, 1);
+        let t = target();
+        let asap = schedule_asap(&c, &t);
+        let alap = schedule_alap(&c, &t);
+        assert_eq!(asap.start_times_ns[0], 0.0);
+        assert!((alap.start_times_ns[0] - 265.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alap_respects_dependencies() {
+        let mut c = Circuit::new(2);
+        c.x(0).cx(0, 1).x(1);
+        let t = target();
+        let alap = schedule_alap(&c, &t);
+        // cx must still start after x(0) finishes and before x(1).
+        assert!(alap.start_times_ns[1] >= alap.start_times_ns[0] + 35.0 - 1e-9);
+        assert!(alap.start_times_ns[2] >= alap.start_times_ns[1] + 300.0 - 1e-9);
+    }
+
+    #[test]
+    fn dependencies_respected() {
+        let mut c = Circuit::new(2);
+        c.x(0).cx(0, 1).x(1);
+        let s = schedule_asap(&c, &target());
+        // cx starts after x(0); x(1) after cx.
+        assert!((s.start_times_ns[1] - 35.0).abs() < 1e-9);
+        assert!((s.start_times_ns[2] - 335.0).abs() < 1e-9);
+    }
+}

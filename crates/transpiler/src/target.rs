@@ -1,0 +1,186 @@
+//! Compilation targets: what the transpiler compiles *for*.
+
+use qcs_calibration::{CalibrationSnapshot, EdgeCalibration, NoiseProfile, QubitCalibration};
+use qcs_machine::Machine;
+use qcs_topology::CouplingGraph;
+
+/// A compilation target: a coupling topology plus the calibration snapshot
+/// in effect at compile time.
+///
+/// Device-aware compilation is the root of the paper's staleness problem
+/// (Fig 12): a `Target` captures *one* calibration state, and the circuit
+/// compiled against it degrades when the machine is recalibrated before
+/// execution.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_machine::Fleet;
+/// use qcs_transpiler::Target;
+///
+/// let fleet = Fleet::ibm_like();
+/// let target = Target::from_machine(fleet.get("casablanca").unwrap(), 10.0);
+/// assert_eq!(target.num_qubits(), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Target {
+    name: String,
+    topology: CouplingGraph,
+    snapshot: CalibrationSnapshot,
+}
+
+impl Target {
+    /// Build a target from explicit parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot does not cover the topology.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        topology: CouplingGraph,
+        snapshot: CalibrationSnapshot,
+    ) -> Self {
+        assert!(
+            snapshot.covers(&topology),
+            "snapshot does not cover topology"
+        );
+        Target {
+            name: name.into(),
+            topology,
+            snapshot,
+        }
+    }
+
+    /// Target a machine as calibrated (with drift) at `t_hours` since study
+    /// start.
+    #[must_use]
+    pub fn from_machine(machine: &Machine, t_hours: f64) -> Self {
+        Target {
+            name: machine.name().to_string(),
+            topology: machine.topology().clone(),
+            snapshot: machine.snapshot_at(t_hours),
+        }
+    }
+
+    /// A noiseless target over the given topology (for pure
+    /// connectivity/compile-time experiments such as Fig 5).
+    #[must_use]
+    pub fn noiseless(name: impl Into<String>, topology: CouplingGraph) -> Self {
+        let qubits = vec![
+            QubitCalibration {
+                t1_us: f64::INFINITY,
+                t2_us: f64::INFINITY,
+                single_qubit_error: 0.0,
+                readout_error: 0.0,
+            };
+            topology.num_qubits()
+        ];
+        let edges = topology
+            .edges()
+            .iter()
+            .map(|&e| {
+                (
+                    e,
+                    EdgeCalibration {
+                        cx_error: 0.0,
+                        cx_duration_ns: 300.0,
+                    },
+                )
+            })
+            .collect();
+        Target {
+            name: name.into(),
+            topology,
+            snapshot: CalibrationSnapshot::new(0, qubits, edges),
+        }
+    }
+
+    /// A uniformly-noisy synthetic target (handy in tests and benches).
+    #[must_use]
+    pub fn uniform(name: impl Into<String>, topology: CouplingGraph, seed: u64) -> Self {
+        let snapshot = NoiseProfile::with_seed(seed).snapshot(&topology, 0);
+        Target {
+            name: name.into(),
+            topology,
+            snapshot,
+        }
+    }
+
+    /// Target name (usually the machine name).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The coupling topology.
+    #[must_use]
+    pub fn topology(&self) -> &CouplingGraph {
+        &self.topology
+    }
+
+    /// The calibration snapshot the compilation will optimize against.
+    #[must_use]
+    pub fn snapshot(&self) -> &CalibrationSnapshot {
+        &self.snapshot
+    }
+
+    /// Number of physical qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> usize {
+        self.topology.num_qubits()
+    }
+
+    /// CX error of edge `(a, b)`, or a large penalty value if uncoupled
+    /// (useful in scoring heuristics).
+    #[must_use]
+    pub fn cx_error_or(&self, a: usize, b: usize, default: f64) -> f64 {
+        self.snapshot
+            .edge(a, b)
+            .map_or(default, |e| e.cx_error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_machine::Fleet;
+    use qcs_topology::families;
+
+    #[test]
+    fn from_machine_matches_size() {
+        let fleet = Fleet::ibm_like();
+        let t = Target::from_machine(fleet.get("toronto").unwrap(), 5.0);
+        assert_eq!(t.num_qubits(), 27);
+        assert_eq!(t.name(), "toronto");
+        assert!(t.snapshot().covers(t.topology()));
+    }
+
+    #[test]
+    fn noiseless_has_zero_errors() {
+        let t = Target::noiseless("ideal", families::line(5));
+        assert_eq!(t.snapshot().avg_cx_error(), 0.0);
+        assert_eq!(t.snapshot().avg_readout_error(), 0.0);
+    }
+
+    #[test]
+    fn uniform_is_seeded() {
+        let a = Target::uniform("u", families::line(5), 1);
+        let b = Target::uniform("u", families::line(5), 1);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn cx_error_or_default() {
+        let t = Target::noiseless("ideal", families::line(3));
+        assert_eq!(t.cx_error_or(0, 1, 9.0), 0.0);
+        assert_eq!(t.cx_error_or(0, 2, 9.0), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot does not cover")]
+    fn mismatched_snapshot_rejected() {
+        let snap = NoiseProfile::with_seed(0).snapshot(&families::line(3), 0);
+        let _ = Target::new("bad", families::line(4), snap);
+    }
+}

@@ -1,0 +1,28 @@
+//! # qcs-workload
+//!
+//! Synthetic multi-year quantum-cloud workload generation for the `qcs`
+//! study: background demand calibrated to per-machine utilization targets
+//! (with growth, diurnal and weekly cycles), plus an instrumented set of
+//! *study jobs* carrying per-circuit benchmark detail. Feed the output of
+//! [`generate`] into [`qcs_cloud::Simulation`].
+//!
+//! # Examples
+//!
+//! ```
+//! use qcs_cloud::{CloudConfig, Simulation};
+//! use qcs_machine::Fleet;
+//! use qcs_workload::{generate, WorkloadConfig};
+//!
+//! let fleet = Fleet::ibm_like();
+//! let workload = generate(&fleet, &WorkloadConfig::smoke());
+//! let result = Simulation::new(fleet, CloudConfig::default()).run(workload.jobs);
+//! assert!(result.total_jobs > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod generator;
+pub mod sampler;
+
+pub use generator::{family_name, generate, StudyCircuit, Workload, WorkloadConfig};

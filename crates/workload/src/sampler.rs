@@ -1,0 +1,205 @@
+//! Random samplers for workload characteristics (batch sizes, shots,
+//! widths, arrival counts).
+
+use rand::Rng;
+
+/// Sample a Poisson random variable.
+///
+/// Knuth's multiplication method for small means, normal approximation for
+/// large means.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.gen_range(0.0..1.0);
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen_range(0.0..1.0f64);
+            count += 1;
+        }
+        count
+    } else {
+        // Normal approximation N(lambda, lambda).
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (lambda + lambda.sqrt() * z).round().max(0.0) as u64
+    }
+}
+
+/// Sample a geometric variable with the given mean, truncated to
+/// `[1, max]`.
+pub fn geometric<R: Rng + ?Sized>(rng: &mut R, mean: f64, max: u32) -> u32 {
+    let p = 1.0 / mean.max(1.0);
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let k = (u.ln() / (1.0 - p).ln()).floor() as u32 + 1;
+    k.clamp(1, max)
+}
+
+/// Sample log-uniformly from `[lo, hi]`.
+pub fn log_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo > 0.0 && hi > lo, "log_uniform needs 0 < lo < hi");
+    (rng.gen_range(lo.ln()..hi.ln())).exp()
+}
+
+/// Batch size (circuits per job), following the paper's observation of a
+/// wide 1-900 spread dominated by small batches with a spike at the
+/// maximum (Fig 11).
+pub fn batch_size<R: Rng + ?Sized>(rng: &mut R, max_batch: u32) -> u32 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let b = if u < 0.25 {
+        geometric(rng, 8.0, max_batch)
+    } else if u < 0.55 {
+        log_uniform(rng, 10.0, 100.0).round() as u32
+    } else if u < 0.85 {
+        log_uniform(rng, 100.0, 900.0).round() as u32
+    } else {
+        max_batch
+    };
+    b.clamp(1, max_batch)
+}
+
+/// Shots per circuit: mass at the typical powers of two, capped at the
+/// machine limit.
+pub fn shots<R: Rng + ?Sized>(rng: &mut R, max_shots: u32) -> u32 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let s = if u < 0.10 {
+        1024
+    } else if u < 0.22 {
+        2048
+    } else if u < 0.42 {
+        4096
+    } else if u < 0.92 {
+        8192
+    } else {
+        log_uniform(rng, 100.0, 1000.0).round() as u32
+    };
+    s.min(max_shots).max(1)
+}
+
+/// Circuit width on a machine with `machine_qubits` qubits: small machines
+/// run near-full-width circuits, large machines mostly small fractions
+/// (the paper's Fig 8 utilization pattern).
+pub fn width<R: Rng + ?Sized>(rng: &mut R, machine_qubits: usize) -> usize {
+    if machine_qubits <= 1 {
+        return 1;
+    }
+    let mean_fraction = match machine_qubits {
+        0..=5 => 0.75,
+        6..=16 => 0.50,
+        17..=30 => 0.28,
+        _ => 0.16,
+    };
+    let jitter: f64 = rng.gen_range(0.5..1.5);
+    let w = (machine_qubits as f64 * mean_fraction * jitter).round() as usize;
+    w.clamp(1, machine_qubits)
+}
+
+/// A Zipf-distributed provider id in `[1, num_providers)` (provider 0 is
+/// reserved for the study group).
+pub fn zipf_provider<R: Rng + ?Sized>(rng: &mut R, num_providers: usize) -> u32 {
+    assert!(num_providers >= 2, "need at least two providers");
+    let n = num_providers - 1;
+    // Cumulative 1/k weights.
+    let total: f64 = (1..=n).map(|k| 1.0 / k as f64).sum();
+    let mut u = rng.gen_range(0.0..total);
+    for k in 1..=n {
+        let w = 1.0 / k as f64;
+        if u < w {
+            return k as u32;
+        }
+        u -= w;
+    }
+    n as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &lambda in &[0.5, 5.0, 50.0] {
+            let n = 20_000;
+            let sum: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() / lambda < 0.05,
+                "lambda {lambda} mean {mean}"
+            );
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn geometric_mean_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let samples: Vec<u32> = (0..n).map(|_| geometric(&mut rng, 5.0, 900)).collect();
+        let mean = samples.iter().map(|&x| f64::from(x)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.3, "mean {mean}");
+        assert!(samples.iter().all(|&x| (1..=900).contains(&x)));
+    }
+
+    #[test]
+    fn batch_sizes_span_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<u32> = (0..5_000).map(|_| batch_size(&mut rng, 900)).collect();
+        assert!(samples.contains(&1));
+        assert!(samples.contains(&900));
+        assert!(samples.iter().all(|&b| (1..=900).contains(&b)));
+        // Spike at max: roughly 10% + log-uniform tail.
+        let at_max = samples.iter().filter(|&&b| b == 900).count();
+        assert!(at_max > 500, "at_max {at_max}");
+    }
+
+    #[test]
+    fn shots_typical_values() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<u32> = (0..5_000).map(|_| shots(&mut rng, 8192)).collect();
+        let at_8192 = samples.iter().filter(|&&s| s == 8192).count();
+        assert!(at_8192 > 2000, "8192 count {at_8192}");
+        assert!(samples.iter().all(|&s| s <= 8192));
+        // Capping respected.
+        assert!((0..100).all(|_| shots(&mut rng, 1000) <= 1000));
+    }
+
+    #[test]
+    fn width_respects_machine_size() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(width(&mut rng, 1), 1);
+        let small: Vec<usize> = (0..2_000).map(|_| width(&mut rng, 5)).collect();
+        let large: Vec<usize> = (0..2_000).map(|_| width(&mut rng, 65)).collect();
+        let mean_frac_small =
+            small.iter().sum::<usize>() as f64 / (2_000.0 * 5.0);
+        let mean_frac_large =
+            large.iter().sum::<usize>() as f64 / (2_000.0 * 65.0);
+        assert!(mean_frac_small > 0.55, "small {mean_frac_small}");
+        assert!(mean_frac_large < 0.30, "large {mean_frac_large}");
+        assert!(small.iter().all(|&w| (1..=5).contains(&w)));
+    }
+
+    #[test]
+    fn zipf_favors_low_ids() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let samples: Vec<u32> = (0..10_000).map(|_| zipf_provider(&mut rng, 40)).collect();
+        let ones = samples.iter().filter(|&&p| p == 1).count();
+        let thirties = samples.iter().filter(|&&p| p == 30).count();
+        assert!(ones > 10 * thirties.max(1) / 2, "ones {ones} thirties {thirties}");
+        assert!(samples.iter().all(|&p| (1..40).contains(&p)));
+    }
+
+    #[test]
+    fn log_uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = log_uniform(&mut rng, 10.0, 100.0);
+            assert!((10.0..=100.0).contains(&x));
+        }
+    }
+}

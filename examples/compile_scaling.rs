@@ -1,0 +1,40 @@
+//! Fig 5 demo: per-pass compile time for a current-generation circuit
+//! (QFT on the 65-qubit Hummingbird) versus a future ~1000-qubit target,
+//! measured on this crate's real transpiler passes.
+//!
+//! ```sh
+//! cargo run --release --example compile_scaling            # fast demo sizes
+//! cargo run --release --example compile_scaling -- --paper # 64q vs 980q
+//! ```
+
+use qcs::experiments::compile_scaling;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let paper_scale = std::env::args().any(|a| a == "--paper");
+    let (small, large) = if paper_scale { (64, 980) } else { (24, 200) };
+    println!("compiling QFT-{small} for 65q and QFT-{large} for ~1000q heavy-hex...");
+    let rows = compile_scaling(small, large)?;
+    println!(
+        "{:<20} {:>14} {:>14} {:>10}",
+        "pass", format!("{small}q"), format!("{large}q"), "blow-up"
+    );
+    for row in &rows {
+        println!(
+            "{:<20} {:>12.3?} {:>12.3?} {:>9.0}x",
+            row.pass,
+            row.small,
+            row.large,
+            row.blowup()
+        );
+    }
+    let total_small: std::time::Duration = rows.iter().map(|r| r.small).sum();
+    let total_large: std::time::Duration = rows.iter().map(|r| r.large).sum();
+    println!(
+        "{:<20} {:>12.3?} {:>12.3?} {:>9.0}x",
+        "TOTAL",
+        total_small,
+        total_large,
+        total_large.as_secs_f64() / total_small.as_secs_f64().max(1e-9)
+    );
+    Ok(())
+}

@@ -1,0 +1,124 @@
+//! Machine-selection advisor: the fidelity/queue-time trade-off of the
+//! paper's Recommendation ③ ("users can be allowed to trade-off fidelity
+//! for low queuing time and vice-versa").
+//!
+//! For a given benchmark circuit, the advisor compiles it for every
+//! machine that fits, scores expected fidelity from the compile-time CX
+//! metrics, estimates queue time from current machine load, and prints a
+//! ranked menu.
+//!
+//! ```sh
+//! cargo run --release --example machine_selection
+//! ```
+
+use qcs::cloud::{CloudConfig, Simulation};
+use qcs::machine::Fleet;
+use qcs::sim::qft_pos_circuit;
+use qcs::transpiler::{transpile, Target, TranspileOptions};
+use qcs::workload::{generate, WorkloadConfig};
+
+struct Option_ {
+    machine: String,
+    qubits: usize,
+    public: bool,
+    esp: f64,
+    cx_total: usize,
+    pending: f64,
+    est_queue_min: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fleet = Fleet::ibm_like();
+    let benchmark = qft_pos_circuit(4);
+    println!(
+        "advising for: qft_pos_4 ({} qubits, {} CX)\n",
+        benchmark.num_qubits(),
+        benchmark.cx_count()
+    );
+
+    // Estimate current load by replaying a week of synthetic demand.
+    let workload = generate(
+        &fleet,
+        &WorkloadConfig {
+            days: 7.0,
+            study_jobs: 0,
+            ..WorkloadConfig::default()
+        },
+    );
+    let result = Simulation::new(fleet.clone(), CloudConfig::default()).run(workload.jobs);
+
+    let mut options: Vec<Option_> = Vec::new();
+    let now_h = 5.0 * 24.0; // mid-week snapshot
+    for (idx, machine) in fleet.iter().enumerate() {
+        if machine.num_qubits() < benchmark.num_qubits() {
+            continue;
+        }
+        let target = Target::from_machine(machine, now_h);
+        let Ok(compiled) = transpile(&benchmark, &target, TranspileOptions::full()) else {
+            continue;
+        };
+        let snapshot = target.snapshot();
+        let esp = compiled.output_metrics.estimated_success_probability(
+            snapshot.avg_single_qubit_error(),
+            snapshot.avg_cx_error(),
+            snapshot.avg_readout_error(),
+        );
+        let pending = result.mean_pending(idx, (now_h - 24.0) * 3600.0, now_h * 3600.0);
+        // Rough queue estimate: pending jobs x mean service time.
+        let mean_service_min = machine
+            .cost_model()
+            .job_time_uniform_s(170, 20, 6000)
+            / 60.0;
+        options.push(Option_ {
+            machine: machine.name().to_string(),
+            qubits: machine.num_qubits(),
+            public: machine.access().is_public(),
+            esp,
+            cx_total: compiled.output_metrics.cx_total,
+            pending,
+            est_queue_min: pending * mean_service_min,
+        });
+    }
+
+    // Rank by fidelity; the queue column shows what that fidelity costs.
+    options.sort_by(|a, b| b.esp.partial_cmp(&a.esp).expect("esp finite"));
+    println!(
+        "{:<12} {:>3}  {:<10} {:>8} {:>8} {:>10} {:>12}",
+        "machine", "q", "access", "ESP", "CX", "pending", "est. queue"
+    );
+    for o in &options {
+        println!(
+            "{:<12} {:>3}  {:<10} {:>7.1}% {:>8} {:>10.1} {:>9.0} min",
+            o.machine,
+            o.qubits,
+            if o.public { "public" } else { "privileged" },
+            100.0 * o.esp,
+            o.cx_total,
+            o.pending,
+            o.est_queue_min
+        );
+    }
+
+    let best_fidelity = &options[0];
+    let fastest = options
+        .iter()
+        .min_by(|a, b| {
+            a.est_queue_min
+                .partial_cmp(&b.est_queue_min)
+                .expect("queue estimates finite")
+        })
+        .expect("at least one machine fits");
+    println!(
+        "\nbest fidelity: {} ({:.1}% ESP, ~{:.0} min queue)",
+        best_fidelity.machine,
+        100.0 * best_fidelity.esp,
+        best_fidelity.est_queue_min
+    );
+    println!(
+        "fastest start: {} ({:.1}% ESP, ~{:.0} min queue)",
+        fastest.machine,
+        100.0 * fastest.esp,
+        fastest.est_queue_min
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Algorithmic correctness of the benchmark library, validated end to end
+//! through the statevector simulator.
+
+use qcs::circuit::library;
+use qcs::sim::clbit_distribution;
+
+#[test]
+fn grover_finds_the_marked_state() {
+    for (n, marked) in [(2usize, 0b01u64), (3, 0b101), (4, 0b1101)] {
+        let c = library::grover(n, marked);
+        let dist = clbit_distribution(&c).unwrap();
+        let p = dist[marked as usize];
+        // Optimal-iteration Grover success probabilities: 100% at n=2,
+        // >94% at n=3, >96% at n=4.
+        assert!(p > 0.9, "grover {n}q found marked with p={p}");
+        // And the marked state is the argmax.
+        let max = dist.iter().cloned().fold(0.0f64, f64::max);
+        assert!((p - max).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn phase_estimation_reads_exact_phases() {
+    // phase = k / 2^precision is representable: outcome is exactly k.
+    for precision in 2usize..=4 {
+        for k in [1u64, (1 << precision) - 1, 1 << (precision - 1)] {
+            let phase = k as f64 / f64::powi(2.0, precision as i32);
+            let c = library::phase_estimation(precision, phase);
+            let dist = clbit_distribution(&c).unwrap();
+            let p = dist[k as usize];
+            assert!(
+                p > 0.999,
+                "QPE precision={precision} phase={phase}: P[{k}]={p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn phase_estimation_concentrates_for_inexact_phase() {
+    // An unrepresentable phase still peaks at the nearest k.
+    let precision = 4;
+    let phase = 0.3; // nearest 4-bit fraction: 5/16 = 0.3125
+    let c = library::phase_estimation(precision, phase);
+    let dist = clbit_distribution(&c).unwrap();
+    let argmax = dist
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    assert_eq!(argmax, 5, "QPE should round 0.3 to 5/16");
+    assert!(dist[5] > 0.4);
+}
+
+#[test]
+fn grover_survives_transpilation() {
+    use qcs::topology::families;
+    use qcs::transpiler::{transpile, Target, TranspileOptions};
+    let c = library::grover(3, 0b110);
+    let target = Target::uniform("falcon", families::ibm_falcon_27q(), 5);
+    let compiled = transpile(&c, &target, TranspileOptions::full()).unwrap();
+    let (compact, _) = compiled.circuit.compacted();
+    let dist = clbit_distribution(&compact).unwrap();
+    assert!(dist[0b110] > 0.9, "transpiled grover degraded: {}", dist[0b110]);
+}

@@ -1,0 +1,179 @@
+//! End-to-end invariants of the full study pipeline (workload → cloud DES
+//! → analysis), on the smoke configuration.
+
+use qcs::cloud::JobOutcome;
+use qcs::stats::median;
+use qcs::{Study, StudyConfig};
+
+fn study() -> Study {
+    Study::run(&StudyConfig::smoke())
+}
+
+#[test]
+fn job_conservation() {
+    let s = study();
+    // Aggregates cover every job exactly once.
+    let total: u64 = s.result().outcome_counts.iter().sum();
+    assert_eq!(total, s.result().total_jobs);
+    // Every study job reached a terminal state and was recorded.
+    let study_records = s
+        .result()
+        .records
+        .iter()
+        .filter(|r| r.is_study)
+        .count();
+    assert_eq!(study_records, StudyConfig::smoke().workload.study_jobs);
+}
+
+#[test]
+fn time_ordering_invariants() {
+    let s = study();
+    for r in &s.result().records {
+        assert!(r.start_s >= r.submit_s, "job {} started before submit", r.id);
+        assert!(r.end_s >= r.start_s, "job {} ended before start", r.id);
+        if r.outcome == JobOutcome::Cancelled {
+            assert_eq!(r.exec_time_s(), 0.0);
+        } else {
+            assert!(r.exec_time_s() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn wasted_executions_fraction_matches_paper_band() {
+    // Paper Fig 2b: ~95% completed, ~5% wasted.
+    let (completed, errored, cancelled) = study().outcome_fractions();
+    assert!(
+        (0.90..=0.98).contains(&completed),
+        "completed {completed}"
+    );
+    assert!(errored + cancelled > 0.02, "wasted {}", errored + cancelled);
+}
+
+#[test]
+fn batching_reduces_per_circuit_queue_time() {
+    // Paper Fig 11: per-circuit queue time almost always decreases with
+    // batch size.
+    let s = study();
+    let rows = s.queue_time_vs_batch();
+    let populated: Vec<&(String, f64, f64, usize)> =
+        rows.iter().filter(|r| r.3 >= 10).collect();
+    assert!(populated.len() >= 3, "not enough populated buckets");
+    // Compare the smallest against the largest populated bucket.
+    let first = populated.first().unwrap();
+    let last = populated.last().unwrap();
+    assert!(
+        last.2 < first.2,
+        "per-circuit queue did not fall: {} -> {}",
+        first.2,
+        last.2
+    );
+}
+
+#[test]
+fn small_machines_are_more_utilized() {
+    // Paper Fig 8.
+    let s = study();
+    let util = s.utilization_by_machine();
+    let of = |name: &str| {
+        util.iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.summary.median)
+    };
+    if let (Some(small), Some(large)) = (of("athens"), of("manhattan")) {
+        assert!(small > large, "athens {small} manhattan {large}");
+    }
+}
+
+#[test]
+fn larger_machines_run_slower() {
+    // Paper Fig 13: a common trend that larger machines have higher
+    // run times.
+    let s = study();
+    let exec = s.exec_time_by_machine();
+    let of = |name: &str| {
+        exec.iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.summary.median)
+            .unwrap_or(0.0)
+    };
+    assert!(of("manhattan") > of("athens"));
+}
+
+#[test]
+fn execution_time_scales_with_batch() {
+    // Paper Fig 14.
+    let s = study();
+    let points = s.runtime_vs_batch();
+    let small: Vec<f64> = points
+        .iter()
+        .filter(|(b, _)| *b <= 20)
+        .map(|(_, t)| *t)
+        .collect();
+    let large: Vec<f64> = points
+        .iter()
+        .filter(|(b, _)| *b >= 400)
+        .map(|(_, t)| *t)
+        .collect();
+    assert!(!small.is_empty() && !large.is_empty());
+    assert!(median(&large) > 5.0 * median(&small));
+}
+
+#[test]
+fn queue_times_dominate_execution_times() {
+    // Paper §III-C: queuing dominates execution on average (ratios well
+    // above 1 in the upper half of the distribution).
+    let s = study();
+    let ratios = s.queue_exec_ratios_sorted();
+    let high = qcs::stats::quantile(&ratios, 0.75);
+    assert!(high > 2.0, "p75 ratio {high}");
+}
+
+#[test]
+fn prediction_correlation_is_high() {
+    // Paper Fig 15: correlation >= 0.95 on all but two machines. On the
+    // smoke study we demand a high pooled correlation and mostly-high
+    // per-machine values.
+    let s = study();
+    let p = s.prediction_study(11);
+    assert!(p.overall_correlation > 0.9, "overall {}", p.overall_correlation);
+    let high = p
+        .per_machine
+        .iter()
+        .filter(|m| m.correlation > 0.9)
+        .count();
+    assert!(
+        high * 10 >= p.per_machine.len() * 7,
+        "only {high}/{} machines above 0.9",
+        p.per_machine.len()
+    );
+}
+
+#[test]
+fn calibration_crossovers_exist() {
+    let s = study();
+    let f = s.calibration_crossover_fraction();
+    assert!(f > 0.0, "no crossovers observed");
+    assert!(f < 0.9, "implausibly many crossovers: {f}");
+}
+
+#[test]
+fn queue_samples_cover_all_machines() {
+    let s = study();
+    let machines: std::collections::HashSet<usize> = s
+        .result()
+        .queue_samples
+        .iter()
+        .map(|q| q.machine)
+        .collect();
+    assert_eq!(machines.len(), 25);
+}
+
+#[test]
+fn study_is_deterministic() {
+    let a = Study::run(&StudyConfig::smoke());
+    let b = Study::run(&StudyConfig::smoke());
+    assert_eq!(a.result().total_jobs, b.result().total_jobs);
+    assert_eq!(a.result().outcome_counts, b.result().outcome_counts);
+    assert_eq!(a.queue_times_sorted_min(), b.queue_times_sorted_min());
+}

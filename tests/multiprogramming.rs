@@ -1,0 +1,60 @@
+//! Cross-crate validation of multiprogramming (paper §IV ③): packed
+//! programs must stay independent — the combined readout distribution
+//! factorizes into the individual circuits' distributions.
+
+use qcs::circuit::{library, Circuit};
+use qcs::sim::clbit_distribution;
+use qcs::topology::families;
+use qcs::transpiler::{multiprog, Target};
+
+#[test]
+fn combined_distribution_is_product_of_marginals() {
+    let target = Target::uniform("falcon", families::ibm_falcon_27q(), 9);
+    let a = library::ghz(3); // 50/50 on 000 / 111
+    let b = {
+        let mut c = Circuit::new(2);
+        c.x(0).measure_all();
+        c // deterministic: always 01
+    };
+    let packed = multiprog::pack(&[&a, &b], &target).unwrap();
+    let (compact, _) = packed.combined.compacted();
+    let dist = clbit_distribution(&compact).unwrap();
+    let a_offset = packed.clbit_offsets[0];
+    let b_offset = packed.clbit_offsets[1];
+    assert_eq!(a_offset, 0);
+    assert_eq!(b_offset, 3);
+    let p = |word: usize| dist.get(word).copied().unwrap_or(0.0);
+    let b_word = 0b01 << b_offset;
+    assert!((p(b_word) - 0.5).abs() < 1e-9, "ghz 000 x b 01");
+    assert!((p(0b111 | b_word) - 0.5).abs() < 1e-9, "ghz 111 x b 01");
+    assert!(p(0b000) < 1e-12 && p(0b111) < 1e-12);
+}
+
+#[test]
+fn three_way_pack_runs_noisily() {
+    use qcs::machine::Fleet;
+    use qcs::sim::NoisySimulator;
+
+    let fleet = Fleet::ibm_like();
+    let machine = fleet.get("toronto").unwrap();
+    let target = Target::from_machine(machine, 10.0);
+    let circuits = [library::ghz(4), library::ghz(3), library::w_state(3)];
+    let refs: Vec<&Circuit> = circuits.iter().collect();
+    let packed = multiprog::pack(&refs, &target).unwrap();
+    let (compact, region) = packed.combined.compacted();
+    let snapshot = target.snapshot().restricted(&region);
+    let counts = NoisySimulator::with_seed(3)
+        .run(&compact, &snapshot, 2048)
+        .unwrap();
+    assert_eq!(counts.total(), 2048);
+    // GHZ-4 marginal still concentrates on 0000/1111.
+    let mut ghz_mass = 0.0;
+    for (&word, &count) in counts.iter() {
+        let ghz_bits = word & 0b1111;
+        if ghz_bits == 0 || ghz_bits == 0b1111 {
+            ghz_mass += count as f64;
+        }
+    }
+    ghz_mass /= counts.total() as f64;
+    assert!(ghz_mass > 0.7, "ghz marginal degraded to {ghz_mass}");
+}

@@ -1,0 +1,246 @@
+//! Property-based tests over the core data structures and algorithms.
+
+use proptest::prelude::*;
+
+use qcs::circuit::{library, qasm, Circuit, CircuitMetrics, Gate};
+use qcs::cloud::{Discipline, JobQueue, JobSpec};
+use qcs::sim::{clbit_distribution, equivalent_unitaries, Statevector};
+use qcs::stats;
+use qcs::topology::{bisection_bandwidth, families, CouplingGraph};
+use qcs::transpiler::{transpile, Target, TranspileOptions};
+
+/// A random small circuit (≤ 5 qubits) built from a gate-op script.
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    let op = (0u8..8, 0usize..5, 0usize..5, -3.0f64..3.0);
+    proptest::collection::vec(op, 1..40).prop_map(|ops| {
+        let mut c = Circuit::new(5);
+        for (kind, a, b, theta) in ops {
+            let b = if b == a { (b + 1) % 5 } else { b };
+            match kind {
+                0 => {
+                    c.h(a);
+                }
+                1 => {
+                    c.x(a);
+                }
+                2 => {
+                    c.rz(theta, a);
+                }
+                3 => {
+                    c.ry(theta, a);
+                }
+                4 => {
+                    c.cx(a, b);
+                }
+                5 => {
+                    c.cz(a, b);
+                }
+                6 => {
+                    c.cp(theta, a, b);
+                }
+                _ => {
+                    c.swap(a, b);
+                }
+            }
+        }
+        c.measure_all();
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transpile_preserves_distribution(circuit in arb_circuit(), seed in 0u64..1000) {
+        let target = Target::uniform("falcon", families::ibm_falcon_27q(), seed);
+        let original = clbit_distribution(&circuit).unwrap();
+        let compiled = transpile(&circuit, &target, TranspileOptions::full()).unwrap();
+        let (compact, _) = compiled.circuit.compacted();
+        let output = clbit_distribution(&compact).unwrap();
+        let l1: f64 = original
+            .iter()
+            .zip(&output)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        prop_assert!(l1 < 1e-6, "distribution moved by {}", l1);
+    }
+
+    #[test]
+    fn statevector_stays_normalized(circuit in arb_circuit()) {
+        let state = Statevector::from_circuit(&circuit).unwrap();
+        prop_assert!((state.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qasm_round_trip_preserves_metrics(circuit in arb_circuit()) {
+        let text = qasm::to_qasm(&circuit);
+        let back = qasm::from_qasm(&text).unwrap();
+        let a = CircuitMetrics::of(&circuit);
+        let b = CircuitMetrics::of(&back);
+        prop_assert_eq!(a.total_gates, b.total_gates);
+        prop_assert_eq!(a.cx_total, b.cx_total);
+        prop_assert_eq!(a.depth, b.depth);
+        prop_assert_eq!(a.measurements, b.measurements);
+    }
+
+    #[test]
+    fn inverse_restores_identity(circuit in arb_circuit()) {
+        // circuit ; circuit^-1 maps |0..0> back to |0..0>.
+        let mut round_trip = Circuit::new(5);
+        for inst in circuit.instructions() {
+            if inst.gate.is_unitary() && !inst.gate.is_directive() {
+                round_trip.push(inst.clone());
+            }
+        }
+        round_trip.extend_from(&circuit.inverse()).unwrap();
+        let state = Statevector::from_circuit(&round_trip).unwrap();
+        prop_assert!(state.probabilities()[0] > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn optimization_preserves_distribution(circuit in arb_circuit()) {
+        let optimized = qcs::transpiler::optimize::optimize(&circuit);
+        let a = clbit_distribution(&circuit).unwrap();
+        let b = clbit_distribution(&optimized).unwrap();
+        let l1: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        prop_assert!(l1 < 1e-9, "optimization moved distribution by {}", l1);
+        prop_assert!(optimized.size() <= circuit.size());
+    }
+
+    #[test]
+    fn depth_bounds(circuit in arb_circuit()) {
+        let m = CircuitMetrics::of(&circuit);
+        prop_assert!(m.cx_depth <= m.depth);
+        prop_assert!(m.depth <= m.total_gates);
+        prop_assert!(m.cx_depth <= m.cx_total);
+        prop_assert!(m.active_qubits <= m.width);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(mut values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q25 = stats::quantile_sorted(&values, 0.25);
+        let q50 = stats::quantile_sorted(&values, 0.5);
+        let q75 = stats::quantile_sorted(&values, 0.75);
+        prop_assert!(q25 <= q50 && q50 <= q75);
+        prop_assert!(q25 >= values[0] && q75 <= values[values.len() - 1]);
+    }
+
+    #[test]
+    fn pearson_bounded(
+        x in proptest::collection::vec(-1e3f64..1e3, 3..100),
+        shift in -10.0f64..10.0
+    ) {
+        let y: Vec<f64> = x.iter().map(|v| v * 2.0 + shift).collect();
+        let r = stats::pearson(&x, &y);
+        prop_assert!(r <= 1.0 + 1e-12);
+        // Perfect linear relation unless x is constant.
+        let constant = x.iter().all(|&v| (v - x[0]).abs() < 1e-12);
+        if !constant {
+            prop_assert!((r - 1.0).abs() < 1e-6, "r = {}", r);
+        }
+    }
+
+    #[test]
+    fn bisection_bounded_by_edges(
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 1..40)
+    ) {
+        let graph = CouplingGraph::from_edges(12, &edges);
+        let bw = bisection_bandwidth(&graph);
+        prop_assert!(bw <= graph.num_edges());
+    }
+
+    #[test]
+    fn gate_inverse_involution(theta in -6.3f64..6.3) {
+        for gate in [Gate::Rx(theta), Gate::Ry(theta), Gate::Rz(theta), Gate::Cp(theta)] {
+            let inv = gate.inverse().unwrap();
+            let back = inv.inverse().unwrap();
+            prop_assert_eq!(gate, back);
+        }
+    }
+
+    #[test]
+    fn basis_translation_is_unitarily_equivalent(circuit in arb_circuit(), seed in 0u64..500) {
+        // Stronger than distribution preservation: catches phase errors.
+        let translated = qcs::transpiler::basis::translate_to_basis(&circuit);
+        prop_assert!(
+            equivalent_unitaries(&circuit, &translated, 3, seed).unwrap(),
+            "basis translation changed the unitary"
+        );
+    }
+
+    #[test]
+    fn optimization_is_unitarily_equivalent(circuit in arb_circuit(), seed in 0u64..500) {
+        let optimized = qcs::transpiler::optimize::optimize(&circuit);
+        prop_assert!(
+            equivalent_unitaries(&circuit, &optimized, 3, seed).unwrap(),
+            "optimization changed the unitary"
+        );
+    }
+
+    #[test]
+    fn job_queues_conserve_jobs(
+        providers in proptest::collection::vec(0u32..8, 1..60),
+        discipline_pick in 0u8..3
+    ) {
+        let discipline = match discipline_pick {
+            0 => Discipline::default(),
+            1 => Discipline::Fifo,
+            _ => Discipline::ShortestJobFirst,
+        };
+        let mut queue = JobQueue::new(discipline, 8);
+        for (i, &p) in providers.iter().enumerate() {
+            queue.push(
+                JobSpec {
+                    id: i as u64,
+                    provider: p,
+                    machine: 0,
+                    circuits: 1 + (i as u32 % 50),
+                    shots: 1024,
+                    mean_depth: 10.0,
+                    mean_width: 2.0,
+                    submit_s: i as f64,
+                    is_study: false,
+                    patience_s: f64::INFINITY,
+                },
+                (i % 17) as f64 + 1.0,
+            );
+        }
+        prop_assert_eq!(queue.len(), providers.len());
+        let mut seen = std::collections::HashSet::new();
+        let mut now = providers.len() as f64;
+        while let Some(job) = queue.pop(now) {
+            queue.charge(job.provider, 10.0);
+            prop_assert!(seen.insert(job.id), "job popped twice");
+            now += 1.0;
+        }
+        prop_assert_eq!(seen.len(), providers.len());
+        prop_assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn snapshot_restriction_preserves_values(
+        subset_size in 1usize..6,
+        seed in 0u64..100
+    ) {
+        use qcs::calibration::NoiseProfile;
+        use qcs::topology::families;
+        let graph = families::ibm_h_7q();
+        let snap = NoiseProfile::with_seed(seed).snapshot(&graph, 0);
+        let subset: Vec<usize> = (0..subset_size.min(7)).collect();
+        let restricted = snap.restricted(&subset);
+        for (new, &old) in subset.iter().enumerate() {
+            prop_assert_eq!(restricted.qubit(new), snap.qubit(old));
+        }
+    }
+
+    #[test]
+    fn qft_metrics_formula(n in 2usize..10) {
+        let c = library::qft(n);
+        let m = CircuitMetrics::of(&c);
+        prop_assert_eq!(m.cx_total, n * (n - 1) / 2 + n / 2);
+        prop_assert_eq!(m.single_qubit_gates, n);
+        prop_assert_eq!(m.measurements, n);
+    }
+}

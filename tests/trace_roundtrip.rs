@@ -1,0 +1,46 @@
+//! The trace module round-trips a real simulated study: figures computed
+//! from re-imported records match the originals exactly.
+
+use qcs::cloud::trace::{read_records, write_records};
+use qcs::cloud::JobOutcome;
+use qcs::{Study, StudyConfig};
+
+#[test]
+fn study_trace_survives_export_import() {
+    let study = Study::run(&StudyConfig::smoke());
+    let records = &study.result().records;
+
+    let mut buffer = Vec::new();
+    write_records(&mut buffer, records).expect("export succeeds");
+    let restored = read_records(buffer.as_slice()).expect("import succeeds");
+
+    assert_eq!(&restored, records);
+
+    // Recomputed headline statistics agree exactly.
+    let queue_minutes = |rs: &[qcs::cloud::JobRecord]| -> Vec<f64> {
+        let mut v: Vec<f64> = rs
+            .iter()
+            .filter(|r| r.is_study && r.outcome != JobOutcome::Cancelled)
+            .map(|r| r.queue_time_s() / 60.0)
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    };
+    assert_eq!(queue_minutes(&restored), study.queue_times_sorted_min());
+}
+
+#[test]
+fn trace_is_parseable_by_line_tools() {
+    // The CSV must stay flat and line-oriented for external analysis.
+    let study = Study::run(&StudyConfig::smoke());
+    let mut buffer = Vec::new();
+    write_records(&mut buffer, &study.result().records).expect("export succeeds");
+    let text = String::from_utf8(buffer).expect("trace is utf-8");
+    let mut lines = text.lines();
+    let header = lines.next().expect("has header");
+    let columns = header.split(',').count();
+    assert_eq!(columns, 14);
+    for line in lines {
+        assert_eq!(line.split(',').count(), columns, "ragged row: {line}");
+    }
+}
