@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Local CI gate: release build, full test suite, and zero-warning clippy.
+# Run from the repository root before pushing.
+set -euo pipefail
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+
+echo "ci.sh: all checks passed"

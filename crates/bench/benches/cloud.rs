@@ -1,7 +1,8 @@
 //! Criterion benchmarks of the cloud DES and workload generator (the
 //! substrate behind Figs 2-4 and 9-14).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcs::{Study, StudyConfig};
 use qcs_cloud::{CloudConfig, FairShareQueue, JobSpec, Simulation};
 use qcs_machine::Fleet;
 use qcs_workload::{generate, WorkloadConfig};
@@ -66,5 +67,30 @@ fn bench_fair_share_queue(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_des, bench_workload_generation, bench_fair_share_queue);
+fn bench_study_analysis(c: &mut Criterion) {
+    // Per-machine analysis fan-out (violins + pending-job scans) at 1 vs
+    // 4 worker threads; results are identical, only wall-clock differs.
+    let mut group = c.benchmark_group("study_analysis_smoke");
+    for threads in [1usize, 4] {
+        let study = Study::run(&StudyConfig::smoke().with_threads(threads));
+        group.bench_with_input(BenchmarkId::new("threads", threads), &study, |b, study| {
+            b.iter(|| {
+                (
+                    study.queue_time_by_machine(),
+                    study.exec_time_by_machine(),
+                    study.pending_jobs_by_machine(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_des,
+    bench_workload_generation,
+    bench_fair_share_queue,
+    bench_study_analysis
+);
 criterion_main!(benches);

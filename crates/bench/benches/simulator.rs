@@ -34,5 +34,42 @@ fn bench_noisy_run(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_statevector, bench_noisy_run);
+fn bench_parallel_trajectories(c: &mut Criterion) {
+    // The execution-engine scaling benchmark: a 16-trajectory 10-qubit
+    // workload (the acceptance workload for the >= 2x @ 4-threads
+    // criterion) swept across worker-pool sizes. Counts are bit-identical
+    // across the whole sweep. `QCS_THREADS=t` appends an extra point for
+    // machines whose interesting core count isn't in the default sweep.
+    let circuit = qft_pos_circuit(10);
+    let snapshot = NoiseProfile::with_seed(1).snapshot(&families::complete(10), 0);
+    let mut thread_counts = vec![1usize, 2, 4, 8];
+    let env = qcs_exec::ExecConfig::from_env().threads;
+    if env != 0 && !thread_counts.contains(&env) {
+        thread_counts.push(env);
+    }
+    let mut group = c.benchmark_group("noisy_qft10_traj16");
+    for threads in thread_counts {
+        let sim = NoisySimulator {
+            trajectories: 16,
+            seed: 7,
+            ..NoisySimulator::default()
+        }
+        .with_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &sim,
+            |b, sim| {
+                b.iter(|| sim.run(&circuit, &snapshot, 16_384).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_statevector,
+    bench_noisy_run,
+    bench_parallel_trajectories
+);
 criterion_main!(benches);

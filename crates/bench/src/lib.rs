@@ -28,11 +28,13 @@ use qcs::{Study, StudyConfig};
 #[must_use]
 pub fn study_from_args() -> Study {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let config = if smoke {
+    let mut config = if smoke {
         StudyConfig::smoke()
     } else {
         StudyConfig::full()
     };
+    // Analysis worker-pool size; QCS_THREADS=1 forces sequential.
+    config.exec = qcs::ExecConfig::from_env();
     eprintln!(
         "[qcs-bench] running {} study ({} days)...",
         if smoke { "smoke" } else { "full" },

@@ -86,8 +86,8 @@ pub fn draw(circuit: &Circuit) -> String {
             if rows.len() >= 2 {
                 let lo = *rows.iter().min().expect("two operands");
                 let hi = *rows.iter().max().expect("two operands");
-                for gap in lo..hi {
-                    connector[gap][column] = true;
+                for gap_row in &mut connector[lo..hi] {
+                    gap_row[column] = true;
                 }
             }
         }

@@ -1,0 +1,247 @@
+//! An offline, in-workspace stand-in for the subset of the `criterion`
+//! benchmark API this workspace uses: [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], `b.iter(..)`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! crate cannot be resolved; this crate is path-substituted for it. It is
+//! a plain wall-clock harness: each benchmark is warmed up briefly, then
+//! timed for a fixed budget, and one human-readable plus one
+//! machine-readable (`BENCH {json}`) line is printed per benchmark.
+//! Budgets are tunable with `QCS_BENCH_WARMUP_MS` / `QCS_BENCH_MEASURE_MS`.
+
+#![warn(clippy::all)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_ms(name: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_ms),
+    )
+}
+
+/// A benchmark identifier, shown in reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs and times the
+/// routine.
+#[derive(Debug)]
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(warmup: Duration, measure: Duration) -> Self {
+        Bencher {
+            warmup,
+            measure,
+            mean_ns: 0.0,
+            iters: 0,
+        }
+    }
+
+    /// Time `routine`, first warming up, then measuring in growing batches
+    /// until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut batch = 1u64;
+        while total < self.measure {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+            batch = (batch * 2).min(1_048_576);
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: env_ms("QCS_BENCH_WARMUP_MS", 60),
+            measure: env_ms("QCS_BENCH_MEASURE_MS", 300),
+        }
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(full_id: &str, warmup: Duration, measure: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher::new(warmup, measure);
+    f(&mut bencher);
+    println!(
+        "{full_id:<50} time: {:>12}   ({} iters)",
+        human_time(bencher.mean_ns),
+        bencher.iters
+    );
+    println!(
+        "BENCH {{\"id\":\"{full_id}\",\"mean_ns\":{:.1},\"iters\":{}}}",
+        bencher.mean_ns, bencher.iters
+    );
+}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.warmup, self.measure, |b| f(b));
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.criterion.warmup, self.criterion.measure, |b| {
+            f(b);
+        });
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.criterion.warmup, self.criterion.measure, |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Finish the group (a no-op in this harness).
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Ignore harness flags passed by `cargo bench` (e.g. --bench).
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(1), Duration::from_millis(5));
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.mean_ns > 0.0);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(16).id, "16");
+        assert_eq!(BenchmarkId::new("f", 2).id, "f/2");
+    }
+
+    #[test]
+    fn human_time_units() {
+        assert!(human_time(10.0).ends_with("ns"));
+        assert!(human_time(10_000.0).ends_with("µs"));
+        assert!(human_time(10_000_000.0).ends_with("ms"));
+    }
+}

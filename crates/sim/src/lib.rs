@@ -36,4 +36,4 @@ pub use noisy::{
     clbit_distribution, measurement_map, probability_of_success, qft_pos_circuit,
     used_clbit_width, NoisySimulator,
 };
-pub use statevector::{SimError, Statevector, MAX_QUBITS};
+pub use statevector::{CdfSampler, SimError, Statevector, MAX_QUBITS};

@@ -10,10 +10,11 @@
 
 use qcs_calibration::CalibrationSnapshot;
 use qcs_circuit::{Circuit, Gate, Instruction, Qubit};
+use qcs_exec::ExecConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{Counts, SimError, Statevector};
+use crate::{CdfSampler, Counts, SimError, Statevector};
 
 /// Monte-Carlo noisy simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +28,11 @@ pub struct NoisySimulator {
     /// gate's duration against the operand qubits' calibrated coherence
     /// times. Off by default (gate + readout errors only).
     pub decoherence: bool,
+    /// Worker threads for the trajectory loop; `0` (default) means
+    /// [`std::thread::available_parallelism`]. Counts are bit-identical
+    /// at any thread count: every trajectory draws from its own RNG,
+    /// seeded by SplitMix64 from `(seed, trajectory index)`.
+    pub threads: usize,
 }
 
 impl Default for NoisySimulator {
@@ -35,6 +41,7 @@ impl Default for NoisySimulator {
             trajectories: 128,
             seed: 0,
             decoherence: false,
+            threads: 0,
         }
     }
 }
@@ -57,9 +64,23 @@ impl NoisySimulator {
         self
     }
 
+    /// Set the trajectory-loop worker thread count (`0` = auto); returns
+    /// the modified simulator for chaining. The result of
+    /// [`NoisySimulator::run`] does not depend on this value.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Execute `circuit` for `shots` shots under the noise described by
     /// `snapshot`. Operand indices of the circuit must be physical qubits
     /// covered by the snapshot (i.e. run this on *transpiled* circuits).
+    ///
+    /// Trajectories run on a bounded worker pool ([`NoisySimulator::threads`])
+    /// and each one seeds its own RNG from `(self.seed, trajectory index)`
+    /// via SplitMix64, so the returned [`Counts`] are bit-identical for a
+    /// given seed at any thread count.
     ///
     /// # Errors
     ///
@@ -80,34 +101,49 @@ impl NoisySimulator {
             snapshot.num_qubits() >= circuit.num_qubits(),
             "snapshot narrower than circuit"
         );
-        let mut rng = StdRng::seed_from_u64(self.seed);
         let measure_map = measurement_map(circuit);
         let width = used_clbit_width(&measure_map);
-        let mut counts = Counts::new(width);
 
         let trajectories = self.trajectories.clamp(1, shots as usize);
         let base = shots as usize / trajectories;
         let extra = shots as usize % trajectories;
 
-        for t in 0..trajectories {
-            let traj_shots = base + usize::from(t < extra);
-            if traj_shots == 0 {
-                continue;
-            }
-            let state = self.run_trajectory(circuit, snapshot, &mut rng)?;
-            for _ in 0..traj_shots {
-                let basis = state.sample(&mut rng);
-                let mut word = 0u64;
-                for &(q, c) in &measure_map {
-                    let mut bit = (basis >> q) & 1;
-                    let ro = snapshot.qubit(q).readout_error;
-                    if rng.gen_range(0.0..1.0) < ro {
-                        bit ^= 1;
+        let indices: Vec<usize> = (0..trajectories).collect();
+        let exec = ExecConfig::with_threads(self.threads);
+        // Each worker reuses one CDF table allocation across all the
+        // trajectories it processes.
+        let partials = qcs_exec::parallel_map_with(
+            &exec,
+            &indices,
+            CdfSampler::default,
+            |sampler, _, &t| -> Result<Counts, SimError> {
+                let traj_shots = base + usize::from(t < extra);
+                let mut rng = StdRng::seed_from_u64(qcs_exec::derive_seed(self.seed, t as u64));
+                let state = self.run_trajectory(circuit, snapshot, &mut rng)?;
+                sampler.rebuild(&state);
+                let mut counts = Counts::new(width);
+                for _ in 0..traj_shots {
+                    let basis = sampler.sample(&mut rng);
+                    let mut word = 0u64;
+                    for &(q, c) in &measure_map {
+                        let mut bit = (basis >> q) & 1;
+                        let ro = snapshot.qubit(q).readout_error;
+                        if rng.gen_range(0.0..1.0) < ro {
+                            bit ^= 1;
+                        }
+                        word |= (bit as u64) << c;
                     }
-                    word |= (bit as u64) << c;
+                    counts.record(word, 1);
                 }
-                counts.record(word, 1);
-            }
+                Ok(counts)
+            },
+        );
+
+        // Merge in trajectory order; the first error (by trajectory
+        // index) wins, matching what a sequential loop would report.
+        let mut counts = Counts::new(width);
+        for partial in partials {
+            counts.merge(&partial?);
         }
         Ok(counts)
     }
@@ -269,12 +305,13 @@ pub fn used_clbit_width(measure_map: &[(usize, usize)]) -> usize {
 /// measurement maps spanning more clbits than [`crate::MAX_QUBITS`].
 pub fn clbit_distribution(circuit: &Circuit) -> Result<Vec<f64>, SimError> {
     let state = Statevector::from_circuit(circuit)?;
-    let probs = state.probabilities();
     let map = measurement_map(circuit);
     let width = used_clbit_width(&map);
     if width > crate::MAX_QUBITS {
         return Err(SimError::TooManyQubits { requested: width });
     }
+    let mut probs = Vec::new();
+    state.probabilities_into(&mut probs);
     let mut dist = vec![0.0f64; 1 << width];
     for (basis, &p) in probs.iter().enumerate() {
         let mut word = 0u64;
@@ -459,6 +496,24 @@ mod tests {
     fn zero_shots_rejected() {
         let c = qft_pos_circuit(2);
         let _ = NoisySimulator::default().run(&c, &noiseless_snapshot(2), 0);
+    }
+
+    #[test]
+    fn counts_invariant_under_thread_count() {
+        // The determinism guarantee of the execution engine: same seed +
+        // same circuit => bit-identical Counts at 1, 2, and 8 threads.
+        let c = qft_pos_circuit(4);
+        let snap = noisy_snapshot(4, 2.0);
+        let sim = NoisySimulator {
+            trajectories: 16,
+            seed: 5,
+            ..NoisySimulator::default()
+        };
+        let reference = sim.with_threads(1).run(&c, &snap, 4096).unwrap();
+        for threads in [2, 8] {
+            let counts = sim.with_threads(threads).run(&c, &snap, 4096).unwrap();
+            assert_eq!(reference, counts, "diverged at {threads} threads");
+        }
     }
 
     #[test]

@@ -328,15 +328,29 @@ impl Statevector {
         self.amps.iter().map(|a| a.norm_sqr()).collect()
     }
 
+    /// Write the measurement probabilities into `buf` (cleared first),
+    /// reusing its allocation — the zero-allocation variant of
+    /// [`Statevector::probabilities`] for hot loops.
+    pub fn probabilities_into(&self, buf: &mut Vec<f64>) {
+        buf.clear();
+        buf.extend(self.amps.iter().map(|a| a.norm_sqr()));
+    }
+
     /// Sample one basis state according to the measurement distribution.
+    ///
+    /// A single linear scan; when drawing many shots from the same state,
+    /// build a [`CdfSampler`] once instead (`O(n)` per shot becomes
+    /// `O(log n)`).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let mut u: f64 = rng.gen_range(0.0..1.0);
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // Forward prefix accumulation — the same summation order (and
+        // therefore the same rounding) as the CdfSampler table.
+        let mut acc = 0.0f64;
         for (idx, amp) in self.amps.iter().enumerate() {
-            let p = amp.norm_sqr();
-            if u < p {
+            acc += amp.norm_sqr();
+            if u < acc {
                 return idx;
             }
-            u -= p;
         }
         self.amps.len() - 1 // numerical tail
     }
@@ -360,6 +374,74 @@ impl Statevector {
             inner += a.conj() * *b;
         }
         inner.norm_sqr()
+    }
+}
+
+/// A cached cumulative-probability table for repeated sampling from one
+/// [`Statevector`].
+///
+/// Building costs one `O(2^n)` pass; every subsequent
+/// [`CdfSampler::sample`] is a binary search (`O(n)` for `n` qubits)
+/// instead of the `O(2^n)` linear scan of [`Statevector::sample`]. For
+/// `s` shots the total drops from `O(s * 2^n)` to `O(2^n + s * n)`.
+///
+/// Draws are bit-identical to [`Statevector::sample`] on the same RNG
+/// stream: both consume exactly one uniform per draw and resolve it
+/// against the same forward prefix sums.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_circuit::Circuit;
+/// use qcs_sim::{CdfSampler, Statevector};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let state = Statevector::from_circuit(&bell).unwrap();
+/// let sampler = CdfSampler::of(&state);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let outcome = sampler.sample(&mut rng);
+/// assert!(outcome == 0b00 || outcome == 0b11);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CdfSampler {
+    cdf: Vec<f64>,
+}
+
+impl CdfSampler {
+    /// Build the table for `state`.
+    #[must_use]
+    pub fn of(state: &Statevector) -> Self {
+        let mut sampler = CdfSampler::default();
+        sampler.rebuild(state);
+        sampler
+    }
+
+    /// Rebuild the table for a new `state`, reusing the allocation — the
+    /// zero-allocation path for loops that sample many states (e.g. one
+    /// per Pauli trajectory).
+    pub fn rebuild(&mut self, state: &Statevector) {
+        state.probabilities_into(&mut self.cdf);
+        let mut acc = 0.0f64;
+        for p in &mut self.cdf {
+            acc += *p;
+            *p = acc;
+        }
+    }
+
+    /// Sample one basis state by binary search over the cumulative table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty (built from no state).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        assert!(!self.cdf.is_empty(), "CdfSampler::sample on an empty table");
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1) // numerical tail
     }
 }
 
@@ -523,6 +605,46 @@ mod tests {
         let zeros = (0..n).filter(|_| s.sample(&mut rng) == 0).count();
         let frac = zeros as f64 / n as f64;
         assert!((frac - 0.5).abs() < 0.03, "frac {frac}");
+    }
+
+    #[test]
+    fn probabilities_into_matches_probabilities() {
+        let c = library::ghz(4);
+        let s = Statevector::from_circuit(&c).unwrap();
+        let mut buf = vec![99.0; 3]; // stale content must be cleared
+        s.probabilities_into(&mut buf);
+        assert_eq!(buf, s.probabilities());
+    }
+
+    #[test]
+    fn cdf_sampler_matches_linear_scan_stream() {
+        // Same seed, same state: the cached-CDF sampler must reproduce the
+        // linear-scan sampler draw for draw.
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ry(0.7, 2).cx(1, 2);
+        let s = Statevector::from_circuit(&c).unwrap();
+        let sampler = CdfSampler::of(&s);
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        for _ in 0..2000 {
+            assert_eq!(sampler.sample(&mut rng_a), s.sample(&mut rng_b));
+        }
+    }
+
+    #[test]
+    fn cdf_sampler_rebuild_reuses_allocation() {
+        let a = Statevector::from_circuit(&library::ghz(3)).unwrap();
+        let b = Statevector::from_circuit(&library::qft(3)).unwrap();
+        let mut sampler = CdfSampler::of(&a);
+        sampler.rebuild(&b);
+        assert_eq!(sampler, CdfSampler::of(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty table")]
+    fn cdf_sampler_rejects_empty() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = CdfSampler::default().sample(&mut rng);
     }
 
     #[test]

@@ -42,5 +42,6 @@ pub use schedule::{DurationModel, ScheduledCircuit};
 pub use schedule::{schedule_alap, schedule_asap};
 pub use target::Target;
 pub use transpile::{
-    transpile, LayoutMethod, PassTimings, RoutingMethod, TranspileOptions, TranspileResult,
+    transpile, transpile_batch, LayoutMethod, PassTimings, RoutingMethod, TranspileOptions,
+    TranspileResult,
 };

@@ -5,6 +5,7 @@
 use std::time::Duration;
 
 use qcs_circuit::library;
+use qcs_exec::ExecConfig;
 use qcs_machine::{Fleet, Machine};
 use qcs_sim::{probability_of_success, qft_pos_circuit, NoisySimulator};
 use qcs_topology::{bisection_bandwidth, families};
@@ -141,9 +142,45 @@ pub fn fidelity_vs_cx(
     shots: u32,
     seed: u64,
 ) -> Result<Vec<FidelityRow>, TranspileError> {
+    // Worker-pool size from QCS_THREADS (unset = all cores), so the fig*
+    // binaries expose thread control without flag plumbing. Rows do not
+    // depend on the thread count.
+    fidelity_vs_cx_with(
+        &ExecConfig::from_env(),
+        fleet,
+        machine_names,
+        benchmark_qubits,
+        t_hours,
+        shots,
+        seed,
+    )
+}
+
+/// [`fidelity_vs_cx`] with an explicit worker pool: machines are compiled
+/// and simulated concurrently. Each machine's simulation is seeded
+/// independently of thread scheduling, so the rows are identical to the
+/// sequential run.
+///
+/// # Errors
+///
+/// Returns the [`TranspileError`] of the first (lowest-indexed) machine
+/// that fails to compile.
+///
+/// # Panics
+///
+/// Panics if a machine name is unknown or simulation fails (fleet machines
+/// are always simulable at 4 qubits).
+pub fn fidelity_vs_cx_with(
+    exec: &ExecConfig,
+    fleet: &Fleet,
+    machine_names: &[&str],
+    benchmark_qubits: usize,
+    t_hours: f64,
+    shots: u32,
+    seed: u64,
+) -> Result<Vec<FidelityRow>, TranspileError> {
     let circuit = qft_pos_circuit(benchmark_qubits);
-    let mut rows = Vec::new();
-    for &name in machine_names {
+    qcs_exec::try_parallel_map(exec, machine_names, |_, &name| {
         let machine = fleet
             .get(name)
             .unwrap_or_else(|| panic!("unknown machine {name}"));
@@ -154,14 +191,17 @@ pub fn fidelity_vs_cx(
         let (compact, region) = result.circuit.compacted();
         let region_snapshot = target.snapshot().restricted(&region);
         // Decoherence on: Fig 7 models real-hardware fidelity, where
-        // readout-window T1 decay matters.
+        // readout-window T1 decay matters. The trajectory loop runs
+        // single-threaded here — the fan-out across machines is already
+        // saturating the pool.
         let counts = NoisySimulator::with_seed(seed)
             .with_decoherence()
+            .with_threads(1)
             .run(&compact, &region_snapshot, shots)
             .expect("compacted circuits fit the simulator");
         let (cx_depth, cx_total, cx_depth_err, cx_total_err) =
             result.cx_fidelity_indicators(&target);
-        rows.push(FidelityRow {
+        Ok(FidelityRow {
             machine: name.to_string(),
             qubits: machine.num_qubits(),
             pos: probability_of_success(&counts, 0),
@@ -169,9 +209,8 @@ pub fn fidelity_vs_cx(
             cx_total,
             cx_depth_err,
             cx_total_err,
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 /// Fig 12b: the noise-aware layouts of the same circuit compiled against
@@ -236,9 +275,42 @@ pub fn stale_compilation_cost(
     shots: u32,
     seed: u64,
 ) -> Result<Vec<StalenessRow>, TranspileError> {
+    // Worker-pool size from QCS_THREADS (unset = all cores); rows do not
+    // depend on the thread count.
+    stale_compilation_cost_with(
+        &ExecConfig::from_env(),
+        machine,
+        benchmark_qubits,
+        days,
+        shots,
+        seed,
+    )
+}
+
+/// [`stale_compilation_cost`] with an explicit worker pool: days are
+/// evaluated concurrently. Each day already derives its own RNG seed
+/// (`seed ^ day`), so the rows are identical to the sequential run.
+///
+/// # Errors
+///
+/// Returns the [`TranspileError`] of the first (lowest-indexed) day whose
+/// compilation fails.
+///
+/// # Panics
+///
+/// Panics if simulation fails (benchmark circuits always fit the
+/// simulator after compaction).
+pub fn stale_compilation_cost_with(
+    exec: &ExecConfig,
+    machine: &Machine,
+    benchmark_qubits: usize,
+    days: u64,
+    shots: u32,
+    seed: u64,
+) -> Result<Vec<StalenessRow>, TranspileError> {
     let circuit = qft_pos_circuit(benchmark_qubits);
-    let mut rows = Vec::new();
-    for day in 0..days {
+    let days: Vec<u64> = (0..days).collect();
+    qcs_exec::try_parallel_map(exec, &days, |_, &day| {
         let exec_snapshot = machine.profile().snapshot(machine.topology(), day + 1);
         let mut pos = [0.0f64; 2];
         for (slot, compile_day) in [(0usize, day + 1), (1, day)] {
@@ -249,20 +321,21 @@ pub fn stale_compilation_cost(
             );
             let compiled = transpile(&circuit, &target, TranspileOptions::full())?;
             let (compact, region) = compiled.circuit.compacted();
-            // Execution always sees the *new* calibration.
+            // Execution always sees the *new* calibration. Trajectories
+            // run single-threaded: the per-day fan-out owns the pool.
             let counts = NoisySimulator::with_seed(seed ^ day)
                 .with_decoherence()
+                .with_threads(1)
                 .run(&compact, &exec_snapshot.restricted(&region), shots)
                 .expect("compacted benchmark is simulable");
             pos[slot] = probability_of_success(&counts, 0);
         }
-        rows.push(StalenessRow {
+        Ok(StalenessRow {
             compile_day: day,
             pos_fresh: pos[0],
             pos_stale: pos[1],
-        });
-    }
-    Ok(rows)
+        })
+    })
 }
 
 #[cfg(test)]
@@ -331,6 +404,28 @@ mod tests {
             assert!((0.0..=1.0).contains(&r.pos_fresh));
             assert!((0.0..=1.0).contains(&r.pos_stale));
         }
+    }
+
+    #[test]
+    fn parallel_experiments_match_sequential() {
+        let fleet = Fleet::ibm_like();
+        let names = ["casablanca", "toronto", "manhattan"];
+        let seq =
+            fidelity_vs_cx_with(&ExecConfig::sequential(), &fleet, &names, 4, 12.0, 512, 3)
+                .unwrap();
+        let par =
+            fidelity_vs_cx_with(&ExecConfig::with_threads(4), &fleet, &names, 4, 12.0, 512, 3)
+                .unwrap();
+        assert_eq!(seq, par);
+
+        let machine = fleet.get("toronto").unwrap();
+        let seq =
+            stale_compilation_cost_with(&ExecConfig::sequential(), machine, 4, 4, 512, 3)
+                .unwrap();
+        let par =
+            stale_compilation_cost_with(&ExecConfig::with_threads(4), machine, 4, 4, 512, 3)
+                .unwrap();
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -29,11 +29,13 @@
 pub mod experiments;
 mod study;
 
+pub use qcs_exec::ExecConfig;
 pub use study::{Study, StudyConfig};
 
 pub use qcs_calibration as calibration;
 pub use qcs_circuit as circuit;
 pub use qcs_cloud as cloud;
+pub use qcs_exec as exec;
 pub use qcs_machine as machine;
 pub use qcs_predictor as predictor;
 pub use qcs_sim as sim;

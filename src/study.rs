@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use qcs_cloud::{CloudConfig, JobOutcome, JobRecord, OutagePlan, Simulation, SimulationResult};
+use qcs_exec::ExecConfig;
 use qcs_machine::Fleet;
 use qcs_predictor::{run_prediction_study, PredictionStudy};
 use qcs_stats::{fraction_where, median, ViolinSummary};
@@ -20,6 +21,10 @@ pub struct StudyConfig {
     pub outage_interval_days: f64,
     /// Mean outage duration, hours.
     pub outage_duration_hours: f64,
+    /// Worker-pool configuration for the per-machine analysis fan-out
+    /// (violins, pending-job scans). Analysis results do not depend on
+    /// the thread count.
+    pub exec: ExecConfig,
 }
 
 impl StudyConfig {
@@ -35,6 +40,7 @@ impl StudyConfig {
             },
             outage_interval_days: 12.0,
             outage_duration_hours: 18.0,
+            exec: ExecConfig::default(),
         }
     }
 
@@ -47,7 +53,16 @@ impl StudyConfig {
             cloud: CloudConfig::default(),
             outage_interval_days: 12.0,
             outage_duration_hours: 18.0,
+            exec: ExecConfig::default(),
         }
+    }
+
+    /// Override the analysis worker-pool thread count (`0` = auto);
+    /// returns the modified config for chaining.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.exec = ExecConfig::with_threads(threads);
+        self
     }
 }
 
@@ -66,6 +81,7 @@ pub struct Study {
     study_circuits: Vec<StudyCircuit>,
     /// job id -> machine index, for study jobs.
     job_machine: HashMap<u64, usize>,
+    exec: ExecConfig,
 }
 
 impl Study {
@@ -100,6 +116,7 @@ impl Study {
             result,
             study_circuits,
             job_machine,
+            exec: config.exec,
         }
     }
 
@@ -245,18 +262,15 @@ impl Study {
             .map(|r| r.submit_s)
             .fold(0.0f64, f64::max);
         let from = (end - 7.0 * 86_400.0).max(0.0);
-        self.fleet
-            .iter()
-            .enumerate()
-            .map(|(idx, m)| {
-                (
-                    m.name().to_string(),
-                    m.num_qubits(),
-                    m.access().is_public(),
-                    self.result.mean_pending(idx, from, end + 1.0),
-                )
-            })
-            .collect()
+        let machines: Vec<_> = self.fleet.iter().collect();
+        qcs_exec::parallel_map(&self.exec, &machines, |idx, m| {
+            (
+                m.name().to_string(),
+                m.num_qubits(),
+                m.access().is_public(),
+                self.result.mean_pending(idx, from, end + 1.0),
+            )
+        })
     }
 
     // --- Fig 10 ---------------------------------------------------------
@@ -387,15 +401,12 @@ impl Study {
     ) -> Vec<(String, ViolinSummary)> {
         let mut keyed: Vec<(usize, Vec<f64>)> = per_machine.into_iter().collect();
         keyed.sort_by_key(|(m, _)| *m);
-        keyed
-            .into_iter()
-            .map(|(m, values)| {
-                (
-                    self.fleet.machines()[m].name().to_string(),
-                    ViolinSummary::of(&values, 32),
-                )
-            })
-            .collect()
+        qcs_exec::parallel_map(&self.exec, &keyed, |_, (m, values)| {
+            (
+                self.fleet.machines()[*m].name().to_string(),
+                ViolinSummary::of(values, 32),
+            )
+        })
     }
 }
 

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 
 use qcs::circuit::{library, qasm, Circuit, CircuitMetrics, Gate};
 use qcs::cloud::{Discipline, JobQueue, JobSpec};
-use qcs::sim::{clbit_distribution, equivalent_unitaries, Statevector};
+use qcs::sim::{clbit_distribution, equivalent_unitaries, CdfSampler, Statevector};
 use qcs::stats;
 use qcs::topology::{bisection_bandwidth, families, CouplingGraph};
 use qcs::transpiler::{transpile, Target, TranspileOptions};
@@ -70,6 +70,24 @@ proptest! {
     fn statevector_stays_normalized(circuit in arb_circuit()) {
         let state = Statevector::from_circuit(&circuit).unwrap();
         prop_assert!((state.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_sampler_matches_linear_scan(circuit in arb_circuit(), seed in 0u64..1_000_000) {
+        // The O(log n) CDF sampler must be bit-exact with the O(n)
+        // linear-scan sampler on the same RNG stream: both consume one
+        // uniform draw per shot and share the same prefix-sum rounding.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let state = Statevector::from_circuit(&circuit).unwrap();
+        let sampler = CdfSampler::of(&state);
+        let mut rng_cdf = StdRng::seed_from_u64(seed);
+        let mut rng_scan = StdRng::seed_from_u64(seed);
+        for shot in 0..64 {
+            let fast = sampler.sample(&mut rng_cdf);
+            let naive = state.sample(&mut rng_scan);
+            prop_assert_eq!(fast, naive, "diverged at shot {}", shot);
+        }
     }
 
     #[test]
