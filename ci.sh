@@ -5,6 +5,15 @@ set -euo pipefail
 
 cargo build --release
 cargo test -q
+
+# Invariant gates: the DES must match the brute-force reference simulator
+# record-for-record, and the end-to-end study must pass under the auditor.
+# Both run inside `cargo test -q` too; the explicit invocations keep the
+# gates visible and fail fast with a focused report.
+cargo test -q -p qcs-cloud
+cargo test -q --test properties des_matches_reference
+cargo test -q --test end_to_end_study audit_invariants_hold_on_smoke_study
+
 cargo clippy --all-targets -- -D warnings
 
 echo "ci.sh: all checks passed"

@@ -108,10 +108,21 @@ impl JobQueue {
         }
     }
 
-    /// Charge provider usage (fair-share only; a no-op otherwise).
-    pub fn charge(&mut self, provider: u32, seconds: f64) {
+    /// Charge provider usage at time `now_s` (fair-share only; a no-op
+    /// otherwise). Usage is decayed to `now_s` before the charge lands.
+    pub fn charge(&mut self, provider: u32, seconds: f64, now_s: f64) {
         if let JobQueue::FairShare(q) = self {
-            q.charge(provider, seconds);
+            q.charge(provider, seconds, now_s);
+        }
+    }
+
+    /// Lifetime per-provider charged seconds, undecayed (fair-share only;
+    /// `None` for disciplines without usage accounting).
+    #[must_use]
+    pub fn charged_raw(&self) -> Option<&[f64]> {
+        match self {
+            JobQueue::FairShare(q) => Some(q.charged_raw()),
+            JobQueue::Fifo(_) | JobQueue::ShortestJobFirst(_) => None,
         }
     }
 
@@ -184,7 +195,7 @@ mod tests {
     fn fair_share_variant_delegates() {
         let mut q = JobQueue::new(Discipline::default(), 2);
         q.push(job(1, 0, 0.0), 1.0);
-        q.charge(0, 1000.0);
+        q.charge(0, 1000.0, 0.0);
         q.push(job(2, 1, 1.0), 1.0);
         // Provider 1 has no usage: its job goes first.
         assert_eq!(q.pop(2.0).unwrap().id, 2);
@@ -203,6 +214,18 @@ mod tests {
             assert_eq!(q.remove(1).map(|j| j.id), Some(1));
             assert_eq!(q.len(), 1);
             assert!(q.remove(99).is_none());
+        }
+    }
+
+    #[test]
+    fn charged_raw_only_for_fair_share() {
+        let mut fair = JobQueue::new(Discipline::default(), 2);
+        fair.charge(1, 30.0, 5.0);
+        assert_eq!(fair.charged_raw(), Some(&[0.0, 30.0][..]));
+        for discipline in [Discipline::Fifo, Discipline::ShortestJobFirst] {
+            let mut q = JobQueue::new(discipline, 2);
+            q.charge(0, 10.0, 0.0); // no-op
+            assert_eq!(q.charged_raw(), None);
         }
     }
 

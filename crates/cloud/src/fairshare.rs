@@ -21,6 +21,10 @@ pub struct FairShareQueue {
     shares: Vec<f64>,
     /// Per-provider exponentially-decayed usage, seconds of machine time.
     usage: Vec<f64>,
+    /// Per-provider lifetime charged seconds, *undecayed* (audit
+    /// accounting: must equal the sum of the provider's execution
+    /// intervals on this machine).
+    charged_raw: Vec<f64>,
     /// Usage half-life, seconds.
     half_life_s: f64,
     /// Last time usage was decayed.
@@ -37,6 +41,7 @@ impl FairShareQueue {
             queues: vec![VecDeque::new(); num_providers],
             shares: vec![1.0; num_providers],
             usage: vec![0.0; num_providers],
+            charged_raw: vec![0.0; num_providers],
             half_life_s,
             last_decay_s: 0.0,
             len: 0,
@@ -103,9 +108,24 @@ impl FairShareQueue {
         job
     }
 
-    /// Charge `seconds` of machine usage to `provider`.
-    pub fn charge(&mut self, provider: u32, seconds: f64) {
+    /// Charge `seconds` of machine usage to `provider` at time `now_s`.
+    ///
+    /// All providers' usage is decayed to `now_s` *before* the charge
+    /// lands, so the new seconds enter the accumulator at full weight.
+    /// (Charging without decaying first would leave `last_decay_s` stale
+    /// and over-decay the fresh seconds by the whole elapsed interval on
+    /// the next `pop` — a time skew that mis-orders providers.)
+    pub fn charge(&mut self, provider: u32, seconds: f64, now_s: f64) {
+        self.decay_to(now_s);
         self.usage[provider as usize] += seconds;
+        self.charged_raw[provider as usize] += seconds;
+    }
+
+    /// Lifetime per-provider charged seconds, undecayed. The audit layer
+    /// checks these against the sum of each provider's execution intervals.
+    #[must_use]
+    pub fn charged_raw(&self) -> &[f64] {
+        &self.charged_raw
     }
 
     /// Remove a specific queued job by id (user cancellation). Returns the
@@ -166,7 +186,7 @@ mod tests {
     #[test]
     fn low_usage_provider_jumps_ahead() {
         let mut q = FairShareQueue::new(2, 3600.0);
-        q.charge(0, 1000.0); // provider 0 has been hogging
+        q.charge(0, 1000.0, 0.0); // provider 0 has been hogging
         q.push(job(1, 0, 0.0));
         q.push(job(2, 1, 5.0)); // later submit, but fresher provider
         assert_eq!(q.pop(10.0).unwrap().id, 2);
@@ -177,8 +197,8 @@ mod tests {
     fn shares_weight_priority() {
         let mut q = FairShareQueue::new(2, 3600.0);
         q.set_share(1, 10.0);
-        q.charge(0, 100.0);
-        q.charge(1, 500.0); // more usage but 10x share -> ratio 50 < 100
+        q.charge(0, 100.0, 0.0);
+        q.charge(1, 500.0, 0.0); // more usage but 10x share -> ratio 50 < 100
         q.push(job(1, 0, 0.0));
         q.push(job(2, 1, 1.0));
         assert_eq!(q.pop(2.0).unwrap().id, 2);
@@ -188,7 +208,7 @@ mod tests {
     fn usage_decays_over_time() {
         // Old usage is forgiven relative to fresh usage.
         let mut q = FairShareQueue::new(2, 100.0);
-        q.charge(0, 1000.0); // ancient hog
+        q.charge(0, 1000.0, 0.0); // ancient hog
         let mut later = q.clone();
         // Immediately, provider 0 loses to untouched provider 1.
         q.push(job(1, 0, 0.0));
@@ -196,11 +216,40 @@ mod tests {
         assert_eq!(q.pop(0.0).unwrap().id, 2);
         // Ten half-lives later, provider 0's usage ~1s; provider 1 charged
         // 500s recently, so provider 0 now wins.
-        later.decay_to(1000.0);
-        later.charge(1, 500.0);
+        later.charge(1, 500.0, 1000.0);
         later.push(job(1, 0, 1000.0));
         later.push(job(2, 1, 1000.5));
         assert_eq!(later.pop(1000.0).unwrap().id, 1);
+    }
+
+    #[test]
+    fn charge_decays_to_charge_time_first() {
+        // Regression: `charge` must decay usage to the charge time before
+        // adding. The old code added seconds undecayed and left
+        // `last_decay_s` stale, so on the next `pop` the fresh charge was
+        // over-decayed by the whole elapsed interval — here exactly one
+        // half-life, producing a spurious 50/50 tie.
+        let mut q = FairShareQueue::new(2, 100.0);
+        // Provider 0 works 100 s at t = 0.
+        q.charge(0, 100.0, 0.0);
+        // One half-life later, provider 1 works 100 s. Correct accounting:
+        // provider 0 decays to 50, provider 1 sits at a full 100.
+        q.charge(1, 100.0, 100.0);
+        // Provider 1's queued job has the earlier submit, so under the
+        // buggy tie it would win the tie-break and pop first.
+        q.push(job(1, 1, 0.0));
+        q.push(job(2, 0, 5.0));
+        assert_eq!(q.pop(100.0).unwrap().id, 2, "provider 0 is fresher");
+        assert_eq!(q.pop(100.0).unwrap().id, 1);
+    }
+
+    #[test]
+    fn charged_raw_accumulates_undecayed() {
+        let mut q = FairShareQueue::new(2, 100.0);
+        q.charge(0, 100.0, 0.0);
+        q.charge(0, 50.0, 1000.0); // many half-lives later
+        q.charge(1, 7.0, 2000.0);
+        assert_eq!(q.charged_raw(), &[150.0, 7.0]);
     }
 
     #[test]
@@ -228,7 +277,7 @@ mod tests {
         let mut order = Vec::new();
         let mut now = 10.0;
         while let Some(j) = q.pop(now) {
-            q.charge(j.provider, 60.0);
+            q.charge(j.provider, 60.0, now);
             order.push(j.provider);
             now += 60.0;
         }

@@ -31,13 +31,16 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod audit;
 mod discipline;
 mod fairshare;
 mod job;
 mod outage;
+pub mod reference;
 mod sim;
 pub mod trace;
 
+pub use audit::{AuditReport, AuditViolation, Auditor};
 pub use discipline::{Discipline, JobQueue};
 pub use fairshare::FairShareQueue;
 pub use job::{JobOutcome, JobRecord, JobSpec, QueueSample};

@@ -41,6 +41,12 @@ pub struct CloudConfig {
     /// Keep a full [`JobRecord`] for background jobs whose
     /// `id % divisor == 0` (study jobs are always kept). `1` keeps all.
     pub background_record_divisor: u64,
+    /// Run the invariant [`audit`](crate::audit) over the run: every
+    /// terminal record (including background records that sampling would
+    /// drop) is observed and checked for causality, work conservation,
+    /// fair-share conservation, aggregate consistency, and queue-sample
+    /// sanity. The report lands in [`SimulationResult::audit`].
+    pub audit: bool,
 }
 
 impl Default for CloudConfig {
@@ -53,6 +59,7 @@ impl Default for CloudConfig {
             error_rate: 0.045,
             sample_interval_hours: 6.0,
             background_record_divisor: 1,
+            audit: false,
         }
     }
 }
@@ -73,6 +80,8 @@ pub struct SimulationResult {
     /// Machine executions (circuits x shots) of completed/errored jobs,
     /// binned by the day the job finished (whole population).
     pub daily_executions: Vec<u64>,
+    /// The invariant-audit report, when [`CloudConfig::audit`] was set.
+    pub audit: Option<crate::AuditReport>,
 }
 
 impl SimulationResult {
@@ -135,7 +144,8 @@ impl SimulationResult {
     }
 
     /// Fraction of executed (non-cancelled) recorded jobs that crossed a
-    /// calibration boundary between submission and execution (Fig 12a).
+    /// calibration boundary between submission and the end of execution
+    /// (Fig 12a).
     #[must_use]
     pub fn calibration_crossover_fraction(&self) -> f64 {
         let executed: Vec<&JobRecord> = self
@@ -276,11 +286,7 @@ impl Simulation {
                 job.id
             );
         }
-        jobs.sort_by(|a, b| {
-            a.submit_s
-                .partial_cmp(&b.submit_s)
-                .expect("submit times are finite")
-        });
+        jobs.sort_by(|a, b| a.submit_s.total_cmp(&b.submit_s));
 
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut queues: Vec<JobQueue> = (0..n_machines)
@@ -292,6 +298,7 @@ impl Simulation {
         let mut events: BinaryHeap<Event> = BinaryHeap::new();
         let mut seq = 0u64;
         let mut result = SimulationResult::default();
+        let mut auditor = self.config.audit.then(crate::Auditor::new);
         let sample_interval_s = self.config.sample_interval_hours * 3600.0;
         let mut next_sample_s = sample_interval_s;
 
@@ -370,10 +377,17 @@ impl Simulation {
             match event.kind {
                 EventKind::Completion { machine } => {
                     let done = executing[machine].take().expect("completion without job");
-                    queues[machine].charge(done.job.provider, done.end_s - done.start_s);
+                    // Charge at the completion time so usage decays to
+                    // "now" before the executed seconds land.
+                    queues[machine].charge(
+                        done.job.provider,
+                        done.end_s - done.start_s,
+                        done.end_s,
+                    );
                     pending_memo.remove(&done.job.id);
                     self.finish(
                         &mut result,
+                        &mut auditor,
                         JobRecord {
                             id: done.job.id,
                             provider: done.job.provider,
@@ -424,6 +438,7 @@ impl Simulation {
                         let pending = pending_memo.remove(&job.id).unwrap_or(0);
                         self.finish(
                             &mut result,
+                            &mut auditor,
                             JobRecord {
                                 id: job.id,
                                 provider: job.provider,
@@ -445,12 +460,28 @@ impl Simulation {
                 }
             }
         }
+        if let Some(auditor) = auditor {
+            let charged_raw: Vec<Option<Vec<f64>>> = queues
+                .iter()
+                .map(|q| q.charged_raw().map(<[f64]>::to_vec))
+                .collect();
+            result.audit = Some(auditor.finalize(&result, &self.outages, &charged_raw));
+        }
         result
     }
 
     /// Record a terminal job state: aggregates always, the full record
-    /// subject to background sampling.
-    fn finish(&self, result: &mut SimulationResult, record: JobRecord) {
+    /// subject to background sampling. The auditor (when enabled) observes
+    /// every record *before* sampling can drop it.
+    fn finish(
+        &self,
+        result: &mut SimulationResult,
+        auditor: &mut Option<crate::Auditor>,
+        record: JobRecord,
+    ) {
+        if let Some(a) = auditor.as_mut() {
+            a.observe(&record);
+        }
         result.total_jobs += 1;
         let slot = match record.outcome {
             JobOutcome::Completed => 0,
@@ -516,11 +547,16 @@ impl Simulation {
         } else {
             (JobOutcome::Completed, noisy)
         };
-        let crossed = m
-            .schedule()
-            .crossover(job.submit_s / 3600.0, now_s / 3600.0);
         let pending = pending_memo.get(&job.id).copied().unwrap_or(0);
         let end_s = now_s + duration;
+        // A job's results are stale if a calibration ran anywhere between
+        // submission (= compile time) and the *end* of execution: a
+        // boundary crossed mid-run invalidates the results just the same
+        // as one crossed while queued (paper Fig 12a). Checking against
+        // the dispatch time would systematically miss long jobs.
+        let crossed = m
+            .schedule()
+            .crossover(job.submit_s / 3600.0, end_s / 3600.0);
         events.push(Event {
             time_s: end_s,
             seq: *seq,
@@ -805,5 +841,163 @@ mod tests {
     fn executions_counted() {
         let result = sim().run(vec![job(0, 1, 0.0)]);
         assert_eq!(result.records[0].executions(), 5 * 1024);
+    }
+
+    #[test]
+    fn crossover_counted_when_run_spans_calibration() {
+        // Regression: a job dispatched *before* the calibration hour whose
+        // execution crosses the boundary mid-run must count as a
+        // crossover. The old code compared submission to dispatch time and
+        // missed every boundary crossed during execution, biasing
+        // Fig 12a's fraction low for long jobs.
+        let fleet = Fleet::ibm_like();
+        let m = 1;
+        let cal_hour = fleet.machines()[m].schedule().calibration_hour;
+        let config = CloudConfig {
+            error_rate: 0.0,
+            exec_noise_cov: 0.0, // deterministic durations
+            audit: true,
+            ..CloudConfig::default()
+        };
+        // Empty machine: dispatched at submission, 5 s before calibration.
+        let mut big = job(0, m, cal_hour * 3600.0 - 5.0);
+        big.circuits = 900;
+        big.shots = 8192;
+        let result = Simulation::new(fleet, config).run(vec![big]);
+        let r = &result.records[0];
+        assert_eq!(r.queue_time_s(), 0.0, "job should not have queued");
+        assert!(r.exec_time_s() > 5.0, "job too short to span the boundary");
+        assert!(r.crossed_calibration, "mid-run crossover not counted");
+        result.audit.as_ref().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn cancel_at_exact_dispatch_instant_is_stale() {
+        // The blocker's completion event was enqueued before the waiter's
+        // cancel event, so at the shared instant the completion fires
+        // first, the waiter is dispatched, and the cancel finds nothing
+        // queued: the job runs.
+        let fleet = Fleet::ibm_like();
+        let config = CloudConfig {
+            error_rate: 0.0,
+            exec_noise_cov: 0.0,
+            audit: true,
+            ..CloudConfig::default()
+        };
+        let base = fleet.machines()[1]
+            .cost_model()
+            .job_time_uniform_s(5, 20, 1024);
+        let blocker = job(0, 1, 0.0); // completes at exactly `base`
+        let mut waiter = job(1, 1, 0.0); // same instant, after the blocker
+        waiter.patience_s = base; // cancel fires at exactly `base`
+        let result = Simulation::new(fleet, config).run(vec![blocker, waiter]);
+        assert_eq!(result.outcome_counts, [2, 0, 0]);
+        assert_eq!(result.total_jobs, 2);
+        let w = result.records.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(w.outcome, JobOutcome::Completed);
+        assert!((w.start_s - base).abs() < 1e-9, "started {}", w.start_s);
+        result.audit.as_ref().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn cancel_at_outage_end_beats_resume() {
+        // The reverse ordering: the cancel event was enqueued at arrival,
+        // before the resume event, so at the outage-end instant the job is
+        // cancelled first and the resume finds an empty queue.
+        use crate::OutagePlan;
+        let fleet = Fleet::ibm_like();
+        let mut windows = vec![Vec::new(); fleet.len()];
+        windows[1] = vec![(0.0, 100.0)];
+        let config = CloudConfig {
+            audit: true,
+            ..CloudConfig::default()
+        };
+        let mut j = job(0, 1, 10.0);
+        j.patience_s = 90.0; // fires at exactly the outage end
+        let result = Simulation::new(fleet, config)
+            .with_outages(OutagePlan::from_windows(windows))
+            .run(vec![j]);
+        assert_eq!(result.outcome_counts, [0, 0, 1]);
+        let r = &result.records[0];
+        assert_eq!(r.outcome, JobOutcome::Cancelled);
+        assert_eq!(r.start_s, 100.0);
+        assert_eq!(r.exec_time_s(), 0.0);
+        result.audit.as_ref().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn cancel_during_outage_window() {
+        use crate::OutagePlan;
+        let fleet = Fleet::ibm_like();
+        let mut windows = vec![Vec::new(); fleet.len()];
+        windows[1] = vec![(0.0, 1000.0)];
+        let config = CloudConfig {
+            audit: true,
+            ..CloudConfig::default()
+        };
+        let mut j = job(0, 1, 10.0);
+        j.patience_s = 50.0; // gives up mid-outage, at t = 60
+        let result = Simulation::new(fleet, config)
+            .with_outages(OutagePlan::from_windows(windows))
+            .run(vec![j]);
+        assert_eq!(result.outcome_counts, [0, 0, 1]);
+        assert_eq!(result.total_jobs, 1);
+        assert_eq!(result.records[0].start_s, 60.0);
+        result.audit.as_ref().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn stale_cancel_for_completed_job_is_ignored() {
+        // A finite patience far beyond the completion time leaves a stale
+        // cancel event in the heap; it must not double-record the job.
+        let config = CloudConfig {
+            error_rate: 0.0,
+            audit: true,
+            ..CloudConfig::default()
+        };
+        let mut j = job(0, 1, 0.0);
+        j.patience_s = 1e6;
+        let result = Simulation::new(Fleet::ibm_like(), config).run(vec![j]);
+        assert_eq!(result.records.len(), 1);
+        assert_eq!(result.total_jobs, 1);
+        assert_eq!(result.outcome_counts, [1, 0, 0]);
+        assert_eq!(result.records[0].outcome, JobOutcome::Completed);
+        result.audit.as_ref().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn audit_clean_on_busy_trace() {
+        // A contended multi-machine trace with cancellations, errors, and
+        // record sampling keeps every invariant.
+        let config = CloudConfig {
+            audit: true,
+            error_rate: 0.2,
+            background_record_divisor: 5,
+            sample_interval_hours: 0.01,
+            ..CloudConfig::default()
+        };
+        let jobs: Vec<JobSpec> = (0..120)
+            .map(|i| {
+                let mut j = job(i, (i % 3) as usize + 1, i as f64 * 3.0);
+                // Batches large enough that arrivals outpace service and
+                // queues build, so the impatient jobs actually cancel.
+                j.circuits = 40;
+                if i % 4 == 0 {
+                    j.patience_s = 20.0;
+                }
+                j
+            })
+            .collect();
+        let result = Simulation::new(Fleet::ibm_like(), config).run(jobs);
+        let report = result.audit.as_ref().expect("audit enabled");
+        assert_eq!(report.records_audited, 120);
+        report.assert_clean();
+        assert!(result.outcome_counts[2] > 0, "no cancellations exercised");
+    }
+
+    #[test]
+    fn audit_disabled_by_default() {
+        let result = sim().run(vec![job(0, 1, 0.0)]);
+        assert!(result.audit.is_none());
     }
 }

@@ -59,7 +59,7 @@ impl QueueWaitModel {
                 r.queue_time_s() / predicted.max(1e-9)
             })
             .collect();
-        ratios.sort_by(|a, b| a.partial_cmp(b).expect("ratios finite"));
+        ratios.sort_by(f64::total_cmp);
         let band = if ratios.is_empty() {
             (1.0, 1.0)
         } else {
@@ -140,7 +140,7 @@ pub fn evaluate_queue_prediction(
         .zip(&actual)
         .map(|(p, a)| (p - a).abs() / 60.0)
         .collect();
-    abs_err.sort_by(|a, b| a.partial_cmp(b).expect("errors finite"));
+    abs_err.sort_by(f64::total_cmp);
     let in_band = scored
         .iter()
         .zip(&actual)

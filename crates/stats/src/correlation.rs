@@ -57,11 +57,9 @@ pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
 /// Average ranks (1-based), ties share the mean rank.
 fn ranks(values: &[f64]) -> Vec<f64> {
     let mut order: Vec<usize> = (0..values.len()).collect();
-    order.sort_by(|&a, &b| {
-        values[a]
-            .partial_cmp(&values[b])
-            .expect("values must not be NaN")
-    });
+    // Total order: NaN ranks after every finite value instead of
+    // panicking the sort.
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
     let mut out = vec![0.0; values.len()];
     let mut i = 0;
     while i < order.len() {
@@ -129,5 +127,14 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatched_lengths_panic() {
         let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn spearman_tolerates_nan() {
+        // NaN ranks after the finite values; the call must not panic.
+        let x = [1.0, f64::NAN, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        let r = spearman(&x, &y);
+        assert!(r.is_finite());
     }
 }

@@ -25,23 +25,28 @@ pub fn std_dev(values: &[f64]) -> f64 {
     variance(values).sqrt()
 }
 
-/// Coefficient of variation (std/mean); 0 if the mean is 0.
+/// Coefficient of variation (std / |mean|); 0 if the mean is 0.
+///
+/// The magnitude of the mean is used so a sample with a negative mean
+/// still reports a non-negative dispersion (CoV is a scale-free spread
+/// measure, not a signed one).
 #[must_use]
 pub fn coefficient_of_variation(values: &[f64]) -> f64 {
     let m = mean(values);
     if m == 0.0 {
         0.0
     } else {
-        std_dev(values) / m
+        std_dev(values) / m.abs()
     }
 }
 
 /// The `q`-quantile (0..=1) with linear interpolation, computed on a sorted
-/// copy. Returns 0 for an empty slice.
+/// copy. Returns 0 for an empty slice. NaN values order after every finite
+/// value (total order), so they never poison the sort.
 ///
 /// # Panics
 ///
-/// Panics if `q` is outside `[0, 1]` or a value is NaN.
+/// Panics if `q` is outside `[0, 1]`.
 #[must_use]
 pub fn quantile(values: &[f64], q: f64) -> f64 {
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
@@ -49,7 +54,7 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+    sorted.sort_by(f64::total_cmp);
     quantile_sorted(&sorted, q)
 }
 
@@ -119,7 +124,7 @@ impl Summary {
             return Summary::default();
         }
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+        sorted.sort_by(f64::total_cmp);
         Summary {
             count: sorted.len(),
             min: sorted[0],
@@ -197,5 +202,24 @@ mod tests {
     #[should_panic(expected = "quantile must be in")]
     fn quantile_rejects_out_of_range() {
         let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn nan_values_sort_last_instead_of_panicking() {
+        // total_cmp orders NaN after every finite value, so the low
+        // quantiles of a partially-NaN sample stay finite.
+        let v = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert!((quantile(&v, 1.0 / 3.0) - 2.0).abs() < 1e-12);
+        assert!(quantile(&v, 1.0).is_nan());
+        let s = Summary::of(&v);
+        assert_eq!(s.min, 1.0);
+        assert!(s.max.is_nan());
+    }
+
+    #[test]
+    fn negative_mean_cov_is_positive() {
+        let v = [-2.0, -4.0, -4.0, -4.0, -5.0, -5.0, -7.0, -9.0];
+        assert_eq!(coefficient_of_variation(&v), 0.4);
     }
 }

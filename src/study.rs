@@ -132,6 +132,13 @@ impl Study {
         &self.result
     }
 
+    /// The invariant-audit report, present when the study ran with
+    /// [`CloudConfig::audit`] enabled.
+    #[must_use]
+    pub fn audit_report(&self) -> Option<&qcs_cloud::AuditReport> {
+        self.result.audit.as_ref()
+    }
+
     /// Per-circuit detail of study jobs.
     #[must_use]
     pub fn study_circuits(&self) -> &[StudyCircuit] {
@@ -196,7 +203,7 @@ impl Study {
             .iter()
             .map(|r| r.queue_time_s() / 60.0)
             .collect();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("queue times are finite"));
+        v.sort_by(f64::total_cmp);
         v
     }
 
@@ -223,7 +230,7 @@ impl Study {
             .iter()
             .filter_map(|r| r.queue_exec_ratio())
             .collect();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+        v.sort_by(f64::total_cmp);
         v
     }
 

@@ -6,7 +6,11 @@ use qcs::stats::median;
 use qcs::{Study, StudyConfig};
 
 fn study() -> Study {
-    Study::run(&StudyConfig::smoke())
+    // Every end-to-end test also runs under the invariant auditor: any
+    // causality, conservation, or aggregate violation panics the run.
+    let mut config = StudyConfig::smoke();
+    config.cloud.audit = true;
+    Study::run(&config)
 }
 
 #[test]
@@ -167,6 +171,14 @@ fn queue_samples_cover_all_machines() {
         .map(|q| q.machine)
         .collect();
     assert_eq!(machines.len(), 25);
+}
+
+#[test]
+fn audit_invariants_hold_on_smoke_study() {
+    let s = study();
+    let report = s.audit_report().expect("audit enabled");
+    assert!(report.records_audited as u64 >= s.result().total_jobs);
+    report.assert_clean();
 }
 
 #[test]

@@ -3,7 +3,10 @@
 use proptest::prelude::*;
 
 use qcs::circuit::{library, qasm, Circuit, CircuitMetrics, Gate};
-use qcs::cloud::{Discipline, JobQueue, JobSpec};
+use qcs::cloud::{
+    reference, CloudConfig, Discipline, JobQueue, JobSpec, OutagePlan, Simulation,
+};
+use qcs::machine::Fleet;
 use qcs::sim::{clbit_distribution, equivalent_unitaries, CdfSampler, Statevector};
 use qcs::stats;
 use qcs::topology::{bisection_bandwidth, families, CouplingGraph};
@@ -229,7 +232,7 @@ proptest! {
         let mut seen = std::collections::HashSet::new();
         let mut now = providers.len() as f64;
         while let Some(job) = queue.pop(now) {
-            queue.charge(job.provider, 10.0);
+            queue.charge(job.provider, 10.0, now);
             prop_assert!(seen.insert(job.id), "job popped twice");
             now += 1.0;
         }
@@ -260,5 +263,90 @@ proptest! {
         prop_assert_eq!(m.cx_total, n * (n - 1) / 2 + n / 2);
         prop_assert_eq!(m.single_qubit_gates, n);
         prop_assert_eq!(m.measurements, n);
+    }
+}
+
+/// A random small cloud trace: jobs on machines 0-3 from providers 0-3
+/// with strictly increasing submit times and a mix of patience levels
+/// (impatient enough to cancel, patient enough to run, infinite).
+fn arb_trace() -> impl Strategy<Value = Vec<JobSpec>> {
+    let job = (0usize..4, 0u32..4, 1u32..30, 1.0f64..400.0, 0u8..4);
+    proptest::collection::vec(job, 1..14).prop_map(|specs| {
+        let mut t = 0.0;
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (machine, provider, circuits, gap, patience_pick))| {
+                t += gap; // gaps >= 1 s keep submit times strictly increasing
+                JobSpec {
+                    id: i as u64,
+                    provider,
+                    machine,
+                    circuits,
+                    shots: 1024,
+                    mean_depth: 12.0,
+                    mean_width: 3.0,
+                    submit_s: t,
+                    is_study: i % 3 == 0,
+                    patience_s: match patience_pick {
+                        0 => 30.0,
+                        1 => 250.0,
+                        2 => 5_000.0,
+                        _ => f64::INFINITY,
+                    },
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    // 110 cases x 3 disciplines each: >= 100 random traces per discipline.
+    #![proptest_config(ProptestConfig::with_cases(110))]
+
+    #[test]
+    fn des_matches_reference(
+        jobs in arb_trace(),
+        seed in 0u64..10_000,
+        outage_pick in 0u8..3,
+        divisor in 1u64..4,
+    ) {
+        let fleet = Fleet::ibm_like();
+        let outages = match outage_pick {
+            0 => OutagePlan::none(fleet.len()),
+            1 => {
+                // Hand-placed windows overlapping the submission horizon,
+                // including back-to-back windows on one machine.
+                let mut windows = vec![Vec::new(); fleet.len()];
+                windows[0] = vec![(50.0, 900.0)];
+                windows[2] = vec![(300.0, 700.0), (1_000.0, 1_400.0)];
+                OutagePlan::from_windows(windows)
+            }
+            _ => OutagePlan::sample(fleet.len(), 0.1, 0.02, 0.2, seed),
+        };
+        for discipline in [
+            Discipline::FairShare { half_life_hours: 2.0 },
+            Discipline::Fifo,
+            Discipline::ShortestJobFirst,
+        ] {
+            let config = CloudConfig {
+                seed,
+                discipline,
+                sample_interval_hours: 0.05,
+                background_record_divisor: divisor,
+                audit: true,
+                ..CloudConfig::default()
+            };
+            let prod = Simulation::new(fleet.clone(), config)
+                .with_outages(outages.clone())
+                .run(jobs.clone());
+            let naive = reference::simulate(&fleet, &config, &outages, jobs.clone());
+            prop_assert_eq!(&prod.records, &naive.records);
+            prop_assert_eq!(&prod.queue_samples, &naive.queue_samples);
+            prop_assert_eq!(prod.total_jobs, naive.total_jobs);
+            prop_assert_eq!(prod.outcome_counts, naive.outcome_counts);
+            prop_assert_eq!(&prod.daily_executions, &naive.daily_executions);
+            prod.audit.expect("audit enabled").assert_clean();
+        }
     }
 }
