@@ -14,6 +14,14 @@ cargo test -q -p qcs-cloud
 cargo test -q --test properties des_matches_reference
 cargo test -q --test end_to_end_study audit_invariants_hold_on_smoke_study
 
+# Live-core gates: the incremental stepping engine must be bit-identical
+# to the batch run on random traces/disciplines/outages/step schedules,
+# and the gateway loopback smoke test (8 concurrent clients, forced
+# backpressure, graceful drain) must end with a clean audit.
+cargo test -q --test properties live_matches_batch
+cargo test -q --test gateway_smoke
+cargo test -q -p qcs-gateway
+
 cargo clippy --all-targets -- -D warnings
 
 echo "ci.sh: all checks passed"

@@ -35,6 +35,7 @@ pub mod audit;
 mod discipline;
 mod fairshare;
 mod job;
+mod live;
 mod outage;
 pub mod reference;
 mod sim;
@@ -44,5 +45,6 @@ pub use audit::{AuditReport, AuditViolation, Auditor};
 pub use discipline::{Discipline, JobQueue};
 pub use fairshare::FairShareQueue;
 pub use job::{JobOutcome, JobRecord, JobSpec, QueueSample};
+pub use live::{JobStatus, LiveCloud, SubmitError};
 pub use outage::OutagePlan;
 pub use sim::{CloudConfig, Simulation, SimulationResult};

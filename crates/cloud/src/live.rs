@@ -1,0 +1,956 @@
+//! The incremental (resumable) cloud-simulation core.
+//!
+//! [`LiveCloud`] is the event engine behind
+//! [`Simulation::run`](crate::Simulation::run), exposed as a stepping API:
+//! jobs can be [`submit`](LiveCloud::submit)ted at arbitrary simulation
+//! times, the clock advances via [`step_until`](LiveCloud::step_until),
+//! queued jobs can be [`cancel`](LiveCloud::cancel)led, and per-machine
+//! queue depth, fair-share state, and terminal records are observable
+//! while the simulation is in flight. This is what lets a network-fronted
+//! service (`qcs-gateway`) run the simulator *online* — job by job — in
+//! contrast to the batch replay of a complete trace.
+//!
+//! **Equivalence guarantee:** a trace submitted in submission-time order
+//! and advanced through any sequence of `step_until` calls produces
+//! records, queue samples, and aggregates *bit-for-bit identical* to
+//! `Simulation::run` on the same trace. The batch API is in fact a thin
+//! wrapper over this type, and `tests/properties.rs::live_matches_batch`
+//! locks the equivalence across disciplines, outage plans, and random
+//! step schedules.
+//!
+//! # Examples
+//!
+//! ```
+//! use qcs_cloud::{CloudConfig, JobSpec, LiveCloud};
+//! use qcs_machine::Fleet;
+//!
+//! let mut cloud = LiveCloud::new(Fleet::ibm_like(), CloudConfig::default());
+//! cloud.submit(JobSpec {
+//!     id: 0, provider: 0, machine: 1, circuits: 10, shots: 1024,
+//!     mean_depth: 20.0, mean_width: 3.0, submit_s: 5.0, is_study: true,
+//!     patience_s: f64::INFINITY,
+//! }).unwrap();
+//! cloud.step_until(5.0);
+//! assert_eq!(cloud.queue_depth(1), 1); // dispatched, executing
+//! cloud.run_to_completion();
+//! let result = cloud.into_result();
+//! assert_eq!(result.records.len(), 1);
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+use qcs_calibration::distributions::lognormal_with_cov;
+use qcs_machine::Fleet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{
+    CloudConfig, JobOutcome, JobQueue, JobRecord, JobSpec, OutagePlan, QueueSample,
+    SimulationResult,
+};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    Completion { machine: usize },
+    CancelCheck { job_id: u64, machine: usize },
+    Resume { machine: usize },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Event {
+    time_s: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time_s
+            .partial_cmp(&self.time_s)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A submitted job waiting for the clock to reach its submission time.
+#[derive(Debug, Clone, PartialEq)]
+struct Arrival {
+    job: JobSpec,
+    /// Submission order, for stable tie-breaking at equal submit times —
+    /// matching the stable sort the batch API historically applied.
+    seq: u64,
+}
+
+impl Eq for Arrival {}
+
+impl Ord for Arrival {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: earliest submit time (then earliest submission) first.
+        other
+            .job
+            .submit_s
+            .total_cmp(&self.job.submit_s)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Arrival {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Executing {
+    job: JobSpec,
+    start_s: f64,
+    end_s: f64,
+    outcome: JobOutcome,
+    crossed: bool,
+    pending_at_submit: usize,
+}
+
+/// Where a job currently is in its lifecycle, as tracked by
+/// [`LiveCloud::status`] (requires
+/// [`with_status_tracking`](LiveCloud::with_status_tracking)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobStatus {
+    /// Submitted, waiting in a machine queue (or for the clock to reach
+    /// its submission time).
+    Queued,
+    /// Dispatched and executing on its machine.
+    Running,
+    /// Ran to completion.
+    Completed,
+    /// Failed during execution.
+    Errored,
+    /// Withdrawn before dispatch.
+    Cancelled,
+}
+
+impl fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Completed => "completed",
+            JobStatus::Errored => "errored",
+            JobStatus::Cancelled => "cancelled",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why a [`LiveCloud::submit`] was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// The job targets a machine index outside the fleet.
+    UnknownMachine {
+        /// Offending job id.
+        job: u64,
+        /// The out-of-range machine index.
+        machine: usize,
+    },
+    /// The job's provider is outside `config.num_providers`.
+    UnknownProvider {
+        /// Offending job id.
+        job: u64,
+        /// The out-of-range provider id.
+        provider: u32,
+    },
+    /// The job's submission time precedes the current simulation clock —
+    /// the past cannot be rewritten.
+    SubmitInPast {
+        /// Offending job id.
+        job: u64,
+        /// The job's submission time (s).
+        submit_s: f64,
+        /// The current clock (s).
+        now_s: f64,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::UnknownMachine { job, machine } => {
+                write!(f, "job {job} targets unknown machine {machine}")
+            }
+            SubmitError::UnknownProvider { job, provider } => {
+                write!(f, "job {job} has unknown provider {provider}")
+            }
+            SubmitError::SubmitInPast {
+                job,
+                submit_s,
+                now_s,
+            } => write!(
+                f,
+                "job {job} submitted at {submit_s} s but the clock is already at {now_s} s"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The resumable cloud simulator: accepts submissions and cancellations
+/// at arbitrary simulation times and advances on demand.
+///
+/// See the [module docs](self) for the equivalence guarantee against the
+/// batch API.
+pub struct LiveCloud {
+    fleet: Fleet,
+    config: CloudConfig,
+    outages: OutagePlan,
+    rng: StdRng,
+    queues: Vec<JobQueue>,
+    executing: Vec<Option<Executing>>,
+    resume_scheduled: Vec<bool>,
+    events: BinaryHeap<Event>,
+    seq: u64,
+    arrivals: BinaryHeap<Arrival>,
+    arrival_seq: u64,
+    result: SimulationResult,
+    auditor: Option<crate::Auditor>,
+    sample_interval_s: f64,
+    next_sample_s: f64,
+    /// pending-at-submit memo for jobs currently queued or executing;
+    /// entries are removed at terminal events to bound memory.
+    pending_memo: HashMap<u64, usize>,
+    now_s: f64,
+    drain_cursor: usize,
+    statuses: Option<HashMap<u64, JobStatus>>,
+}
+
+impl fmt::Debug for LiveCloud {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LiveCloud")
+            .field("now_s", &self.now_s)
+            .field("machines", &self.fleet.len())
+            .field("pending_arrivals", &self.arrivals.len())
+            .field("pending_events", &self.events.len())
+            .field("total_jobs", &self.result.total_jobs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LiveCloud {
+    /// Create a live simulator over a fleet with no machine outages and no
+    /// per-job status tracking.
+    #[must_use]
+    pub fn new(fleet: Fleet, config: CloudConfig) -> Self {
+        let n_machines = fleet.len();
+        let sample_interval_s = config.sample_interval_hours * 3600.0;
+        LiveCloud {
+            rng: StdRng::seed_from_u64(config.seed),
+            queues: (0..n_machines)
+                .map(|_| JobQueue::new(config.discipline, config.num_providers))
+                .collect(),
+            executing: (0..n_machines).map(|_| None).collect(),
+            resume_scheduled: vec![false; n_machines],
+            events: BinaryHeap::new(),
+            seq: 0,
+            arrivals: BinaryHeap::new(),
+            arrival_seq: 0,
+            result: SimulationResult::default(),
+            auditor: config.audit.then(crate::Auditor::new),
+            sample_interval_s,
+            next_sample_s: sample_interval_s,
+            pending_memo: HashMap::new(),
+            now_s: 0.0,
+            drain_cursor: 0,
+            statuses: None,
+            outages: OutagePlan::none(n_machines),
+            fleet,
+            config,
+        }
+    }
+
+    /// Attach a maintenance/outage plan (see
+    /// [`Simulation::with_outages`](crate::Simulation::with_outages)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan covers a different number of machines.
+    #[must_use]
+    pub fn with_outages(mut self, outages: OutagePlan) -> Self {
+        assert_eq!(
+            outages.num_machines(),
+            self.fleet.len(),
+            "outage plan machine count mismatch"
+        );
+        self.outages = outages;
+        self
+    }
+
+    /// Enable per-job lifecycle tracking so [`status`](LiveCloud::status)
+    /// answers for every job ever submitted. Off by default: the batch
+    /// path runs millions of background jobs and does not need it.
+    #[must_use]
+    pub fn with_status_tracking(mut self) -> Self {
+        self.statuses = Some(HashMap::new());
+        self
+    }
+
+    /// The fleet under simulation.
+    #[must_use]
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// The current simulation clock, seconds.
+    #[must_use]
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Jobs pending on a machine right now: queued plus executing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is out of range.
+    #[must_use]
+    pub fn queue_depth(&self, machine: usize) -> usize {
+        self.queues[machine].len() + usize::from(self.executing[machine].is_some())
+    }
+
+    /// Per-provider lifetime charged seconds (undecayed) on a machine —
+    /// the live view of the fair-share state. `None` for disciplines
+    /// without usage accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` is out of range.
+    #[must_use]
+    pub fn fair_share_charged(&self, machine: usize) -> Option<&[f64]> {
+        self.queues[machine].charged_raw()
+    }
+
+    /// Jobs that reached a terminal state so far (whole population).
+    #[must_use]
+    pub fn total_jobs(&self) -> u64 {
+        self.result.total_jobs
+    }
+
+    /// Where `job_id` currently is. `None` when status tracking is off or
+    /// the id was never submitted.
+    #[must_use]
+    pub fn status(&self, job_id: u64) -> Option<JobStatus> {
+        self.statuses.as_ref()?.get(&job_id).copied()
+    }
+
+    /// Terminal records produced since the last drain (in terminal-event
+    /// order). Background jobs dropped by
+    /// [`CloudConfig::background_record_divisor`] sampling never appear.
+    pub fn drain_new_records(&mut self) -> Vec<JobRecord> {
+        let new = self.result.records[self.drain_cursor..].to_vec();
+        self.drain_cursor = self.result.records.len();
+        new
+    }
+
+    /// Submit a job. Its `submit_s` must not precede the current clock;
+    /// the job enters its machine's queue when the clock reaches it.
+    /// Jobs sharing a submission time arrive in submission order.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] when the job targets an unknown machine or
+    /// provider, or its submission time is already in the past.
+    pub fn submit(&mut self, job: JobSpec) -> Result<(), SubmitError> {
+        if job.machine >= self.fleet.len() {
+            return Err(SubmitError::UnknownMachine {
+                job: job.id,
+                machine: job.machine,
+            });
+        }
+        if (job.provider as usize) >= self.config.num_providers {
+            return Err(SubmitError::UnknownProvider {
+                job: job.id,
+                provider: job.provider,
+            });
+        }
+        if job.submit_s < self.now_s {
+            return Err(SubmitError::SubmitInPast {
+                job: job.id,
+                submit_s: job.submit_s,
+                now_s: self.now_s,
+            });
+        }
+        if let Some(statuses) = self.statuses.as_mut() {
+            statuses.insert(job.id, JobStatus::Queued);
+        }
+        self.arrivals.push(Arrival {
+            job,
+            seq: self.arrival_seq,
+        });
+        self.arrival_seq += 1;
+        Ok(())
+    }
+
+    /// Cancel a job that has not started executing. Returns `true` when
+    /// the job was withdrawn: a queued job leaves a cancelled
+    /// [`JobRecord`] at the current clock; a job whose submission time has
+    /// not been reached yet is silently unscheduled (it never entered the
+    /// service, so it produces no record). Running, finished, or unknown
+    /// jobs are not cancellable and return `false`.
+    pub fn cancel(&mut self, job_id: u64) -> bool {
+        // Not yet arrived? Unschedule without a record.
+        if self.arrivals.iter().any(|a| a.job.id == job_id) {
+            let drained = std::mem::take(&mut self.arrivals);
+            for arrival in drained {
+                if arrival.job.id != job_id {
+                    self.arrivals.push(arrival);
+                }
+            }
+            if let Some(statuses) = self.statuses.as_mut() {
+                statuses.insert(job_id, JobStatus::Cancelled);
+            }
+            return true;
+        }
+        // Sample instants that already passed must be recorded against the
+        // pre-cancellation queue state.
+        self.emit_samples_until(self.now_s);
+        for machine in 0..self.queues.len() {
+            if let Some(job) = self.queues[machine].remove(job_id) {
+                let pending = self.pending_memo.remove(&job.id).unwrap_or(0);
+                let now_s = self.now_s;
+                self.finish(JobRecord {
+                    id: job.id,
+                    provider: job.provider,
+                    machine,
+                    circuits: job.circuits,
+                    shots: job.shots,
+                    mean_width: job.mean_width,
+                    mean_depth: job.mean_depth,
+                    is_study: job.is_study,
+                    submit_s: job.submit_s,
+                    start_s: now_s,
+                    end_s: now_s,
+                    outcome: JobOutcome::Cancelled,
+                    pending_at_submit: pending,
+                    crossed_calibration: false,
+                });
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Advance the simulation clock to `t_s`, processing every arrival
+    /// and event up to (and including) that instant in time order.
+    /// Periodic queue samples are emitted exactly as the batch run does.
+    /// Passing a non-finite `t_s` drains everything
+    /// ([`run_to_completion`](LiveCloud::run_to_completion) is the
+    /// readable spelling). The clock never moves backwards; `t_s` in the
+    /// past is a no-op.
+    pub fn step_until(&mut self, t_s: f64) {
+        loop {
+            let next_arrival_s = self.arrivals.peek().map(|a| a.job.submit_s);
+            let next_event_s = self.events.peek().map(|e| e.time_s);
+            let now_s = match (next_arrival_s, next_event_s) {
+                (None, None) => break,
+                (Some(a), None) => a,
+                (None, Some(e)) => e,
+                (Some(a), Some(e)) => a.min(e),
+            };
+            if now_s > t_s {
+                break;
+            }
+            self.emit_samples_until(now_s);
+            self.now_s = now_s;
+
+            // Arrivals win ties so a job can start on an exactly-coincident
+            // completion.
+            if next_arrival_s.is_some_and(|a| next_event_s.is_none_or(|e| a <= e)) {
+                let job = self.arrivals.pop().expect("peeked arrival exists").job;
+                self.admit(job, now_s);
+                continue;
+            }
+
+            let event = self.events.pop().expect("event exists");
+            self.process_event(event);
+        }
+        if t_s.is_finite() {
+            self.now_s = self.now_s.max(t_s);
+        }
+    }
+
+    /// Drain every pending arrival and event; the clock ends at the last
+    /// terminal instant.
+    pub fn run_to_completion(&mut self) {
+        self.step_until(f64::INFINITY);
+    }
+
+    /// Finish the run: finalize the audit (when enabled) and return the
+    /// accumulated [`SimulationResult`]. Pending arrivals or in-flight
+    /// jobs are *not* drained automatically — call
+    /// [`run_to_completion`](LiveCloud::run_to_completion) first unless a
+    /// truncated result is intended.
+    #[must_use]
+    pub fn into_result(self) -> SimulationResult {
+        let mut result = self.result;
+        if let Some(auditor) = self.auditor {
+            let charged_raw: Vec<Option<Vec<f64>>> = self
+                .queues
+                .iter()
+                .map(|q| q.charged_raw().map(<[f64]>::to_vec))
+                .collect();
+            result.audit = Some(auditor.finalize(&result, &self.outages, &charged_raw));
+        }
+        result
+    }
+
+    /// Emit queue samples for all machines up to `now_s`. Also called
+    /// before any externally-triggered state change (cancellation) so a
+    /// sample instant that already passed is recorded against the state
+    /// that actually held at that instant.
+    fn emit_samples_until(&mut self, now_s: f64) {
+        while self.next_sample_s <= now_s {
+            for (m, queue) in self.queues.iter().enumerate() {
+                let pending = queue.len() + usize::from(self.executing[m].is_some());
+                self.result.queue_samples.push(QueueSample {
+                    time_s: self.next_sample_s,
+                    machine: m,
+                    pending,
+                });
+            }
+            self.next_sample_s += self.sample_interval_s;
+        }
+    }
+
+    /// A job's submission time has been reached: enqueue it on its
+    /// machine, schedule its patience, and dispatch if the machine is
+    /// idle.
+    fn admit(&mut self, job: JobSpec, now_s: f64) {
+        let machine = job.machine;
+        let pending = self.queue_depth(machine);
+        self.pending_memo.insert(job.id, pending);
+        if job.patience_s.is_finite() {
+            self.events.push(Event {
+                time_s: job.submit_s + job.patience_s,
+                seq: self.seq,
+                kind: EventKind::CancelCheck {
+                    job_id: job.id,
+                    machine,
+                },
+            });
+            self.seq += 1;
+        }
+        let estimate_s = self.fleet.machines()[machine]
+            .cost_model()
+            .job_time_uniform_s(
+                job.circuits,
+                job.mean_depth.round().max(1.0) as usize,
+                job.shots,
+            );
+        self.queues[machine].push(job, estimate_s);
+        if self.executing[machine].is_none() {
+            self.start_next(machine, now_s);
+        }
+    }
+
+    fn process_event(&mut self, event: Event) {
+        match event.kind {
+            EventKind::Completion { machine } => {
+                let done = self.executing[machine]
+                    .take()
+                    .expect("completion without job");
+                // Charge at the completion time so usage decays to
+                // "now" before the executed seconds land.
+                self.queues[machine].charge(
+                    done.job.provider,
+                    done.end_s - done.start_s,
+                    done.end_s,
+                );
+                self.pending_memo.remove(&done.job.id);
+                self.finish(JobRecord {
+                    id: done.job.id,
+                    provider: done.job.provider,
+                    machine,
+                    circuits: done.job.circuits,
+                    shots: done.job.shots,
+                    mean_width: done.job.mean_width,
+                    mean_depth: done.job.mean_depth,
+                    is_study: done.job.is_study,
+                    submit_s: done.job.submit_s,
+                    start_s: done.start_s,
+                    end_s: done.end_s,
+                    outcome: done.outcome,
+                    pending_at_submit: done.pending_at_submit,
+                    crossed_calibration: done.crossed,
+                });
+                self.start_next(machine, event.time_s);
+            }
+            EventKind::Resume { machine } => {
+                self.resume_scheduled[machine] = false;
+                if self.executing[machine].is_none() {
+                    self.start_next(machine, event.time_s);
+                }
+            }
+            EventKind::CancelCheck { job_id, machine } => {
+                if let Some(job) = self.queues[machine].remove(job_id) {
+                    let pending = self.pending_memo.remove(&job.id).unwrap_or(0);
+                    self.finish(JobRecord {
+                        id: job.id,
+                        provider: job.provider,
+                        machine,
+                        circuits: job.circuits,
+                        shots: job.shots,
+                        mean_width: job.mean_width,
+                        mean_depth: job.mean_depth,
+                        is_study: job.is_study,
+                        submit_s: job.submit_s,
+                        start_s: event.time_s,
+                        end_s: event.time_s,
+                        outcome: JobOutcome::Cancelled,
+                        pending_at_submit: pending,
+                        crossed_calibration: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Record a terminal job state: aggregates always, the full record
+    /// subject to background sampling. The auditor (when enabled) observes
+    /// every record *before* sampling can drop it.
+    fn finish(&mut self, record: JobRecord) {
+        if let Some(statuses) = self.statuses.as_mut() {
+            let status = match record.outcome {
+                JobOutcome::Completed => JobStatus::Completed,
+                JobOutcome::Errored => JobStatus::Errored,
+                JobOutcome::Cancelled => JobStatus::Cancelled,
+            };
+            statuses.insert(record.id, status);
+        }
+        if let Some(a) = self.auditor.as_mut() {
+            a.observe(&record);
+        }
+        self.result.total_jobs += 1;
+        let slot = match record.outcome {
+            JobOutcome::Completed => 0,
+            JobOutcome::Errored => 1,
+            JobOutcome::Cancelled => 2,
+        };
+        self.result.outcome_counts[slot] += 1;
+        if record.outcome != JobOutcome::Cancelled {
+            let day = (record.end_s / 86_400.0).floor().max(0.0) as usize;
+            if self.result.daily_executions.len() <= day {
+                self.result.daily_executions.resize(day + 1, 0);
+            }
+            self.result.daily_executions[day] += record.executions();
+        }
+        let keep = record.is_study
+            || self.config.background_record_divisor <= 1
+            || record.id.is_multiple_of(self.config.background_record_divisor);
+        if keep {
+            self.result.records.push(record);
+        }
+    }
+
+    /// Dispatch the next queued job on `machine`, respecting outages.
+    fn start_next(&mut self, machine: usize, now_s: f64) {
+        // A machine in maintenance dispatches nothing until the window
+        // ends; queued jobs keep waiting.
+        if let Some(until_s) = self.outages.down_until(machine, now_s) {
+            if !self.resume_scheduled[machine] && !self.queues[machine].is_empty() {
+                self.resume_scheduled[machine] = true;
+                self.events.push(Event {
+                    time_s: until_s,
+                    seq: self.seq,
+                    kind: EventKind::Resume { machine },
+                });
+                self.seq += 1;
+            }
+            return;
+        }
+        let Some(job) = self.queues[machine].pop(now_s) else {
+            return;
+        };
+        let m = &self.fleet.machines()[machine];
+        let base = m.cost_model().job_time_uniform_s(
+            job.circuits,
+            job.mean_depth.round().max(1.0) as usize,
+            job.shots,
+        );
+        let noisy = base * lognormal_with_cov(&mut self.rng, 1.0, self.config.exec_noise_cov);
+        let (outcome, duration) = if self.rng.gen_range(0.0..1.0) < self.config.error_rate {
+            // Errored jobs die partway through their execution.
+            (JobOutcome::Errored, noisy * self.rng.gen_range(0.05..0.8))
+        } else {
+            (JobOutcome::Completed, noisy)
+        };
+        let pending = self.pending_memo.get(&job.id).copied().unwrap_or(0);
+        let end_s = now_s + duration;
+        // A job's results are stale if a calibration ran anywhere between
+        // submission (= compile time) and the *end* of execution: a
+        // boundary crossed mid-run invalidates the results just the same
+        // as one crossed while queued (paper Fig 12a). Checking against
+        // the dispatch time would systematically miss long jobs.
+        let crossed = m
+            .schedule()
+            .crossover(job.submit_s / 3600.0, end_s / 3600.0);
+        self.events.push(Event {
+            time_s: end_s,
+            seq: self.seq,
+            kind: EventKind::Completion { machine },
+        });
+        self.seq += 1;
+        if let Some(statuses) = self.statuses.as_mut() {
+            statuses.insert(job.id, JobStatus::Running);
+        }
+        self.executing[machine] = Some(Executing {
+            job,
+            start_s: now_s,
+            end_s,
+            outcome,
+            crossed,
+            pending_at_submit: pending,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulation;
+
+    fn job(id: u64, machine: usize, submit: f64) -> JobSpec {
+        JobSpec {
+            id,
+            provider: (id % 4) as u32,
+            machine,
+            circuits: 5,
+            shots: 1024,
+            mean_depth: 20.0,
+            mean_width: 3.0,
+            submit_s: submit,
+            is_study: true,
+            patience_s: f64::INFINITY,
+        }
+    }
+
+    fn live() -> LiveCloud {
+        LiveCloud::new(Fleet::ibm_like(), CloudConfig::default())
+    }
+
+    #[test]
+    fn submit_validates_machine_provider_and_clock() {
+        let mut cloud = live();
+        let mut bad_machine = job(0, 99, 0.0);
+        bad_machine.machine = 99;
+        assert!(matches!(
+            cloud.submit(bad_machine),
+            Err(SubmitError::UnknownMachine { job: 0, machine: 99 })
+        ));
+        let mut bad_provider = job(1, 1, 0.0);
+        bad_provider.provider = 500;
+        assert!(matches!(
+            cloud.submit(bad_provider),
+            Err(SubmitError::UnknownProvider { job: 1, provider: 500 })
+        ));
+        cloud.step_until(100.0);
+        let err = cloud.submit(job(2, 1, 50.0)).unwrap_err();
+        assert!(matches!(err, SubmitError::SubmitInPast { job: 2, .. }));
+        assert!(err.to_string().contains("clock is already at 100"));
+    }
+
+    #[test]
+    fn step_until_is_monotone_and_lazy() {
+        let mut cloud = live();
+        cloud.submit(job(0, 1, 50.0)).unwrap();
+        cloud.step_until(10.0);
+        assert_eq!(cloud.now_s(), 10.0);
+        assert_eq!(cloud.queue_depth(1), 0, "job not yet arrived");
+        cloud.step_until(5.0); // backwards: no-op
+        assert_eq!(cloud.now_s(), 10.0);
+        cloud.step_until(50.0);
+        assert_eq!(cloud.queue_depth(1), 1, "arrived and dispatched");
+        cloud.run_to_completion();
+        assert_eq!(cloud.queue_depth(1), 0);
+        assert_eq!(cloud.total_jobs(), 1);
+    }
+
+    #[test]
+    fn status_tracking_follows_lifecycle() {
+        let mut cloud = live().with_status_tracking();
+        cloud.submit(job(0, 1, 0.0)).unwrap();
+        cloud.submit(job(1, 1, 1.0)).unwrap();
+        assert_eq!(cloud.status(0), Some(JobStatus::Queued));
+        cloud.step_until(1.0);
+        assert_eq!(cloud.status(0), Some(JobStatus::Running));
+        assert_eq!(cloud.status(1), Some(JobStatus::Queued));
+        assert_eq!(cloud.status(7), None);
+        cloud.run_to_completion();
+        let s0 = cloud.status(0).unwrap();
+        assert!(s0 == JobStatus::Completed || s0 == JobStatus::Errored);
+    }
+
+    #[test]
+    fn status_untracked_by_default() {
+        let mut cloud = live();
+        cloud.submit(job(0, 1, 0.0)).unwrap();
+        cloud.step_until(0.0);
+        assert_eq!(cloud.status(0), None);
+    }
+
+    #[test]
+    fn cancel_queued_job_records_cancellation() {
+        let config = CloudConfig {
+            error_rate: 0.0,
+            audit: true,
+            ..CloudConfig::default()
+        };
+        let mut cloud =
+            LiveCloud::new(Fleet::ibm_like(), config).with_status_tracking();
+        let mut blocker = job(0, 1, 0.0);
+        blocker.circuits = 900;
+        blocker.shots = 8192;
+        cloud.submit(blocker).unwrap();
+        cloud.submit(job(1, 1, 1.0)).unwrap();
+        cloud.step_until(30.0);
+        assert_eq!(cloud.queue_depth(1), 2);
+        assert!(cloud.cancel(1), "queued job is cancellable");
+        assert!(!cloud.cancel(1), "already terminal");
+        assert!(!cloud.cancel(0), "running job is not cancellable");
+        assert!(!cloud.cancel(99), "unknown job");
+        assert_eq!(cloud.status(1), Some(JobStatus::Cancelled));
+        assert_eq!(cloud.queue_depth(1), 1);
+        cloud.run_to_completion();
+        let result = cloud.into_result();
+        assert_eq!(result.outcome_counts, [1, 0, 1]);
+        let r = result.records.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(r.outcome, JobOutcome::Cancelled);
+        assert_eq!(r.start_s, 30.0);
+        assert_eq!(r.end_s, 30.0);
+        result.audit.as_ref().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn cancel_before_arrival_leaves_no_record() {
+        let mut cloud = live().with_status_tracking();
+        cloud.submit(job(0, 1, 500.0)).unwrap();
+        assert!(cloud.cancel(0));
+        assert_eq!(cloud.status(0), Some(JobStatus::Cancelled));
+        cloud.run_to_completion();
+        let result = cloud.into_result();
+        assert_eq!(result.total_jobs, 0, "job never entered the service");
+        assert!(result.records.is_empty());
+    }
+
+    #[test]
+    fn cancel_between_samples_keeps_audit_clean() {
+        // A sample instant passes with the job queued; the API cancel
+        // lands later, between occurrences. The retro-emitted sample must
+        // reflect the pre-cancel state or the audit reconstruction fails.
+        let config = CloudConfig {
+            error_rate: 0.0,
+            audit: true,
+            sample_interval_hours: 0.01, // 36 s
+            ..CloudConfig::default()
+        };
+        let mut cloud = LiveCloud::new(Fleet::ibm_like(), config);
+        let mut blocker = job(0, 1, 0.0);
+        blocker.circuits = 900;
+        blocker.shots = 8192;
+        cloud.submit(blocker).unwrap();
+        cloud.submit(job(1, 1, 1.0)).unwrap();
+        cloud.step_until(60.0); // past the 36 s sample... if an event fell there
+        assert!(cloud.cancel(1));
+        cloud.run_to_completion();
+        let result = cloud.into_result();
+        result.audit.as_ref().unwrap().assert_clean();
+        assert!(!result.queue_samples.is_empty());
+    }
+
+    #[test]
+    fn drain_new_records_is_incremental() {
+        let config = CloudConfig {
+            error_rate: 0.0,
+            ..CloudConfig::default()
+        };
+        let mut cloud = LiveCloud::new(Fleet::ibm_like(), config);
+        cloud.submit(job(0, 1, 0.0)).unwrap();
+        cloud.submit(job(1, 2, 0.0)).unwrap();
+        assert!(cloud.drain_new_records().is_empty());
+        cloud.run_to_completion();
+        let drained = cloud.drain_new_records();
+        assert_eq!(drained.len(), 2);
+        assert!(cloud.drain_new_records().is_empty(), "cursor advanced");
+    }
+
+    #[test]
+    fn fair_share_state_visible_live() {
+        let mut cloud = live();
+        assert_eq!(cloud.fair_share_charged(1), Some(&[0.0; 40][..]));
+        cloud.submit(job(0, 1, 0.0)).unwrap();
+        cloud.run_to_completion();
+        let charged = cloud.fair_share_charged(1).unwrap();
+        assert!(charged[0] > 0.0, "provider 0 was charged");
+        let fifo = LiveCloud::new(
+            Fleet::ibm_like(),
+            CloudConfig {
+                discipline: crate::Discipline::Fifo,
+                ..CloudConfig::default()
+            },
+        );
+        assert_eq!(fifo.fair_share_charged(1), None);
+    }
+
+    #[test]
+    fn interleaved_submission_matches_batch() {
+        // Submit jobs one at a time, stepping between submissions; the
+        // result must be bit-identical to the batch replay of the full
+        // trace. (The property test covers random schedules; this is the
+        // deterministic smoke version.)
+        let jobs: Vec<JobSpec> = (0..30)
+            .map(|i| job(i, (i % 3) as usize + 1, i as f64 * 40.0))
+            .collect();
+        let config = CloudConfig {
+            audit: true,
+            sample_interval_hours: 0.05,
+            ..CloudConfig::default()
+        };
+        let batch = Simulation::new(Fleet::ibm_like(), config).run(jobs.clone());
+        let mut cloud = LiveCloud::new(Fleet::ibm_like(), config);
+        for j in jobs {
+            let submit_s = j.submit_s;
+            cloud.submit(j).unwrap();
+            cloud.step_until(submit_s + 13.0);
+        }
+        cloud.run_to_completion();
+        let result = cloud.into_result();
+        assert_eq!(batch.records, result.records);
+        assert_eq!(batch.queue_samples, result.queue_samples);
+        assert_eq!(batch.total_jobs, result.total_jobs);
+        assert_eq!(batch.outcome_counts, result.outcome_counts);
+        assert_eq!(batch.daily_executions, result.daily_executions);
+        result.audit.as_ref().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn outage_respected_by_live_stepping() {
+        let fleet = Fleet::ibm_like();
+        let mut windows = vec![Vec::new(); fleet.len()];
+        windows[1] = vec![(0.0, 1000.0)];
+        let mut cloud = LiveCloud::new(fleet, CloudConfig::default())
+            .with_outages(OutagePlan::from_windows(windows));
+        cloud.submit(job(0, 1, 10.0)).unwrap();
+        cloud.step_until(500.0);
+        assert_eq!(cloud.queue_depth(1), 1, "queued through the outage");
+        cloud.run_to_completion();
+        let result = cloud.into_result();
+        assert!((result.records[0].start_s - 1000.0).abs() < 1e-6);
+    }
+}

@@ -13,15 +13,9 @@
 //! aggregate counters (job totals, outcome counts, daily execution counts)
 //! cover the entire population.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
-
-use qcs_calibration::distributions::lognormal_with_cov;
 use qcs_machine::Fleet;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-use crate::{Discipline, JobOutcome, JobQueue, JobRecord, JobSpec, OutagePlan, QueueSample};
+use crate::{Discipline, JobOutcome, JobRecord, JobSpec, OutagePlan, QueueSample};
 
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -160,48 +154,6 @@ impl SimulationResult {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum EventKind {
-    Completion { machine: usize },
-    CancelCheck { job_id: u64, machine: usize },
-    Resume { machine: usize },
-}
-
-#[derive(Debug, Clone, PartialEq)]
-struct Event {
-    time_s: f64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl Eq for Event {}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .time_s
-            .partial_cmp(&self.time_s)
-            .expect("event times are finite")
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-struct Executing {
-    job: JobSpec,
-    start_s: f64,
-    end_s: f64,
-    outcome: JobOutcome,
-    crossed: bool,
-    pending_at_submit: usize,
-}
-
 /// The cloud simulator.
 ///
 /// # Examples
@@ -265,14 +217,18 @@ impl Simulation {
 
     /// Run the simulation over a set of jobs (any submission order).
     ///
-    /// Deterministic for a fixed `(fleet, config, jobs)`.
+    /// Deterministic for a fixed `(fleet, config, jobs)`. This is a thin
+    /// wrapper over the incremental [`LiveCloud`](crate::LiveCloud) core:
+    /// every job is submitted up front and the clock is advanced to the
+    /// end in one step. Live-stepped runs are bit-identical (see
+    /// `tests/properties.rs::live_matches_batch`).
     ///
     /// # Panics
     ///
     /// Panics if a job references a machine index outside the fleet or a
     /// provider outside `config.num_providers`.
     #[must_use]
-    pub fn run(&self, mut jobs: Vec<JobSpec>) -> SimulationResult {
+    pub fn run(&self, jobs: Vec<JobSpec>) -> SimulationResult {
         let n_machines = self.fleet.len();
         for job in &jobs {
             assert!(
@@ -286,291 +242,13 @@ impl Simulation {
                 job.id
             );
         }
-        jobs.sort_by(|a, b| a.submit_s.total_cmp(&b.submit_s));
-
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut queues: Vec<JobQueue> = (0..n_machines)
-            .map(|_| JobQueue::new(self.config.discipline, self.config.num_providers))
-            .collect();
-        let mut executing: Vec<Option<Executing>> = (0..n_machines).map(|_| None).collect();
-        let mut resume_scheduled: Vec<bool> = vec![false; n_machines];
-
-        let mut events: BinaryHeap<Event> = BinaryHeap::new();
-        let mut seq = 0u64;
-        let mut result = SimulationResult::default();
-        let mut auditor = self.config.audit.then(crate::Auditor::new);
-        let sample_interval_s = self.config.sample_interval_hours * 3600.0;
-        let mut next_sample_s = sample_interval_s;
-
-        // pending-at-submit memo for jobs currently queued or executing;
-        // entries are removed at terminal events to bound memory.
-        let mut pending_memo: HashMap<u64, usize> = HashMap::new();
-
-        let mut arrivals = jobs.into_iter().peekable();
-
-        loop {
-            let next_arrival_s = arrivals.peek().map(|j| j.submit_s);
-            let next_event_s = events.peek().map(|e| e.time_s);
-            let now_s = match (next_arrival_s, next_event_s) {
-                (None, None) => break,
-                (Some(a), None) => a,
-                (None, Some(e)) => e,
-                (Some(a), Some(e)) => a.min(e),
-            };
-
-            // Emit queue samples for all machines up to `now_s`.
-            while next_sample_s <= now_s {
-                for (m, queue) in queues.iter().enumerate() {
-                    let pending = queue.len() + usize::from(executing[m].is_some());
-                    result.queue_samples.push(QueueSample {
-                        time_s: next_sample_s,
-                        machine: m,
-                        pending,
-                    });
-                }
-                next_sample_s += sample_interval_s;
-            }
-
-            // Arrivals win ties so a job can start on an exactly-coincident
-            // completion.
-            if next_arrival_s.is_some_and(|a| next_event_s.is_none_or(|e| a <= e)) {
-                let job = arrivals.next().expect("peeked arrival exists");
-                let machine = job.machine;
-                let pending = queues[machine].len() + usize::from(executing[machine].is_some());
-                pending_memo.insert(job.id, pending);
-                if job.patience_s.is_finite() {
-                    events.push(Event {
-                        time_s: job.submit_s + job.patience_s,
-                        seq,
-                        kind: EventKind::CancelCheck {
-                            job_id: job.id,
-                            machine,
-                        },
-                    });
-                    seq += 1;
-                }
-                let estimate_s = self.fleet.machines()[machine]
-                    .cost_model()
-                    .job_time_uniform_s(
-                        job.circuits,
-                        job.mean_depth.round().max(1.0) as usize,
-                        job.shots,
-                    );
-                queues[machine].push(job, estimate_s);
-                if executing[machine].is_none() {
-                    self.start_next(
-                        machine,
-                        now_s,
-                        &mut queues,
-                        &mut executing,
-                        &mut resume_scheduled,
-                        &mut events,
-                        &mut seq,
-                        &mut rng,
-                        &pending_memo,
-                    );
-                }
-                continue;
-            }
-
-            let event = events.pop().expect("event exists");
-            match event.kind {
-                EventKind::Completion { machine } => {
-                    let done = executing[machine].take().expect("completion without job");
-                    // Charge at the completion time so usage decays to
-                    // "now" before the executed seconds land.
-                    queues[machine].charge(
-                        done.job.provider,
-                        done.end_s - done.start_s,
-                        done.end_s,
-                    );
-                    pending_memo.remove(&done.job.id);
-                    self.finish(
-                        &mut result,
-                        &mut auditor,
-                        JobRecord {
-                            id: done.job.id,
-                            provider: done.job.provider,
-                            machine,
-                            circuits: done.job.circuits,
-                            shots: done.job.shots,
-                            mean_width: done.job.mean_width,
-                            mean_depth: done.job.mean_depth,
-                            is_study: done.job.is_study,
-                            submit_s: done.job.submit_s,
-                            start_s: done.start_s,
-                            end_s: done.end_s,
-                            outcome: done.outcome,
-                            pending_at_submit: done.pending_at_submit,
-                            crossed_calibration: done.crossed,
-                        },
-                    );
-                    self.start_next(
-                        machine,
-                        event.time_s,
-                        &mut queues,
-                        &mut executing,
-                        &mut resume_scheduled,
-                        &mut events,
-                        &mut seq,
-                        &mut rng,
-                        &pending_memo,
-                    );
-                }
-                EventKind::Resume { machine } => {
-                    resume_scheduled[machine] = false;
-                    if executing[machine].is_none() {
-                        self.start_next(
-                            machine,
-                            event.time_s,
-                            &mut queues,
-                            &mut executing,
-                            &mut resume_scheduled,
-                            &mut events,
-                            &mut seq,
-                            &mut rng,
-                            &pending_memo,
-                        );
-                    }
-                }
-                EventKind::CancelCheck { job_id, machine } => {
-                    if let Some(job) = queues[machine].remove(job_id) {
-                        let pending = pending_memo.remove(&job.id).unwrap_or(0);
-                        self.finish(
-                            &mut result,
-                            &mut auditor,
-                            JobRecord {
-                                id: job.id,
-                                provider: job.provider,
-                                machine,
-                                circuits: job.circuits,
-                                shots: job.shots,
-                                mean_width: job.mean_width,
-                                mean_depth: job.mean_depth,
-                                is_study: job.is_study,
-                                submit_s: job.submit_s,
-                                start_s: event.time_s,
-                                end_s: event.time_s,
-                                outcome: JobOutcome::Cancelled,
-                                pending_at_submit: pending,
-                                crossed_calibration: false,
-                            },
-                        );
-                    }
-                }
-            }
+        let mut live = crate::LiveCloud::new(self.fleet.clone(), self.config)
+            .with_outages(self.outages.clone());
+        for job in jobs {
+            live.submit(job).expect("jobs validated above");
         }
-        if let Some(auditor) = auditor {
-            let charged_raw: Vec<Option<Vec<f64>>> = queues
-                .iter()
-                .map(|q| q.charged_raw().map(<[f64]>::to_vec))
-                .collect();
-            result.audit = Some(auditor.finalize(&result, &self.outages, &charged_raw));
-        }
-        result
-    }
-
-    /// Record a terminal job state: aggregates always, the full record
-    /// subject to background sampling. The auditor (when enabled) observes
-    /// every record *before* sampling can drop it.
-    fn finish(
-        &self,
-        result: &mut SimulationResult,
-        auditor: &mut Option<crate::Auditor>,
-        record: JobRecord,
-    ) {
-        if let Some(a) = auditor.as_mut() {
-            a.observe(&record);
-        }
-        result.total_jobs += 1;
-        let slot = match record.outcome {
-            JobOutcome::Completed => 0,
-            JobOutcome::Errored => 1,
-            JobOutcome::Cancelled => 2,
-        };
-        result.outcome_counts[slot] += 1;
-        if record.outcome != JobOutcome::Cancelled {
-            let day = (record.end_s / 86_400.0).floor().max(0.0) as usize;
-            if result.daily_executions.len() <= day {
-                result.daily_executions.resize(day + 1, 0);
-            }
-            result.daily_executions[day] += record.executions();
-        }
-        let keep = record.is_study
-            || self.config.background_record_divisor <= 1
-            || record.id.is_multiple_of(self.config.background_record_divisor);
-        if keep {
-            result.records.push(record);
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn start_next(
-        &self,
-        machine: usize,
-        now_s: f64,
-        queues: &mut [JobQueue],
-        executing: &mut [Option<Executing>],
-        resume_scheduled: &mut [bool],
-        events: &mut BinaryHeap<Event>,
-        seq: &mut u64,
-        rng: &mut StdRng,
-        pending_memo: &HashMap<u64, usize>,
-    ) {
-        // A machine in maintenance dispatches nothing until the window
-        // ends; queued jobs keep waiting.
-        if let Some(until_s) = self.outages.down_until(machine, now_s) {
-            if !resume_scheduled[machine] && !queues[machine].is_empty() {
-                resume_scheduled[machine] = true;
-                events.push(Event {
-                    time_s: until_s,
-                    seq: *seq,
-                    kind: EventKind::Resume { machine },
-                });
-                *seq += 1;
-            }
-            return;
-        }
-        let Some(job) = queues[machine].pop(now_s) else {
-            return;
-        };
-        let m = &self.fleet.machines()[machine];
-        let base = m.cost_model().job_time_uniform_s(
-            job.circuits,
-            job.mean_depth.round().max(1.0) as usize,
-            job.shots,
-        );
-        let noisy = base * lognormal_with_cov(rng, 1.0, self.config.exec_noise_cov);
-        let (outcome, duration) = if rng.gen_range(0.0..1.0) < self.config.error_rate {
-            // Errored jobs die partway through their execution.
-            (JobOutcome::Errored, noisy * rng.gen_range(0.05..0.8))
-        } else {
-            (JobOutcome::Completed, noisy)
-        };
-        let pending = pending_memo.get(&job.id).copied().unwrap_or(0);
-        let end_s = now_s + duration;
-        // A job's results are stale if a calibration ran anywhere between
-        // submission (= compile time) and the *end* of execution: a
-        // boundary crossed mid-run invalidates the results just the same
-        // as one crossed while queued (paper Fig 12a). Checking against
-        // the dispatch time would systematically miss long jobs.
-        let crossed = m
-            .schedule()
-            .crossover(job.submit_s / 3600.0, end_s / 3600.0);
-        events.push(Event {
-            time_s: end_s,
-            seq: *seq,
-            kind: EventKind::Completion { machine },
-        });
-        *seq += 1;
-        executing[machine] = Some(Executing {
-            job,
-            start_s: now_s,
-            end_s,
-            outcome,
-            crossed,
-            pending_at_submit: pending,
-        });
+        live.run_to_completion();
+        live.into_result()
     }
 }
 

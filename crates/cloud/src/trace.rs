@@ -257,6 +257,88 @@ mod tests {
         assert!(err.to_string().contains("unknown outcome"));
     }
 
+    /// One valid row as mutable fields, for corrupting one field at a time.
+    fn valid_fields() -> Vec<String> {
+        "1,3,7,20,8192,4.5,31.25,true,100.5,400.0,460.25,completed,2,true"
+            .split(',')
+            .map(str::to_string)
+            .collect()
+    }
+
+    fn read_with(fields: &[String]) -> Result<Vec<JobRecord>, TraceError> {
+        let text = format!("{TRACE_HEADER}\n{}\n", fields.join(","));
+        read_records(text.as_bytes())
+    }
+
+    #[test]
+    fn rejects_bad_int_fields() {
+        // (field index, name in the error) for every integer column.
+        for (index, name) in [
+            (0, "bad id"),
+            (1, "bad provider"),
+            (2, "bad machine"),
+            (3, "bad circuits"),
+            (4, "bad shots"),
+            (12, "bad pending"),
+        ] {
+            let mut fields = valid_fields();
+            fields[index] = "3.5x".to_string();
+            let err = read_with(&fields).unwrap_err();
+            assert!(matches!(err, TraceError::Parse { line: 2, .. }));
+            assert!(err.to_string().contains(name), "field {index}: {err}");
+            // Negative values must also be rejected for unsigned columns.
+            let mut fields = valid_fields();
+            fields[index] = "-1".to_string();
+            assert!(read_with(&fields).is_err(), "field {index} accepted -1");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_float_fields() {
+        for (index, name) in [
+            (5, "bad mean_width"),
+            (6, "bad mean_depth"),
+            (8, "bad submit_s"),
+            (9, "bad start_s"),
+            (10, "bad end_s"),
+        ] {
+            let mut fields = valid_fields();
+            fields[index] = "not-a-number".to_string();
+            let err = read_with(&fields).unwrap_err();
+            assert!(matches!(err, TraceError::Parse { line: 2, .. }));
+            assert!(err.to_string().contains(name), "field {index}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_bool_fields() {
+        for (index, name) in [(7, "bad is_study"), (13, "bad crossed")] {
+            let mut fields = valid_fields();
+            fields[index] = "yes".to_string();
+            let err = read_with(&fields).unwrap_err();
+            assert!(matches!(err, TraceError::Parse { line: 2, .. }));
+            assert!(err.to_string().contains(name), "field {index}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_long_row() {
+        let mut fields = valid_fields();
+        fields.push("extra".to_string());
+        let err = read_with(&fields).unwrap_err();
+        assert!(err.to_string().contains("expected 14 fields, got 15"));
+    }
+
+    #[test]
+    fn error_reports_correct_line_number() {
+        let good = valid_fields().join(",");
+        let mut bad = valid_fields();
+        bad[0] = "?".to_string();
+        let text = format!("{TRACE_HEADER}\n{good}\n{good}\n{}\n", bad.join(","));
+        let err = read_records(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 4, .. }), "{err}");
+    }
+
     #[test]
     fn skips_blank_lines() {
         let mut buffer = Vec::new();

@@ -32,6 +32,7 @@
 #![warn(clippy::all)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 
 /// Thread-count configuration for the parallel helpers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -192,6 +193,118 @@ where
     Ok(out)
 }
 
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A long-lived pool of worker threads consuming boxed tasks from a
+/// shared queue — the counterpart to the scoped, per-call helpers above
+/// for workloads whose tasks arrive over time rather than as a slice
+/// (e.g. the `qcs-gateway` connection handlers).
+///
+/// - Tasks run in submission order *per worker pickup*; there is no
+///   cross-task ordering guarantee (use [`parallel_map`] when output
+///   order matters).
+/// - A panicking task is contained: the worker survives, a counter is
+///   incremented ([`WorkerPool::panics`]), and subsequent tasks run.
+/// - Dropping the pool closes the queue and joins every worker, so all
+///   submitted tasks finish before `drop` returns.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_exec::WorkerPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = WorkerPool::new(4);
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..100 {
+///     let hits = Arc::clone(&hits);
+///     pool.execute(move || {
+///         hits.fetch_add(1, Ordering::Relaxed);
+///     });
+/// }
+/// drop(pool); // joins: all 100 tasks have run
+/// assert_eq!(hits.load(Ordering::Relaxed), 100);
+/// ```
+pub struct WorkerPool {
+    sender: Option<mpsc::Sender<Task>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    panics: Arc<AtomicUsize>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `threads` workers (`0` = auto, per
+    /// [`std::thread::available_parallelism`]).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = ExecConfig::with_threads(threads).effective_threads(usize::MAX);
+        let (sender, receiver) = mpsc::channel::<Task>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let panics = Arc::new(AtomicUsize::new(0));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let panics = Arc::clone(&panics);
+                std::thread::Builder::new()
+                    .name(format!("qcs-exec-worker-{i}"))
+                    .spawn(move || loop {
+                        let task = {
+                            let guard = receiver.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.recv()
+                        };
+                        match task {
+                            Ok(task) => {
+                                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(task))
+                                    .is_err()
+                                {
+                                    panics.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(_) => break, // queue closed: pool is dropping
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+            panics,
+        }
+    }
+
+    /// Submit a task. Returns immediately; the task runs on the first
+    /// free worker.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, task: F) {
+        self.sender
+            .as_ref()
+            .expect("sender lives until drop")
+            .send(Box::new(task))
+            .expect("workers outlive the sender");
+    }
+
+    /// Number of worker threads in the pool.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of tasks that panicked so far (the panics were contained).
+    #[must_use]
+    pub fn panics(&self) -> usize {
+        self.panics.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.sender.take()); // close the queue: workers drain and exit
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
 /// SplitMix64 finalizer: a fast, well-scrambled 64-bit mixing function.
 ///
 /// Used to derive statistically independent per-item RNG seeds from a
@@ -310,6 +423,53 @@ mod tests {
         assert_eq!(ExecConfig::with_threads(8).effective_threads(3), 3);
         assert_eq!(ExecConfig::with_threads(8).effective_threads(0), 1);
         assert!(ExecConfig::default().effective_threads(100) >= 1);
+    }
+
+    #[test]
+    fn worker_pool_runs_all_tasks_on_drop() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..200 {
+            let hits = Arc::clone(&hits);
+            pool.execute(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool);
+        assert_eq!(hits.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn worker_pool_contains_panics() {
+        let pool = WorkerPool::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for i in 0..20 {
+            let hits = Arc::clone(&hits);
+            pool.execute(move || {
+                assert!(i % 5 != 0, "task panic");
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // joins: queue fully drained
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            16,
+            "4 of 20 tasks panicked, rest ran"
+        );
+    }
+
+    #[test]
+    fn worker_pool_counts_panics() {
+        let pool = WorkerPool::new(1);
+        for _ in 0..3 {
+            pool.execute(|| panic!("boom"));
+        }
+        pool.execute(|| {});
+        // Drain by dropping, then the counter is final.
+        let panics = Arc::clone(&pool.panics);
+        drop(pool);
+        assert_eq!(panics.load(Ordering::Relaxed), 3);
     }
 
     #[test]

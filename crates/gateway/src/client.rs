@@ -1,0 +1,190 @@
+//! A blocking line-protocol client and a trace-replaying load generator.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use qcs_cloud::JobSpec;
+
+use crate::protocol::{Request, Response};
+
+/// A blocking client over one TCP connection. One request line out, one
+/// response line back.
+pub struct GatewayClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl GatewayClient {
+    /// Connect to a gateway.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<GatewayClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(GatewayClient {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Send one request and read the response line.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a response line that does not parse (reported as
+    /// [`std::io::ErrorKind::InvalidData`]).
+    pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
+        writeln!(self.writer, "{request}")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "gateway closed the connection",
+            ));
+        }
+        Response::parse(&line)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Submit a job described by a [`JobSpec`] (its `id` and `submit_s`
+    /// are ignored: the gateway assigns both).
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](GatewayClient::request).
+    pub fn submit_spec(&mut self, spec: &JobSpec) -> std::io::Result<Response> {
+        self.request(&Request::Submit {
+            provider: spec.provider,
+            machine: spec.machine.to_string(),
+            circuits: spec.circuits,
+            shots: spec.shots,
+            mean_depth: spec.mean_depth,
+            mean_width: spec.mean_width,
+            patience_s: spec.patience_s,
+        })
+    }
+
+    /// `STATUS <id>`: the job's lifecycle state as a string.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](GatewayClient::request); an unexpected response
+    /// verb is [`std::io::ErrorKind::InvalidData`].
+    pub fn status(&mut self, id: u64) -> std::io::Result<String> {
+        match self.request(&Request::Status(id))? {
+            Response::Status { state, .. } => Ok(state),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `QUEUE <machine>`: pending depth of one machine.
+    ///
+    /// # Errors
+    ///
+    /// See [`status`](GatewayClient::status).
+    pub fn queue_depth(&mut self, machine: &str) -> std::io::Result<usize> {
+        match self.request(&Request::Queue(machine.to_string()))? {
+            Response::Queue { depth, .. } => Ok(depth),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `METRICS`: the gateway counters as `(key, value)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// See [`status`](GatewayClient::status).
+    pub fn metrics(&mut self) -> std::io::Result<Vec<(String, String)>> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(pairs) => Ok(pairs),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `QUIT`: ask the gateway to close this connection.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](GatewayClient::request).
+    pub fn quit(mut self) -> std::io::Result<()> {
+        match self.request(&Request::Quit)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(response: &Response) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("unexpected response: {response}"),
+    )
+}
+
+/// What a replay run observed, per submission attempt.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayReport {
+    /// Gateway-assigned ids of accepted jobs, in submission order.
+    pub accepted_ids: Vec<u64>,
+    /// Submissions answered `BUSY` (rate limit or backpressure).
+    pub busy: usize,
+    /// Submissions answered `ERR`.
+    pub rejected: usize,
+}
+
+/// Replays a trace of [`JobSpec`]s against a gateway, compressing trace
+/// time onto wall time.
+pub struct LoadGenerator {
+    /// Trace seconds per wall-clock second. Must match (or exceed) the
+    /// gateway's own `time_compression` if the replay should preserve the
+    /// trace's inter-arrival structure in simulation time.
+    pub time_compression: f64,
+}
+
+impl LoadGenerator {
+    /// A generator replaying at the given compression factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time_compression` is not positive.
+    #[must_use]
+    pub fn new(time_compression: f64) -> Self {
+        assert!(time_compression > 0.0, "compression must be positive");
+        LoadGenerator { time_compression }
+    }
+
+    /// Replay `jobs` over one connection: sleep until each job's
+    /// compressed submission instant, then submit it. Jobs are sent in
+    /// `submit_s` order regardless of input order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first I/O failure.
+    pub fn replay(&self, addr: SocketAddr, jobs: &[JobSpec]) -> std::io::Result<ReplayReport> {
+        let mut ordered: Vec<&JobSpec> = jobs.iter().collect();
+        ordered.sort_by(|a, b| a.submit_s.total_cmp(&b.submit_s));
+        let mut client = GatewayClient::connect(addr)?;
+        let started = Instant::now();
+        let mut report = ReplayReport::default();
+        for job in ordered {
+            let target = Duration::from_secs_f64(job.submit_s / self.time_compression);
+            let elapsed = started.elapsed();
+            if target > elapsed {
+                std::thread::sleep(target - elapsed);
+            }
+            match client.submit_spec(job)? {
+                Response::Ok(id) => report.accepted_ids.push(id),
+                Response::Busy(_) => report.busy += 1,
+                Response::Err(_) => report.rejected += 1,
+                other => return Err(unexpected(&other)),
+            }
+        }
+        client.quit()?;
+        Ok(report)
+    }
+}

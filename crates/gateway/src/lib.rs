@@ -1,0 +1,62 @@
+//! # qcs-gateway
+//!
+//! A live job-submission service fronting the `qcs-cloud` simulator: the
+//! reproduction's stand-in for the IBM Quantum cloud *endpoint* that the
+//! paper's users submit against. Where `qcs-cloud::Simulation` replays a
+//! finished trace, the gateway runs the same engine **online** — a
+//! [`LiveCloud`](qcs_cloud::LiveCloud) advanced in real time (scaled by a
+//! configurable compression factor) while TCP clients submit, poll,
+//! cancel, and observe queue depths over a newline-delimited protocol.
+//!
+//! Layers:
+//!
+//! - [`protocol`] — the wire grammar ([`Request`] / [`Response`]), shared
+//!   verbatim by server and client.
+//! - [`ratelimit`] — per-provider [`TokenBucket`]s in simulation time.
+//! - [`metrics`] — the [`GatewayMetrics`] counters behind `METRICS`.
+//! - [`server`] — [`Gateway`]: accept loop on a `qcs-exec`
+//!   [`WorkerPool`](qcs_exec::WorkerPool), per-connection handlers,
+//!   admission control (validate → rate-limit → backpressure), graceful
+//!   [`shutdown_and_drain`](Gateway::shutdown_and_drain).
+//! - [`client`] — [`GatewayClient`] plus a [`LoadGenerator`] that replays
+//!   `qcs-workload` traces at a wall-clock compression factor.
+//!
+//! # Examples
+//!
+//! ```
+//! use qcs_cloud::CloudConfig;
+//! use qcs_gateway::{Gateway, GatewayClient, GatewayConfig};
+//! use qcs_machine::Fleet;
+//!
+//! let gateway = Gateway::start(
+//!     Fleet::ibm_like(),
+//!     CloudConfig::default(),
+//!     GatewayConfig { time_compression: 0.0, ..GatewayConfig::default() },
+//! )
+//! .unwrap();
+//! let mut client = GatewayClient::connect(gateway.addr()).unwrap();
+//! let response = client
+//!     .request(&"SUBMIT 0 1 10 1024 20 3".parse::<qcs_gateway::Request>().unwrap())
+//!     .unwrap();
+//! assert_eq!(response.to_string(), "OK 0");
+//! assert_eq!(client.queue_depth("1").unwrap(), 1);
+//! client.quit().unwrap();
+//! let (result, metrics) = gateway.shutdown_and_drain();
+//! assert_eq!(metrics.accepted, 1);
+//! assert_eq!(result.total_jobs, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod ratelimit;
+pub mod server;
+
+pub use client::{GatewayClient, LoadGenerator, ReplayReport};
+pub use metrics::GatewayMetrics;
+pub use protocol::{Request, Response};
+pub use ratelimit::TokenBucket;
+pub use server::{Gateway, GatewayConfig};

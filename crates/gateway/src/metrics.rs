@@ -1,0 +1,86 @@
+//! Gateway counters, snapshotted by the `METRICS` request.
+
+use qcs_cloud::JobOutcome;
+
+/// Monotonic counters over the gateway's lifetime. All counts are jobs
+/// unless noted; `submitted = accepted + rejected_rate +
+/// rejected_backpressure + rejected_invalid`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayMetrics {
+    /// `SUBMIT` requests received.
+    pub submitted: u64,
+    /// Submissions admitted into the simulator.
+    pub accepted: u64,
+    /// Submissions rejected by the per-provider token bucket (`BUSY`).
+    pub rejected_rate: u64,
+    /// Submissions rejected because the target machine's admission queue
+    /// was at its bound (`BUSY`).
+    pub rejected_backpressure: u64,
+    /// Submissions rejected as unsatisfiable (`ERR`): unknown machine or
+    /// provider, zero-size batch.
+    pub rejected_invalid: u64,
+    /// Jobs cancelled through the API.
+    pub cancelled_via_api: u64,
+    /// Jobs that reached a terminal state, per outcome
+    /// `[completed, errored, cancelled]`.
+    pub finished: [u64; 3],
+    /// Connections accepted.
+    pub connections: u64,
+}
+
+impl GatewayMetrics {
+    /// Record a terminal job record's outcome.
+    pub fn observe_finished(&mut self, outcome: JobOutcome) {
+        let slot = match outcome {
+            JobOutcome::Completed => 0,
+            JobOutcome::Errored => 1,
+            JobOutcome::Cancelled => 2,
+        };
+        self.finished[slot] += 1;
+    }
+
+    /// Render as ordered `key=value` pairs for the `METRICS` response.
+    /// `sim_time_s` is appended by the server from the live clock.
+    #[must_use]
+    pub fn pairs(&self) -> Vec<(String, String)> {
+        [
+            ("submitted", self.submitted),
+            ("accepted", self.accepted),
+            ("rejected_rate", self.rejected_rate),
+            ("rejected_backpressure", self.rejected_backpressure),
+            ("rejected_invalid", self.rejected_invalid),
+            ("cancelled_via_api", self.cancelled_via_api),
+            ("completed", self.finished[0]),
+            ("errored", self.finished[1]),
+            ("cancelled", self.finished[2]),
+            ("connections", self.connections),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_are_ordered_and_complete() {
+        let mut metrics = GatewayMetrics {
+            submitted: 5,
+            accepted: 3,
+            ..GatewayMetrics::default()
+        };
+        metrics.observe_finished(JobOutcome::Completed);
+        metrics.observe_finished(JobOutcome::Cancelled);
+        let pairs = metrics.pairs();
+        assert_eq!(pairs[0], ("submitted".to_string(), "5".to_string()));
+        assert_eq!(pairs[1], ("accepted".to_string(), "3".to_string()));
+        let completed = pairs.iter().find(|(k, _)| k == "completed").unwrap();
+        assert_eq!(completed.1, "1");
+        let cancelled = pairs.iter().find(|(k, _)| k == "cancelled").unwrap();
+        assert_eq!(cancelled.1, "1");
+        assert_eq!(pairs.len(), 10);
+    }
+}

@@ -1,0 +1,334 @@
+//! The wire protocol: newline-delimited, space-separated ASCII.
+//!
+//! Grammar (one request per line, one response line per request):
+//!
+//! ```text
+//! request  = submit | status | cancel | queue | metrics | quit
+//! submit   = "SUBMIT" provider machine circuits shots mean_depth mean_width [patience_s]
+//! status   = "STATUS" id
+//! cancel   = "CANCEL" id
+//! queue    = "QUEUE" machine          ; machine = fleet index or name
+//! metrics  = "METRICS"
+//! quit     = "QUIT"
+//!
+//! response = "OK" id                  ; submit accepted / cancel done
+//!          | "BUSY" reason...        ; rate-limited or admission queue full
+//!          | "ERR" reason...         ; malformed or unsatisfiable request
+//!          | "STATUS" id state       ; state ∈ queued running completed
+//!          |                         ;         errored cancelled unknown
+//!          | "QUEUE" machine depth
+//!          | "METRICS" k=v k=v ...
+//!          | "BYE"
+//! ```
+//!
+//! Both sides of the protocol live here so the server and the client
+//! cannot drift: [`Request`] and [`Response`] each have a parser and a
+//! formatter, and `parse(format(x)) == x` is property-tested.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a job. `machine` is a fleet index (`"2"`) or machine name
+    /// (`"casablanca"`); the server resolves it.
+    Submit {
+        /// Fair-share provider id of the submitting user.
+        provider: u32,
+        /// Target machine: index or name.
+        machine: String,
+        /// Circuits in the batch.
+        circuits: u32,
+        /// Shots per circuit.
+        shots: u32,
+        /// Mean scheduled circuit depth.
+        mean_depth: f64,
+        /// Mean circuit width.
+        mean_width: f64,
+        /// Seconds the user will wait before cancelling
+        /// (`f64::INFINITY` = patient).
+        patience_s: f64,
+    },
+    /// Look up the lifecycle state of a job by gateway-assigned id.
+    Status(u64),
+    /// Cancel a queued (or not-yet-arrived) job.
+    Cancel(u64),
+    /// Current depth (queued + executing) of one machine's queue.
+    Queue(String),
+    /// Snapshot of the gateway counters.
+    Metrics,
+    /// Close the connection.
+    Quit,
+}
+
+fn field<T: FromStr>(tokens: &[&str], i: usize, name: &str) -> Result<T, String> {
+    let raw = tokens
+        .get(i)
+        .ok_or_else(|| format!("missing field <{name}>"))?;
+    raw.parse()
+        .map_err(|_| format!("bad <{name}>: {raw:?}"))
+}
+
+impl Request {
+    /// Parse one request line (without the trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the first offending field; the
+    /// server relays it verbatim in an `ERR` response.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let verb = *tokens.first().ok_or("empty request")?;
+        match verb {
+            "SUBMIT" => {
+                if tokens.len() < 7 || tokens.len() > 8 {
+                    return Err(format!(
+                        "SUBMIT takes 6 or 7 fields, got {}",
+                        tokens.len() - 1
+                    ));
+                }
+                let patience_s = if tokens.len() == 8 {
+                    field(&tokens, 7, "patience_s")?
+                } else {
+                    f64::INFINITY
+                };
+                Ok(Request::Submit {
+                    provider: field(&tokens, 1, "provider")?,
+                    machine: tokens[2].to_string(),
+                    circuits: field(&tokens, 3, "circuits")?,
+                    shots: field(&tokens, 4, "shots")?,
+                    mean_depth: field(&tokens, 5, "mean_depth")?,
+                    mean_width: field(&tokens, 6, "mean_width")?,
+                    patience_s,
+                })
+            }
+            "STATUS" => Ok(Request::Status(field(&tokens, 1, "id")?)),
+            "CANCEL" => Ok(Request::Cancel(field(&tokens, 1, "id")?)),
+            "QUEUE" => Ok(Request::Queue(
+                tokens
+                    .get(1)
+                    .ok_or("missing field <machine>")?
+                    .to_string(),
+            )),
+            "METRICS" => Ok(Request::Metrics),
+            "QUIT" => Ok(Request::Quit),
+            other => Err(format!("unknown verb {other:?}")),
+        }
+    }
+}
+
+impl FromStr for Request {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Request::parse(s)
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::Submit {
+                provider,
+                machine,
+                circuits,
+                shots,
+                mean_depth,
+                mean_width,
+                patience_s,
+            } => {
+                write!(
+                    f,
+                    "SUBMIT {provider} {machine} {circuits} {shots} {mean_depth} {mean_width}"
+                )?;
+                if patience_s.is_finite() {
+                    write!(f, " {patience_s}")?;
+                }
+                Ok(())
+            }
+            Request::Status(id) => write!(f, "STATUS {id}"),
+            Request::Cancel(id) => write!(f, "CANCEL {id}"),
+            Request::Queue(machine) => write!(f, "QUEUE {machine}"),
+            Request::Metrics => f.write_str("METRICS"),
+            Request::Quit => f.write_str("QUIT"),
+        }
+    }
+}
+
+/// A server response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Request accepted; for `SUBMIT` the id is gateway-assigned, for
+    /// `CANCEL` it echoes the cancelled id.
+    Ok(u64),
+    /// Temporarily rejected — retry later (rate limit or admission queue
+    /// full). The reason is advisory.
+    Busy(String),
+    /// Permanently rejected: malformed request or unknown machine.
+    Err(String),
+    /// Lifecycle state of a job (`unknown` if the gateway never saw it).
+    Status {
+        /// Gateway-assigned job id.
+        id: u64,
+        /// `queued`, `running`, `completed`, `errored`, `cancelled`, or
+        /// `unknown`.
+        state: String,
+    },
+    /// Queue depth of one machine.
+    Queue {
+        /// Machine name as resolved by the server.
+        machine: String,
+        /// Jobs pending (queued + executing).
+        depth: usize,
+    },
+    /// Gateway counter snapshot as `key=value` pairs.
+    Metrics(Vec<(String, String)>),
+    /// Connection closing.
+    Bye,
+}
+
+impl Response {
+    /// Parse one response line (client side).
+    ///
+    /// # Errors
+    ///
+    /// A message describing the malformation.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let line = line.trim_end();
+        let (verb, rest) = match line.split_once(' ') {
+            Some((v, r)) => (v, r),
+            None => (line, ""),
+        };
+        let tokens: Vec<&str> = rest.split_whitespace().collect();
+        match verb {
+            "OK" => Ok(Response::Ok(field(&tokens, 0, "id")?)),
+            "BUSY" => Ok(Response::Busy(rest.to_string())),
+            "ERR" => Ok(Response::Err(rest.to_string())),
+            "STATUS" => Ok(Response::Status {
+                id: field(&tokens, 0, "id")?,
+                state: tokens
+                    .get(1)
+                    .ok_or("missing field <state>")?
+                    .to_string(),
+            }),
+            "QUEUE" => Ok(Response::Queue {
+                machine: tokens
+                    .first()
+                    .ok_or("missing field <machine>")?
+                    .to_string(),
+                depth: field(&tokens, 1, "depth")?,
+            }),
+            "METRICS" => {
+                let mut pairs = Vec::new();
+                for token in &tokens {
+                    let (k, v) = token
+                        .split_once('=')
+                        .ok_or_else(|| format!("bad metrics pair {token:?}"))?;
+                    pairs.push((k.to_string(), v.to_string()));
+                }
+                Ok(Response::Metrics(pairs))
+            }
+            "BYE" => Ok(Response::Bye),
+            other => Err(format!("unknown response verb {other:?}")),
+        }
+    }
+}
+
+impl FromStr for Response {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, <Response as FromStr>::Err> {
+        Response::parse(s)
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Ok(id) => write!(f, "OK {id}"),
+            Response::Busy(reason) => write!(f, "BUSY {reason}"),
+            Response::Err(reason) => write!(f, "ERR {reason}"),
+            Response::Status { id, state } => write!(f, "STATUS {id} {state}"),
+            Response::Queue { machine, depth } => write!(f, "QUEUE {machine} {depth}"),
+            Response::Metrics(pairs) => {
+                f.write_str("METRICS")?;
+                for (k, v) in pairs {
+                    write!(f, " {k}={v}")?;
+                }
+                Ok(())
+            }
+            Response::Bye => f.write_str("BYE"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_roundtrip_with_and_without_patience() {
+        for line in [
+            "SUBMIT 3 casablanca 20 1024 15.5 3 600",
+            "SUBMIT 0 2 1 8192 40 5.5",
+        ] {
+            let req = Request::parse(line).unwrap();
+            assert_eq!(Request::parse(&req.to_string()).unwrap(), req);
+        }
+        let req = Request::parse("SUBMIT 1 0 5 100 10 2").unwrap();
+        match req {
+            Request::Submit { patience_s, .. } => assert!(patience_s.is_infinite()),
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_parse_rejects_malformed() {
+        assert!(Request::parse("").is_err());
+        assert!(Request::parse("FROB 1").unwrap_err().contains("unknown verb"));
+        assert!(Request::parse("SUBMIT 1 2 3").unwrap_err().contains("6 or 7"));
+        assert!(Request::parse("SUBMIT x 0 1 1 1 1")
+            .unwrap_err()
+            .contains("provider"));
+        assert!(Request::parse("STATUS abc").unwrap_err().contains("id"));
+        assert!(Request::parse("QUEUE").unwrap_err().contains("machine"));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let cases = vec![
+            Response::Ok(42),
+            Response::Busy("rate limit: provider 3".to_string()),
+            Response::Err("unknown machine \"foo\"".to_string()),
+            Response::Status {
+                id: 7,
+                state: "running".to_string(),
+            },
+            Response::Queue {
+                machine: "casablanca".to_string(),
+                depth: 12,
+            },
+            Response::Metrics(vec![
+                ("accepted".to_string(), "10".to_string()),
+                ("sim_time_s".to_string(), "3600.5".to_string()),
+            ]),
+            Response::Bye,
+        ];
+        for response in cases {
+            assert_eq!(
+                Response::parse(&response.to_string()).unwrap(),
+                response,
+                "roundtrip of {response}"
+            );
+        }
+    }
+
+    #[test]
+    fn response_parse_rejects_malformed() {
+        assert!(Response::parse("WHAT 1").is_err());
+        assert!(Response::parse("OK").is_err());
+        assert!(Response::parse("STATUS 3").is_err());
+        assert!(Response::parse("METRICS a=1 borked").is_err());
+    }
+}

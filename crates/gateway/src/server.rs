@@ -1,0 +1,523 @@
+//! The gateway server: a TCP front-end over a [`LiveCloud`].
+//!
+//! One accept-loop thread owns a [`qcs_exec::WorkerPool`]; each accepted
+//! connection becomes a pool task that reads request lines, takes the
+//! shared simulator lock, advances the simulation clock to "now"
+//! (wall-clock elapsed × time compression), and answers. Admission
+//! control happens before a job reaches the simulator:
+//!
+//! 1. **Validation** — unknown machine/provider or an empty batch is a
+//!    permanent `ERR`.
+//! 2. **Rate limiting** — a per-provider [`TokenBucket`] driven by
+//!    *simulation* time; an empty bucket is a retryable `BUSY`.
+//! 3. **Backpressure** — a machine whose pending depth (queued +
+//!    executing) is at [`GatewayConfig::max_pending_per_machine`] answers
+//!    `BUSY` instead of queueing unboundedly.
+//!
+//! [`Gateway::shutdown_and_drain`] stops accepting, joins every handler,
+//! runs the simulator to completion, and returns the final
+//! [`SimulationResult`] (auditable via `CloudConfig::audit`) plus the
+//! [`GatewayMetrics`] counters.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use qcs_cloud::{CloudConfig, JobSpec, LiveCloud, SimulationResult};
+use qcs_exec::WorkerPool;
+use qcs_machine::Fleet;
+
+use crate::metrics::GatewayMetrics;
+use crate::protocol::{Request, Response};
+use crate::ratelimit::TokenBucket;
+
+/// Gateway tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatewayConfig {
+    /// Connection-handler threads (`0` = auto).
+    pub threads: usize,
+    /// Simulated seconds per wall-clock second. `0.0` freezes the
+    /// simulation clock (useful for deterministic tests: jobs queue but
+    /// time never advances on its own).
+    pub time_compression: f64,
+    /// Token-bucket capacity per provider (burst size).
+    pub rate_capacity: f64,
+    /// Token refill rate per provider, tokens per *simulated* second.
+    pub rate_refill_per_s: f64,
+    /// Admission bound per machine: a `SUBMIT` targeting a machine with
+    /// this many jobs pending is answered `BUSY`.
+    pub max_pending_per_machine: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            threads: 0,
+            time_compression: 1.0,
+            rate_capacity: 64.0,
+            rate_refill_per_s: 1.0,
+            max_pending_per_machine: 256,
+        }
+    }
+}
+
+/// Maps wall-clock elapsed time onto the simulation clock.
+#[derive(Debug)]
+struct SimClock {
+    started: Instant,
+    compression: f64,
+}
+
+impl SimClock {
+    fn now_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * self.compression
+    }
+}
+
+struct State {
+    cloud: LiveCloud,
+    next_id: u64,
+    buckets: Vec<TokenBucket>,
+    metrics: GatewayMetrics,
+    max_pending: usize,
+}
+
+impl State {
+    /// Advance the simulator to the clock's "now" and fold any newly
+    /// terminal records into the metrics.
+    fn advance(&mut self, now_s: f64) {
+        self.cloud.step_until(now_s);
+        for record in self.cloud.drain_new_records() {
+            self.metrics.observe_finished(record.outcome);
+        }
+    }
+
+    fn resolve_machine(&self, token: &str) -> Option<usize> {
+        let fleet = self.cloud.fleet();
+        if let Ok(index) = token.parse::<usize>() {
+            return (index < fleet.len()).then_some(index);
+        }
+        fleet.index_of(token)
+    }
+
+    fn respond(&mut self, request: &Request, now_s: f64) -> Response {
+        self.advance(now_s);
+        match request {
+            Request::Submit {
+                provider,
+                machine,
+                circuits,
+                shots,
+                mean_depth,
+                mean_width,
+                patience_s,
+            } => {
+                self.metrics.submitted += 1;
+                let Some(machine_idx) = self.resolve_machine(machine) else {
+                    self.metrics.rejected_invalid += 1;
+                    return Response::Err(format!("unknown machine {machine:?}"));
+                };
+                if *provider as usize >= self.buckets.len() {
+                    self.metrics.rejected_invalid += 1;
+                    return Response::Err(format!("unknown provider {provider}"));
+                }
+                if *circuits == 0 || *shots == 0 {
+                    self.metrics.rejected_invalid += 1;
+                    return Response::Err("empty batch: circuits and shots must be >= 1".into());
+                }
+                if !self.buckets[*provider as usize].try_take(self.cloud.now_s()) {
+                    self.metrics.rejected_rate += 1;
+                    return Response::Busy(format!("rate limit: provider {provider}"));
+                }
+                if self.cloud.queue_depth(machine_idx) >= self.max_pending {
+                    self.metrics.rejected_backpressure += 1;
+                    return Response::Busy(format!(
+                        "queue full: machine {} at {} pending",
+                        machine, self.max_pending
+                    ));
+                }
+                let id = self.next_id;
+                let spec = JobSpec {
+                    id,
+                    provider: *provider,
+                    machine: machine_idx,
+                    circuits: *circuits,
+                    shots: *shots,
+                    mean_depth: *mean_depth,
+                    mean_width: *mean_width,
+                    // Equal to the live clock, so never in the past.
+                    submit_s: self.cloud.now_s(),
+                    is_study: true,
+                    patience_s: *patience_s,
+                };
+                match self.cloud.submit(spec) {
+                    Ok(()) => {
+                        self.next_id += 1;
+                        self.metrics.accepted += 1;
+                        Response::Ok(id)
+                    }
+                    Err(err) => {
+                        self.metrics.rejected_invalid += 1;
+                        Response::Err(err.to_string())
+                    }
+                }
+            }
+            Request::Status(id) => Response::Status {
+                id: *id,
+                state: self
+                    .cloud
+                    .status(*id)
+                    .map_or_else(|| "unknown".to_string(), |s| s.to_string()),
+            },
+            Request::Cancel(id) => {
+                if self.cloud.cancel(*id) {
+                    self.metrics.cancelled_via_api += 1;
+                    // The cancellation record (if any) lands in metrics on
+                    // the next advance; count it now for this drain pass.
+                    for record in self.cloud.drain_new_records() {
+                        self.metrics.observe_finished(record.outcome);
+                    }
+                    Response::Ok(*id)
+                } else {
+                    Response::Err(format!("job {id} is not cancellable"))
+                }
+            }
+            Request::Queue(machine) => match self.resolve_machine(machine) {
+                Some(index) => Response::Queue {
+                    machine: self.cloud.fleet().machines()[index].name().to_string(),
+                    depth: self.cloud.queue_depth(index),
+                },
+                None => Response::Err(format!("unknown machine {machine:?}")),
+            },
+            Request::Metrics => {
+                let mut pairs = self.metrics.pairs();
+                pairs.push(("sim_time_s".to_string(), format!("{:.3}", self.cloud.now_s())));
+                Response::Metrics(pairs)
+            }
+            Request::Quit => Response::Bye,
+        }
+    }
+}
+
+/// A running gateway. Dropping it (or calling
+/// [`shutdown_and_drain`](Gateway::shutdown_and_drain)) stops the accept
+/// loop and joins every connection handler.
+pub struct Gateway {
+    addr: SocketAddr,
+    state: Option<Arc<Mutex<State>>>,
+    clock: Arc<SimClock>,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Bind a loopback port and start serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(
+        fleet: Fleet,
+        cloud_config: CloudConfig,
+        config: GatewayConfig,
+    ) -> std::io::Result<Gateway> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(Mutex::new(State {
+            cloud: LiveCloud::new(fleet, cloud_config).with_status_tracking(),
+            next_id: 0,
+            buckets: (0..cloud_config.num_providers)
+                .map(|_| TokenBucket::new(config.rate_capacity, config.rate_refill_per_s))
+                .collect(),
+            metrics: GatewayMetrics::default(),
+            max_pending: config.max_pending_per_machine,
+        }));
+        let clock = Arc::new(SimClock {
+            started: Instant::now(),
+            compression: config.time_compression,
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let accept_state = Arc::clone(&state);
+        let accept_clock = Arc::clone(&clock);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let threads = config.threads;
+        let accept_handle = std::thread::Builder::new()
+            .name("qcs-gateway-accept".to_string())
+            .spawn(move || {
+                let pool = WorkerPool::new(threads);
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    {
+                        let mut state = lock(&accept_state);
+                        state.metrics.connections += 1;
+                    }
+                    let state = Arc::clone(&accept_state);
+                    let clock = Arc::clone(&accept_clock);
+                    pool.execute(move || handle_connection(stream, &state, &clock));
+                }
+                // `pool` drops here: joins all in-flight handlers.
+            })?;
+
+        Ok(Gateway {
+            addr,
+            state: Some(state),
+            clock,
+            shutdown,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The bound loopback address clients should connect to.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The current simulation time as seen by the gateway clock.
+    #[must_use]
+    pub fn sim_now_s(&self) -> f64 {
+        self.clock.now_s()
+    }
+
+    fn stop_accepting(&mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            self.shutdown.store(true, Ordering::SeqCst);
+            // Poke the blocking accept so the loop observes the flag.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+
+    /// Stop accepting connections, wait for in-flight handlers, run the
+    /// simulation to completion, and return the final result and the
+    /// gateway counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a connection handler leaked a reference to the shared
+    /// state (cannot happen once the accept thread has joined).
+    #[must_use]
+    pub fn shutdown_and_drain(mut self) -> (SimulationResult, GatewayMetrics) {
+        self.stop_accepting();
+        let state = self.state.take().expect("state taken only here");
+        let state = Arc::try_unwrap(state)
+            .unwrap_or_else(|_| panic!("a connection handler outlived the accept thread"));
+        let State {
+            mut cloud,
+            mut metrics,
+            ..
+        } = state.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+        cloud.run_to_completion();
+        for record in cloud.drain_new_records() {
+            metrics.observe_finished(record.outcome);
+        }
+        (cloud.into_result(), metrics)
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+fn lock<'a>(state: &'a Arc<Mutex<State>>) -> std::sync::MutexGuard<'a, State> {
+    // A handler that panicked mid-request poisons the lock; the state is
+    // a simulator plus counters, both left in a consistent snapshot by
+    // every early return, so recover rather than cascade.
+    state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<Mutex<State>>, clock: &Arc<SimClock>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, quit) = match Request::parse(&line) {
+            Ok(Request::Quit) => (Response::Bye, true),
+            Ok(request) => {
+                let now_s = clock.now_s();
+                (lock(state).respond(&request, now_s), false)
+            }
+            Err(message) => (Response::Err(message), false),
+        };
+        if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
+            break;
+        }
+        if quit {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A gateway with a frozen simulation clock: jobs queue, nothing
+    /// completes, every admission decision is deterministic.
+    fn frozen(config: GatewayConfig) -> Gateway {
+        let cloud_config = CloudConfig {
+            audit: true,
+            ..CloudConfig::default()
+        };
+        Gateway::start(
+            Fleet::ibm_like(),
+            cloud_config,
+            GatewayConfig {
+                time_compression: 0.0,
+                ..config
+            },
+        )
+        .expect("bind loopback")
+    }
+
+    fn roundtrip(client: &mut crate::GatewayClient, line: &str) -> Response {
+        client
+            .request(&Request::parse(line).expect("test request parses"))
+            .expect("request round-trips")
+    }
+
+    #[test]
+    fn submit_status_cancel_lifecycle() {
+        let gateway = frozen(GatewayConfig::default());
+        let mut client = crate::GatewayClient::connect(gateway.addr()).unwrap();
+        assert_eq!(roundtrip(&mut client, "SUBMIT 0 1 10 1024 20 3"), Response::Ok(0));
+        assert_eq!(roundtrip(&mut client, "SUBMIT 1 1 10 1024 20 3"), Response::Ok(1));
+        // Frozen clock: job 0 is running (dispatched at t=0), job 1 queued.
+        assert_eq!(client.status(0).unwrap(), "running");
+        assert_eq!(client.status(1).unwrap(), "queued");
+        assert_eq!(client.status(99).unwrap(), "unknown");
+        assert_eq!(client.queue_depth("1").unwrap(), 2);
+        assert_eq!(roundtrip(&mut client, "CANCEL 1"), Response::Ok(1));
+        assert_eq!(client.status(1).unwrap(), "cancelled");
+        match roundtrip(&mut client, "CANCEL 0") {
+            Response::Err(reason) => assert!(reason.contains("not cancellable")),
+            other => panic!("expected ERR, got {other}"),
+        }
+        client.quit().unwrap();
+        let (result, metrics) = gateway.shutdown_and_drain();
+        assert_eq!(metrics.accepted, 2);
+        assert_eq!(metrics.cancelled_via_api, 1);
+        assert_eq!(result.total_jobs, 2);
+        assert_eq!(metrics.finished.iter().sum::<u64>(), 2);
+        result.audit.expect("audit enabled").assert_clean();
+    }
+
+    #[test]
+    fn invalid_submissions_are_err_not_busy() {
+        let gateway = frozen(GatewayConfig::default());
+        let mut client = crate::GatewayClient::connect(gateway.addr()).unwrap();
+        for line in [
+            "SUBMIT 0 no-such-machine 10 1024 20 3",
+            "SUBMIT 9999 1 10 1024 20 3",
+            "SUBMIT 0 1 0 1024 20 3",
+        ] {
+            match roundtrip(&mut client, line) {
+                Response::Err(_) => {}
+                other => panic!("expected ERR for {line:?}, got {other}"),
+            }
+        }
+        client.quit().unwrap();
+        // A wire-level malformed line (unparsable client-side) still gets
+        // a well-formed ERR response.
+        let mut raw = TcpStream::connect(gateway.addr()).unwrap();
+        raw.write_all(b"BOGUS 1 2 3\n").unwrap();
+        let mut reply = String::new();
+        BufReader::new(&raw).read_line(&mut reply).unwrap();
+        assert!(
+            reply.starts_with("ERR") && reply.contains("unknown verb"),
+            "got {reply:?}"
+        );
+        drop(raw);
+        let (result, metrics) = gateway.shutdown_and_drain();
+        assert_eq!(metrics.rejected_invalid, 3);
+        assert_eq!(metrics.accepted, 0);
+        assert_eq!(result.total_jobs, 0);
+    }
+
+    #[test]
+    fn rate_limit_and_backpressure_reply_busy() {
+        let gateway = frozen(GatewayConfig {
+            rate_capacity: 2.0,
+            rate_refill_per_s: 0.0,
+            max_pending_per_machine: 1,
+            ..GatewayConfig::default()
+        });
+        let mut client = crate::GatewayClient::connect(gateway.addr()).unwrap();
+        // First submit fills machine 1 to its bound of 1.
+        assert_eq!(roundtrip(&mut client, "SUBMIT 0 1 10 1024 20 3"), Response::Ok(0));
+        // Same provider, different machine: token available, but now
+        // try the *full* machine -> backpressure.
+        match roundtrip(&mut client, "SUBMIT 0 1 10 1024 20 3") {
+            Response::Busy(reason) => assert!(reason.contains("queue full"), "{reason}"),
+            other => panic!("expected BUSY, got {other}"),
+        }
+        // Bucket for provider 0 is now empty (2 tokens spent, refill 0).
+        match roundtrip(&mut client, "SUBMIT 0 2 10 1024 20 3") {
+            Response::Busy(reason) => assert!(reason.contains("rate limit"), "{reason}"),
+            other => panic!("expected BUSY, got {other}"),
+        }
+        // A different provider still has tokens and machine 2 is empty.
+        assert_eq!(roundtrip(&mut client, "SUBMIT 1 2 10 1024 20 3"), Response::Ok(1));
+        let pairs = client.metrics().unwrap();
+        let get = |k: &str| {
+            pairs
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(get("submitted"), "4");
+        assert_eq!(get("accepted"), "2");
+        assert_eq!(get("rejected_rate"), "1");
+        assert_eq!(get("rejected_backpressure"), "1");
+        client.quit().unwrap();
+        let (result, metrics) = gateway.shutdown_and_drain();
+        assert_eq!(metrics.rejected_backpressure, 1);
+        assert_eq!(result.total_jobs, 2);
+    }
+
+    #[test]
+    fn machines_resolve_by_name_and_index() {
+        let gateway = frozen(GatewayConfig::default());
+        let name = gateway_fleet_name();
+        let mut client = crate::GatewayClient::connect(gateway.addr()).unwrap();
+        let by_name = roundtrip(&mut client, &format!("SUBMIT 0 {name} 10 1024 20 3"));
+        assert_eq!(by_name, Response::Ok(0));
+        assert_eq!(client.queue_depth(&name).unwrap(), 1);
+        assert_eq!(client.queue_depth("0").unwrap(), 1);
+        client.quit().unwrap();
+        let (_, metrics) = gateway.shutdown_and_drain();
+        assert_eq!(metrics.accepted, 1);
+    }
+
+    fn gateway_fleet_name() -> String {
+        Fleet::ibm_like().machines()[0].name().to_string()
+    }
+
+    #[test]
+    fn drop_without_drain_shuts_down_cleanly() {
+        let gateway = frozen(GatewayConfig::default());
+        let addr = gateway.addr();
+        drop(gateway);
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // The OS may accept briefly; a read must then hit EOF.
+                true
+            }
+        );
+    }
+}

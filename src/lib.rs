@@ -36,6 +36,7 @@ pub use qcs_calibration as calibration;
 pub use qcs_circuit as circuit;
 pub use qcs_cloud as cloud;
 pub use qcs_exec as exec;
+pub use qcs_gateway as gateway;
 pub use qcs_machine as machine;
 pub use qcs_predictor as predictor;
 pub use qcs_sim as sim;

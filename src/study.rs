@@ -25,6 +25,11 @@ pub struct StudyConfig {
     /// (violins, pending-job scans). Analysis results do not depend on
     /// the thread count.
     pub exec: ExecConfig,
+    /// Run the simulation through the incremental [`qcs_cloud::LiveCloud`]
+    /// core (submitting jobs day by day and stepping the clock) instead of
+    /// the batch `Simulation::run`. Results are bit-identical either way —
+    /// this flag exists to exercise the live path end-to-end.
+    pub use_live_core: bool,
 }
 
 impl StudyConfig {
@@ -41,6 +46,7 @@ impl StudyConfig {
             outage_interval_days: 12.0,
             outage_duration_hours: 18.0,
             exec: ExecConfig::default(),
+            use_live_core: false,
         }
     }
 
@@ -54,6 +60,7 @@ impl StudyConfig {
             outage_interval_days: 12.0,
             outage_duration_hours: 18.0,
             exec: ExecConfig::default(),
+            use_live_core: false,
         }
     }
 
@@ -62,6 +69,14 @@ impl StudyConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.exec = ExecConfig::with_threads(threads);
+        self
+    }
+
+    /// Route the simulation through the incremental live core; returns
+    /// the modified config for chaining.
+    #[must_use]
+    pub fn with_live_core(mut self) -> Self {
+        self.use_live_core = true;
         self
     }
 }
@@ -108,9 +123,13 @@ impl Study {
         } else {
             OutagePlan::none(fleet.len())
         };
-        let result = Simulation::new(fleet.clone(), config.cloud)
-            .with_outages(outages)
-            .run(workload.jobs);
+        let result = if config.use_live_core {
+            run_live(&fleet, config.cloud, outages, workload.jobs)
+        } else {
+            Simulation::new(fleet.clone(), config.cloud)
+                .with_outages(outages)
+                .run(workload.jobs)
+        };
         Study {
             fleet,
             result,
@@ -417,12 +436,63 @@ impl Study {
     }
 }
 
+/// The study's trace, replayed through the incremental core: jobs are
+/// submitted one simulated day ahead of the clock, the clock is stepped a
+/// day at a time, and the backlog drains at the end. Produces output
+/// bit-identical to the batch path (see
+/// `tests::live_core_matches_batch_on_smoke_study`).
+fn run_live(
+    fleet: &Fleet,
+    cloud: CloudConfig,
+    outages: OutagePlan,
+    mut jobs: Vec<qcs_cloud::JobSpec>,
+) -> SimulationResult {
+    const DAY_S: f64 = 86_400.0;
+    let mut live = qcs_cloud::LiveCloud::new(fleet.clone(), cloud).with_outages(outages);
+    // Stable sort: within equal submit times the generator's order is
+    // kept, matching the batch engine's tie-breaking.
+    jobs.sort_by(|a, b| a.submit_s.total_cmp(&b.submit_s));
+    let mut pending = jobs.into_iter().peekable();
+    let mut next_day = 1u64;
+    while pending.peek().is_some() {
+        let t = next_day as f64 * DAY_S;
+        while pending.peek().is_some_and(|j| j.submit_s <= t) {
+            live.submit(pending.next().expect("peeked"))
+                .expect("generated jobs target valid machines/providers");
+        }
+        live.step_until(t);
+        next_day += 1;
+    }
+    live.run_to_completion();
+    live.into_result()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn smoke_study() -> Study {
         Study::run(&StudyConfig::smoke())
+    }
+
+    #[test]
+    fn live_core_matches_batch_on_smoke_study() {
+        let config = StudyConfig {
+            cloud: CloudConfig {
+                audit: true,
+                ..CloudConfig::default()
+            },
+            ..StudyConfig::smoke()
+        };
+        let batch = Study::run(&config);
+        let live = Study::run(&config.with_live_core());
+        let (b, l) = (batch.result(), live.result());
+        assert_eq!(b.records, l.records);
+        assert_eq!(b.queue_samples, l.queue_samples);
+        assert_eq!(b.total_jobs, l.total_jobs);
+        assert_eq!(b.outcome_counts, l.outcome_counts);
+        assert_eq!(b.daily_executions, l.daily_executions);
+        l.audit.as_ref().expect("audited").assert_clean();
     }
 
     #[test]

@@ -349,4 +349,71 @@ proptest! {
             prod.audit.expect("audit enabled").assert_clean();
         }
     }
+
+    #[test]
+    fn live_matches_batch(
+        jobs in arb_trace(),
+        seed in 0u64..10_000,
+        outage_pick in 0u8..3,
+        step_gaps in proptest::collection::vec(1.0f64..2_000.0, 1..10),
+    ) {
+        // The incremental core, driven by an arbitrary step schedule with
+        // jobs submitted online (each as late as its submission time
+        // allows), must be bit-identical to the batch run of the same
+        // trace: same records, same queue samples, same aggregates.
+        use qcs::cloud::LiveCloud;
+        let fleet = Fleet::ibm_like();
+        let outages = match outage_pick {
+            0 => OutagePlan::none(fleet.len()),
+            1 => {
+                let mut windows = vec![Vec::new(); fleet.len()];
+                windows[1] = vec![(100.0, 600.0)];
+                windows[3] = vec![(200.0, 450.0), (800.0, 1_200.0)];
+                OutagePlan::from_windows(windows)
+            }
+            _ => OutagePlan::sample(fleet.len(), 0.1, 0.02, 0.2, seed),
+        };
+        for discipline in [
+            Discipline::FairShare { half_life_hours: 2.0 },
+            Discipline::Fifo,
+            Discipline::ShortestJobFirst,
+        ] {
+            let config = CloudConfig {
+                seed,
+                discipline,
+                sample_interval_hours: 0.05,
+                audit: true,
+                ..CloudConfig::default()
+            };
+            let batch = Simulation::new(fleet.clone(), config)
+                .with_outages(outages.clone())
+                .run(jobs.clone());
+
+            let mut live = LiveCloud::new(fleet.clone(), config)
+                .with_outages(outages.clone());
+            // arb_trace submit times are strictly increasing, so iterating
+            // in order is iterating in submission-time order.
+            let mut pending = jobs.clone().into_iter().peekable();
+            let mut t = 0.0;
+            for gap in &step_gaps {
+                t += gap;
+                while pending.peek().is_some_and(|j| j.submit_s <= t) {
+                    live.submit(pending.next().expect("peeked")).expect("valid trace job");
+                }
+                live.step_until(t);
+            }
+            for job in pending {
+                live.submit(job).expect("valid trace job");
+            }
+            live.run_to_completion();
+            let result = live.into_result();
+
+            prop_assert_eq!(&batch.records, &result.records);
+            prop_assert_eq!(&batch.queue_samples, &result.queue_samples);
+            prop_assert_eq!(batch.total_jobs, result.total_jobs);
+            prop_assert_eq!(batch.outcome_counts, result.outcome_counts);
+            prop_assert_eq!(&batch.daily_executions, &result.daily_executions);
+            result.audit.expect("audit enabled").assert_clean();
+        }
+    }
 }
