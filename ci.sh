@@ -22,6 +22,16 @@ cargo test -q --test properties live_matches_batch
 cargo test -q --test gateway_smoke
 cargo test -q -p qcs-gateway
 
+# Chaos gate: every fault mode (drops, garbles, truncations, slow-loris
+# writes, handler panics, machine outages) against concurrent clients,
+# with a clean audited drain and bit-identical fault-free replay.
+cargo test -q --test chaos_gateway
+
 cargo clippy --all-targets -- -D warnings
+
+# The serving crate must be panic-free on untrusted input: no unwrap or
+# expect in non-test gateway code (--no-deps keeps the deny flags from
+# leaking into dependency crates).
+cargo clippy -p qcs-gateway --no-deps -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 echo "ci.sh: all checks passed"

@@ -59,7 +59,7 @@ fn bench_fair_share_queue(c: &mut Criterion) {
             }
             let mut drained = 0usize;
             while let Some(job) = queue.pop(2000.0) {
-                queue.charge(job.provider, 60.0);
+                queue.charge(job.provider, 60.0, 2000.0);
                 drained += 1;
             }
             drained

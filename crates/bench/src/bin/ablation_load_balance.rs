@@ -53,8 +53,8 @@ fn main() {
         println!(
             "{label:<16} median {:>7.1} min   p90 {:>8.1} min   p99 {:>9.1} min",
             median(&waits),
-            quantile(&waits, 0.9),
-            quantile(&waits, 0.99),
+            quantile(&waits, 0.9).unwrap_or(f64::NAN),
+            quantile(&waits, 0.99).unwrap_or(f64::NAN),
         );
     }
     println!("\n(balancing collapses the hot-machine queues the paper attributes to user heuristics)");

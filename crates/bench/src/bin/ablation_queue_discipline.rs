@@ -54,8 +54,8 @@ fn main() {
         println!(
             "{label:<28} {:>9.1} min {:>9.1} min {:>9.1} min {:>11.1} min",
             median(&waits),
-            quantile(&waits, 0.9),
-            quantile(&waits, 0.99),
+            quantile(&waits, 0.9).unwrap_or(f64::NAN),
+            quantile(&waits, 0.99).unwrap_or(f64::NAN),
             worst_provider
         );
     }

@@ -76,7 +76,7 @@ pub fn write_csv(name: &str, header: &str, rows: impl IntoIterator<Item = String
 /// Render a compact percentile table of a sorted series.
 #[must_use]
 pub fn percentile_table(sorted: &[f64], unit: &str) -> String {
-    let q = |p: f64| qcs::stats::quantile_sorted(sorted, p);
+    let q = |p: f64| qcs::stats::quantile_sorted(sorted, p).unwrap_or(f64::NAN);
     format!(
         "n={}  p10={:.2}{u}  p25={:.2}{u}  p50={:.2}{u}  p75={:.2}{u}  p90={:.2}{u}  p99={:.2}{u}",
         sorted.len(),

@@ -294,6 +294,15 @@ impl WorkerPool {
     pub fn panics(&self) -> usize {
         self.panics.load(Ordering::Relaxed)
     }
+
+    /// A handle on the panic counter that outlives the pool: clone this
+    /// before moving the pool elsewhere (e.g. into an accept-loop
+    /// thread) to keep observing contained panics after the move — the
+    /// `qcs-gateway` exposes its handler-panic count this way.
+    #[must_use]
+    pub fn panics_handle(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.panics)
+    }
 }
 
 impl Drop for WorkerPool {
@@ -470,6 +479,74 @@ mod tests {
         let panics = Arc::clone(&pool.panics);
         drop(pool);
         assert_eq!(panics.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn worker_pool_panics_do_not_corrupt_indexed_results_under_load() {
+        // 200 tasks write into their own slot; every 7th panics before
+        // writing. Survivor slots must hold exactly their own value —
+        // a contained panic must not smear into neighbours.
+        let pool = WorkerPool::new(4);
+        let panics = pool.panics_handle();
+        let slots = Arc::new(Mutex::new(vec![None; 200]));
+        for i in 0..200 {
+            let slots = Arc::clone(&slots);
+            pool.execute(move || {
+                assert!(i % 7 != 0, "injected task panic");
+                slots.lock().unwrap()[i] = Some(i * 10);
+            });
+        }
+        drop(pool); // joins: the batch is complete
+        let slots = slots.lock().unwrap();
+        let mut expected_panics = 0;
+        for (i, slot) in slots.iter().enumerate() {
+            if i % 7 == 0 {
+                assert_eq!(*slot, None, "panicking task {i} must not write");
+                expected_panics += 1;
+            } else {
+                assert_eq!(*slot, Some(i * 10), "slot {i} corrupted");
+            }
+        }
+        assert_eq!(panics.load(Ordering::Relaxed), expected_panics);
+    }
+
+    #[test]
+    fn worker_pool_stays_functional_after_a_panic_storm() {
+        // A burst of panicking tasks must not poison the queue: a second
+        // batch on the same pool still runs to completion.
+        let pool = WorkerPool::new(2);
+        for _ in 0..50 {
+            pool.execute(|| panic!("storm"));
+        }
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let hits = Arc::clone(&hits);
+            pool.execute(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let panics = pool.panics_handle();
+        drop(pool);
+        assert_eq!(hits.load(Ordering::Relaxed), 50);
+        assert_eq!(panics.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn parallel_map_order_is_unaffected_by_concurrent_pool_panics() {
+        // A pool melting down in the background must not perturb the
+        // index-ordered results of an unrelated parallel_map.
+        let pool = WorkerPool::new(2);
+        for _ in 0..40 {
+            pool.execute(|| panic!("background meltdown"));
+        }
+        let items: Vec<u64> = (0..500).collect();
+        let mapped = parallel_map(&ExecConfig::with_threads(4), &items, |i, x| {
+            (i as u64) * 1000 + x
+        });
+        drop(pool);
+        for (i, value) in mapped.iter().enumerate() {
+            assert_eq!(*value, (i as u64) * 1000 + i as u64);
+        }
     }
 
     #[test]

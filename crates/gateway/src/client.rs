@@ -1,4 +1,12 @@
 //! A blocking line-protocol client and a trace-replaying load generator.
+//!
+//! Every call returns a typed [`GatewayError`] instead of hanging or
+//! panicking: reads run under a socket timeout (a server that half-closes
+//! or stalls yields [`GatewayError::Timeout`] /
+//! [`GatewayError::Disconnected`], never a blocked-forever call), and
+//! [`GatewayClient::request_with_retry`] layers bounded, seeded-jitter
+//! retries ([`RetryPolicy`]) with automatic reconnect on transient
+//! failures.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -6,49 +14,139 @@ use std::time::{Duration, Instant};
 
 use qcs_cloud::JobSpec;
 
+use crate::error::GatewayError;
 use crate::protocol::{Request, Response};
+use crate::retry::{RetryPolicy, RetryStats};
+
+/// Default per-read socket timeout for [`GatewayClient::connect`].
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// A blocking client over one TCP connection. One request line out, one
 /// response line back.
 pub struct GatewayClient {
+    addr: SocketAddr,
+    read_timeout: Duration,
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
 }
 
 impl GatewayClient {
-    /// Connect to a gateway.
+    /// Connect to a gateway with the [`DEFAULT_READ_TIMEOUT`].
     ///
     /// # Errors
     ///
-    /// Propagates connection failures.
-    pub fn connect(addr: SocketAddr) -> std::io::Result<GatewayClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let read_half = stream.try_clone()?;
+    /// Propagates connection failures as [`GatewayError`].
+    pub fn connect(addr: SocketAddr) -> Result<GatewayClient, GatewayError> {
+        GatewayClient::connect_with_timeout(addr, DEFAULT_READ_TIMEOUT)
+    }
+
+    /// Connect with an explicit per-read socket timeout. The timeout
+    /// bounds each read syscall, so a silent or half-closed server
+    /// surfaces as [`GatewayError::Timeout`] instead of a read that
+    /// blocks forever.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures as [`GatewayError`].
+    pub fn connect_with_timeout(
+        addr: SocketAddr,
+        read_timeout: Duration,
+    ) -> Result<GatewayClient, GatewayError> {
+        let (reader, writer) = open(addr, read_timeout)?;
         Ok(GatewayClient {
-            reader: BufReader::new(read_half),
-            writer: BufWriter::new(stream),
+            addr,
+            read_timeout,
+            reader,
+            writer,
         })
+    }
+
+    /// Drop the current connection and establish a fresh one to the same
+    /// address (used after a transport-level failure, where the old
+    /// socket may be wedged mid-frame).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures as [`GatewayError`].
+    pub fn reconnect(&mut self) -> Result<(), GatewayError> {
+        let (reader, writer) = open(self.addr, self.read_timeout)?;
+        self.reader = reader;
+        self.writer = writer;
+        Ok(())
     }
 
     /// Send one request and read the response line.
     ///
     /// # Errors
     ///
-    /// I/O failures, or a response line that does not parse (reported as
-    /// [`std::io::ErrorKind::InvalidData`]).
-    pub fn request(&mut self, request: &Request) -> std::io::Result<Response> {
+    /// [`GatewayError::Timeout`] when no response arrives within the read
+    /// timeout, [`GatewayError::Disconnected`] on EOF (including EOF
+    /// mid-line: a truncated response frame), [`GatewayError::Protocol`]
+    /// when the response line does not parse, [`GatewayError::Io`] for
+    /// other transport failures.
+    pub fn request(&mut self, request: &Request) -> Result<Response, GatewayError> {
         writeln!(self.writer, "{request}")?;
         self.writer.flush()?;
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "gateway closed the connection",
-            ));
+            return Err(GatewayError::Disconnected);
         }
-        Response::parse(&line)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        if !line.ends_with('\n') {
+            // Bytes then EOF with no terminator: a truncated frame.
+            return Err(GatewayError::Disconnected);
+        }
+        Ok(Response::parse(&line)?)
+    }
+
+    /// [`request`](GatewayClient::request) with bounded retry: transient
+    /// transport errors (timeout, disconnect, I/O) and `BUSY` responses
+    /// are re-attempted up to `policy.max_retries` times, sleeping the
+    /// policy's jittered backoff in between and reconnecting after
+    /// transport errors. Attempts and abandonments are tallied into
+    /// `stats`.
+    ///
+    /// Retrying a `SUBMIT` is not idempotent end-to-end: a transport
+    /// fault *after* the server processed the request can duplicate the
+    /// job. Use retry for polling verbs unconditionally; for `SUBMIT`
+    /// only where duplicate jobs are acceptable (as in load generation).
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's error (see [`request`](GatewayClient::request))
+    /// once the retry budget is exhausted; non-transient errors return
+    /// immediately.
+    pub fn request_with_retry(
+        &mut self,
+        request: &Request,
+        policy: &RetryPolicy,
+        stats: &mut RetryStats,
+    ) -> Result<Response, GatewayError> {
+        let mut last: Result<Response, GatewayError> = Err(GatewayError::Timeout);
+        let mut needs_reconnect = false;
+        for attempt in 0..policy.max_attempts() {
+            if attempt > 0 {
+                std::thread::sleep(policy.backoff(attempt - 1));
+                stats.retries += 1;
+            }
+            if needs_reconnect {
+                if let Err(e) = self.reconnect() {
+                    last = Err(e);
+                    continue;
+                }
+                needs_reconnect = false;
+            }
+            match self.request(request) {
+                Ok(Response::Busy(reason)) => last = Ok(Response::Busy(reason)),
+                Ok(response) => return Ok(response),
+                Err(e) if e.is_transient() => {
+                    needs_reconnect = true;
+                    last = Err(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        stats.giveups += 1;
+        last
     }
 
     /// Submit a job described by a [`JobSpec`] (its `id` and `submit_s`
@@ -57,7 +155,7 @@ impl GatewayClient {
     /// # Errors
     ///
     /// See [`request`](GatewayClient::request).
-    pub fn submit_spec(&mut self, spec: &JobSpec) -> std::io::Result<Response> {
+    pub fn submit_spec(&mut self, spec: &JobSpec) -> Result<Response, GatewayError> {
         self.request(&Request::Submit {
             provider: spec.provider,
             machine: spec.machine.to_string(),
@@ -73,12 +171,12 @@ impl GatewayClient {
     ///
     /// # Errors
     ///
-    /// See [`request`](GatewayClient::request); an unexpected response
-    /// verb is [`std::io::ErrorKind::InvalidData`].
-    pub fn status(&mut self, id: u64) -> std::io::Result<String> {
+    /// See [`request`](GatewayClient::request); a well-formed response of
+    /// the wrong verb is [`GatewayError::Unexpected`].
+    pub fn status(&mut self, id: u64) -> Result<String, GatewayError> {
         match self.request(&Request::Status(id))? {
             Response::Status { state, .. } => Ok(state),
-            other => Err(unexpected(&other)),
+            other => Err(GatewayError::Unexpected(other)),
         }
     }
 
@@ -87,10 +185,10 @@ impl GatewayClient {
     /// # Errors
     ///
     /// See [`status`](GatewayClient::status).
-    pub fn queue_depth(&mut self, machine: &str) -> std::io::Result<usize> {
+    pub fn queue_depth(&mut self, machine: &str) -> Result<usize, GatewayError> {
         match self.request(&Request::Queue(machine.to_string()))? {
             Response::Queue { depth, .. } => Ok(depth),
-            other => Err(unexpected(&other)),
+            other => Err(GatewayError::Unexpected(other)),
         }
     }
 
@@ -99,10 +197,10 @@ impl GatewayClient {
     /// # Errors
     ///
     /// See [`status`](GatewayClient::status).
-    pub fn metrics(&mut self) -> std::io::Result<Vec<(String, String)>> {
+    pub fn metrics(&mut self) -> Result<Vec<(String, String)>, GatewayError> {
         match self.request(&Request::Metrics)? {
             Response::Metrics(pairs) => Ok(pairs),
-            other => Err(unexpected(&other)),
+            other => Err(GatewayError::Unexpected(other)),
         }
     }
 
@@ -111,19 +209,24 @@ impl GatewayClient {
     /// # Errors
     ///
     /// See [`request`](GatewayClient::request).
-    pub fn quit(mut self) -> std::io::Result<()> {
+    pub fn quit(mut self) -> Result<(), GatewayError> {
         match self.request(&Request::Quit)? {
             Response::Bye => Ok(()),
-            other => Err(unexpected(&other)),
+            other => Err(GatewayError::Unexpected(other)),
         }
     }
 }
 
-fn unexpected(response: &Response) -> std::io::Error {
-    std::io::Error::new(
-        std::io::ErrorKind::InvalidData,
-        format!("unexpected response: {response}"),
-    )
+fn open(
+    addr: SocketAddr,
+    read_timeout: Duration,
+) -> Result<(BufReader<TcpStream>, BufWriter<TcpStream>), GatewayError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let timeout = (!read_timeout.is_zero()).then_some(read_timeout);
+    stream.set_read_timeout(timeout)?;
+    let read_half = stream.try_clone()?;
+    Ok((BufReader::new(read_half), BufWriter::new(stream)))
 }
 
 /// What a replay run observed, per submission attempt.
@@ -131,10 +234,20 @@ fn unexpected(response: &Response) -> std::io::Error {
 pub struct ReplayReport {
     /// Gateway-assigned ids of accepted jobs, in submission order.
     pub accepted_ids: Vec<u64>,
-    /// Submissions answered `BUSY` (rate limit or backpressure).
+    /// Submissions answered `BUSY` (rate limit or backpressure), after
+    /// any retries.
     pub busy: usize,
     /// Submissions answered `ERR`.
     pub rejected: usize,
+    /// Submissions abandoned on a transport failure with the retry
+    /// budget exhausted (the job may or may not have reached the
+    /// simulator — see the `SUBMIT` idempotency note on
+    /// [`GatewayClient::request_with_retry`]).
+    pub lost: usize,
+    /// Re-attempts performed across the whole replay.
+    pub retries: u64,
+    /// Requests whose retry budget was exhausted.
+    pub giveups: u64,
 }
 
 /// Replays a trace of [`JobSpec`]s against a gateway, compressing trace
@@ -144,10 +257,14 @@ pub struct LoadGenerator {
     /// gateway's own `time_compression` if the replay should preserve the
     /// trace's inter-arrival structure in simulation time.
     pub time_compression: f64,
+    /// Retry policy applied to every submission
+    /// ([`RetryPolicy::none`] by default: one attempt per job).
+    pub retry: RetryPolicy,
 }
 
 impl LoadGenerator {
-    /// A generator replaying at the given compression factor.
+    /// A generator replaying at the given compression factor, without
+    /// retries.
     ///
     /// # Panics
     ///
@@ -155,36 +272,74 @@ impl LoadGenerator {
     #[must_use]
     pub fn new(time_compression: f64) -> Self {
         assert!(time_compression > 0.0, "compression must be positive");
-        LoadGenerator { time_compression }
+        LoadGenerator {
+            time_compression,
+            retry: RetryPolicy::none(),
+        }
+    }
+
+    /// Apply a retry policy to every submission in the replay.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
     }
 
     /// Replay `jobs` over one connection: sleep until each job's
-    /// compressed submission instant, then submit it. Jobs are sent in
-    /// `submit_s` order regardless of input order.
+    /// compressed submission instant, then submit it (retrying per the
+    /// generator's policy). Jobs are sent in `submit_s` order regardless
+    /// of input order. Transport failures that outlive the retry budget
+    /// are counted as [`ReplayReport::lost`] and the replay continues on
+    /// a fresh connection.
     ///
     /// # Errors
     ///
-    /// Propagates the first I/O failure.
-    pub fn replay(&self, addr: SocketAddr, jobs: &[JobSpec]) -> std::io::Result<ReplayReport> {
+    /// The initial connection failure, or a non-transient protocol
+    /// error.
+    pub fn replay(
+        &self,
+        addr: SocketAddr,
+        jobs: &[JobSpec],
+    ) -> Result<ReplayReport, GatewayError> {
         let mut ordered: Vec<&JobSpec> = jobs.iter().collect();
         ordered.sort_by(|a, b| a.submit_s.total_cmp(&b.submit_s));
         let mut client = GatewayClient::connect(addr)?;
         let started = Instant::now();
         let mut report = ReplayReport::default();
+        let mut stats = RetryStats::default();
         for job in ordered {
             let target = Duration::from_secs_f64(job.submit_s / self.time_compression);
             let elapsed = started.elapsed();
             if target > elapsed {
                 std::thread::sleep(target - elapsed);
             }
-            match client.submit_spec(job)? {
-                Response::Ok(id) => report.accepted_ids.push(id),
-                Response::Busy(_) => report.busy += 1,
-                Response::Err(_) => report.rejected += 1,
-                other => return Err(unexpected(&other)),
+            let request = Request::Submit {
+                provider: job.provider,
+                machine: job.machine.to_string(),
+                circuits: job.circuits,
+                shots: job.shots,
+                mean_depth: job.mean_depth,
+                mean_width: job.mean_width,
+                patience_s: job.patience_s,
+            };
+            match client.request_with_retry(&request, &self.retry, &mut stats) {
+                Ok(Response::Ok(id)) => report.accepted_ids.push(id),
+                Ok(Response::Busy(_)) => report.busy += 1,
+                Ok(Response::Err(_)) => report.rejected += 1,
+                Ok(other) => return Err(GatewayError::Unexpected(other)),
+                Err(e) if e.is_transient() => {
+                    report.lost += 1;
+                    // Leave the wedged socket behind; the next request's
+                    // retry loop reconnects if this best-effort one fails.
+                    let _ = client.reconnect();
+                }
+                Err(e) => return Err(e),
             }
         }
-        client.quit()?;
+        report.retries = stats.retries;
+        report.giveups = stats.giveups;
+        // The connection may already be gone under fault injection.
+        let _ = client.quit();
         Ok(report)
     }
 }

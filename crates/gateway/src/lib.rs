@@ -12,14 +12,27 @@
 //!
 //! - [`protocol`] — the wire grammar ([`Request`] / [`Response`]), shared
 //!   verbatim by server and client.
+//! - [`error`] — the taxonomy: wire [`ErrorCode`]s, parse-level
+//!   [`ProtocolError`]s, client-side [`GatewayError`]s. Untrusted input
+//!   maps onto these instead of panicking (`clippy::unwrap_used` /
+//!   `expect_used` are denied outside tests).
 //! - [`ratelimit`] — per-provider [`TokenBucket`]s in simulation time.
 //! - [`metrics`] — the [`GatewayMetrics`] counters behind `METRICS`.
+//! - [`fault`] — deterministic, content-keyed fault injection
+//!   ([`FaultPlan`]): connection drops, garbled lines, truncated and
+//!   stalled writes, handler panics, machine outages. Drives
+//!   `tests/chaos_gateway.rs`.
+//! - [`retry`] — bounded [`RetryPolicy`] with seeded-jitter exponential
+//!   backoff (SplitMix64-derived, reproducible per attempt).
 //! - [`server`] — [`Gateway`]: accept loop on a `qcs-exec`
-//!   [`WorkerPool`](qcs_exec::WorkerPool), per-connection handlers,
-//!   admission control (validate → rate-limit → backpressure), graceful
+//!   [`WorkerPool`](qcs_exec::WorkerPool), per-connection handlers with
+//!   read timeouts / idle reaping / line-length caps, admission control
+//!   (validate → rate-limit → backpressure), graceful
 //!   [`shutdown_and_drain`](Gateway::shutdown_and_drain).
-//! - [`client`] — [`GatewayClient`] plus a [`LoadGenerator`] that replays
-//!   `qcs-workload` traces at a wall-clock compression factor.
+//! - [`client`] — [`GatewayClient`] (typed errors, read timeouts,
+//!   reconnect, [`request_with_retry`](GatewayClient::request_with_retry))
+//!   plus a [`LoadGenerator`] that replays `qcs-workload` traces at a
+//!   wall-clock compression factor.
 //!
 //! # Examples
 //!
@@ -48,15 +61,24 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+// The serving stack must not panic on anything a peer can send. Tests
+// may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
+pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod protocol;
 pub mod ratelimit;
+pub mod retry;
 pub mod server;
 
-pub use client::{GatewayClient, LoadGenerator, ReplayReport};
+pub use client::{GatewayClient, LoadGenerator, ReplayReport, DEFAULT_READ_TIMEOUT};
+pub use error::{ErrorCode, GatewayError, ProtocolError};
+pub use fault::{FaultKind, FaultPlan};
 pub use metrics::GatewayMetrics;
 pub use protocol::{Request, Response};
 pub use ratelimit::TokenBucket;
+pub use retry::{RetryPolicy, RetryStats};
 pub use server::{Gateway, GatewayConfig};

@@ -2,6 +2,9 @@
 
 use qcs_cloud::JobOutcome;
 
+use crate::fault::FaultKind;
+use crate::retry::RetryStats;
+
 /// Monotonic counters over the gateway's lifetime. All counts are jobs
 /// unless noted; `submitted = accepted + rejected_rate +
 /// rejected_backpressure + rejected_invalid`.
@@ -26,6 +29,22 @@ pub struct GatewayMetrics {
     pub finished: [u64; 3],
     /// Connections accepted.
     pub connections: u64,
+    /// Request lines that failed protocol validation (unparsable,
+    /// non-UTF-8, or over the line-length bound) and were answered with a
+    /// typed `ERR`.
+    pub protocol_errors: u64,
+    /// Connections closed by the idle reaper (no complete request line
+    /// within the idle timeout).
+    pub reaped_idle: u64,
+    /// Faults injected by the active [`FaultPlan`](crate::FaultPlan),
+    /// indexed by [`FaultKind::index`].
+    pub faults_injected: [u64; 5],
+    /// Client-side re-attempts reported back via
+    /// [`absorb_client`](GatewayMetrics::absorb_client).
+    pub client_retries: u64,
+    /// Client-side requests abandoned with their retry budget exhausted,
+    /// reported back via [`absorb_client`](GatewayMetrics::absorb_client).
+    pub client_giveups: u64,
 }
 
 impl GatewayMetrics {
@@ -37,6 +56,33 @@ impl GatewayMetrics {
             JobOutcome::Cancelled => 2,
         };
         self.finished[slot] += 1;
+    }
+
+    /// Record one injected fault.
+    pub fn note_fault(&mut self, kind: FaultKind) {
+        self.faults_injected[kind.index()] += 1;
+    }
+
+    /// Total faults injected across all modes.
+    #[must_use]
+    pub fn faults_total(&self) -> u64 {
+        self.faults_injected.iter().sum()
+    }
+
+    /// Handler panics injected by [`FaultKind::PanicHandler`]. Every one
+    /// of these must show up in `Gateway::handler_panics` (contained by
+    /// the worker pool) — and vice versa when no other fault source
+    /// exists.
+    #[must_use]
+    pub fn injected_panics(&self) -> u64 {
+        self.faults_injected[FaultKind::PanicHandler.index()]
+    }
+
+    /// Fold a client's [`RetryStats`] into the gateway-side counters
+    /// (used by tests and by operators who co-locate load generators).
+    pub fn absorb_client(&mut self, stats: RetryStats) {
+        self.client_retries += stats.retries;
+        self.client_giveups += stats.giveups;
     }
 
     /// Render as ordered `key=value` pairs for the `METRICS` response.
@@ -54,6 +100,12 @@ impl GatewayMetrics {
             ("errored", self.finished[1]),
             ("cancelled", self.finished[2]),
             ("connections", self.connections),
+            ("protocol_errors", self.protocol_errors),
+            ("reaped_idle", self.reaped_idle),
+            ("faults_injected", self.faults_total()),
+            ("injected_panics", self.injected_panics()),
+            ("client_retries", self.client_retries),
+            ("client_giveups", self.client_giveups),
         ]
         .into_iter()
         .map(|(k, v)| (k.to_string(), v.to_string()))
@@ -81,6 +133,22 @@ mod tests {
         assert_eq!(completed.1, "1");
         let cancelled = pairs.iter().find(|(k, _)| k == "cancelled").unwrap();
         assert_eq!(cancelled.1, "1");
-        assert_eq!(pairs.len(), 10);
+        assert_eq!(pairs.len(), 16);
+    }
+
+    #[test]
+    fn fault_counters_track_kinds_and_panics() {
+        let mut metrics = GatewayMetrics::default();
+        metrics.note_fault(FaultKind::DropConnection);
+        metrics.note_fault(FaultKind::PanicHandler);
+        metrics.note_fault(FaultKind::PanicHandler);
+        assert_eq!(metrics.faults_total(), 3);
+        assert_eq!(metrics.injected_panics(), 2);
+        metrics.absorb_client(RetryStats {
+            retries: 4,
+            giveups: 1,
+        });
+        assert_eq!(metrics.client_retries, 4);
+        assert_eq!(metrics.client_giveups, 1);
     }
 }

@@ -13,7 +13,7 @@
 //!
 //! response = "OK" id                  ; submit accepted / cancel done
 //!          | "BUSY" reason...        ; rate-limited or admission queue full
-//!          | "ERR" reason...         ; malformed or unsatisfiable request
+//!          | "ERR" code detail...    ; typed rejection (see ErrorCode)
 //!          | "STATUS" id state       ; state ∈ queued running completed
 //!          |                         ;         errored cancelled unknown
 //!          | "QUEUE" machine depth
@@ -23,10 +23,15 @@
 //!
 //! Both sides of the protocol live here so the server and the client
 //! cannot drift: [`Request`] and [`Response`] each have a parser and a
-//! formatter, and `parse(format(x)) == x` is property-tested.
+//! formatter, and `parse(format(x)) == x` is property-tested. Parse
+//! failures are typed [`ProtocolError`]s — a code from the fixed
+//! [`ErrorCode`](crate::ErrorCode) table plus a human-readable detail —
+//! never panics, whatever bytes arrive.
 
 use std::fmt;
 use std::str::FromStr;
+
+use crate::error::{ErrorCode, ProtocolError};
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,12 +67,13 @@ pub enum Request {
     Quit,
 }
 
-fn field<T: FromStr>(tokens: &[&str], i: usize, name: &str) -> Result<T, String> {
-    let raw = tokens
-        .get(i)
-        .ok_or_else(|| format!("missing field <{name}>"))?;
-    raw.parse()
-        .map_err(|_| format!("bad <{name}>: {raw:?}"))
+fn field<T: FromStr>(tokens: &[&str], i: usize, name: &str) -> Result<T, ProtocolError> {
+    let raw = tokens.get(i).ok_or_else(|| {
+        ProtocolError::new(ErrorCode::MissingField, format!("missing field <{name}>"))
+    })?;
+    raw.parse().map_err(|_| {
+        ProtocolError::new(ErrorCode::BadField, format!("bad <{name}>: {raw:?}"))
+    })
 }
 
 impl Request {
@@ -75,17 +81,19 @@ impl Request {
     ///
     /// # Errors
     ///
-    /// A human-readable message naming the first offending field; the
-    /// server relays it verbatim in an `ERR` response.
-    pub fn parse(line: &str) -> Result<Request, String> {
+    /// A [`ProtocolError`] naming the first offending field; the server
+    /// relays its code and detail verbatim in an `ERR` response.
+    pub fn parse(line: &str) -> Result<Request, ProtocolError> {
         let tokens: Vec<&str> = line.split_whitespace().collect();
-        let verb = *tokens.first().ok_or("empty request")?;
+        let verb = *tokens
+            .first()
+            .ok_or_else(|| ProtocolError::new(ErrorCode::Empty, "empty request"))?;
         match verb {
             "SUBMIT" => {
                 if tokens.len() < 7 || tokens.len() > 8 {
-                    return Err(format!(
-                        "SUBMIT takes 6 or 7 fields, got {}",
-                        tokens.len() - 1
+                    return Err(ProtocolError::new(
+                        ErrorCode::BadArity,
+                        format!("SUBMIT takes 6 or 7 fields, got {}", tokens.len() - 1),
                     ));
                 }
                 let patience_s = if tokens.len() == 8 {
@@ -108,18 +116,23 @@ impl Request {
             "QUEUE" => Ok(Request::Queue(
                 tokens
                     .get(1)
-                    .ok_or("missing field <machine>")?
+                    .ok_or_else(|| {
+                        ProtocolError::new(ErrorCode::MissingField, "missing field <machine>")
+                    })?
                     .to_string(),
             )),
             "METRICS" => Ok(Request::Metrics),
             "QUIT" => Ok(Request::Quit),
-            other => Err(format!("unknown verb {other:?}")),
+            other => Err(ProtocolError::new(
+                ErrorCode::UnknownVerb,
+                format!("unknown verb {other:?}"),
+            )),
         }
     }
 }
 
 impl FromStr for Request {
-    type Err = String;
+    type Err = ProtocolError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         Request::parse(s)
@@ -165,8 +178,9 @@ pub enum Response {
     /// Temporarily rejected — retry later (rate limit or admission queue
     /// full). The reason is advisory.
     Busy(String),
-    /// Permanently rejected: malformed request or unknown machine.
-    Err(String),
+    /// Permanently rejected: a typed [`ProtocolError`] whose code is
+    /// machine-readable (`ERR <code> <detail...>` on the wire).
+    Err(ProtocolError),
     /// Lifecycle state of a job (`unknown` if the gateway never saw it).
     Status {
         /// Gateway-assigned job id.
@@ -189,12 +203,17 @@ pub enum Response {
 }
 
 impl Response {
+    /// Shorthand for a typed error response.
+    pub fn err(code: ErrorCode, detail: impl Into<String>) -> Response {
+        Response::Err(ProtocolError::new(code, detail))
+    }
+
     /// Parse one response line (client side).
     ///
     /// # Errors
     ///
-    /// A message describing the malformation.
-    pub fn parse(line: &str) -> Result<Response, String> {
+    /// A [`ProtocolError`] describing the malformation.
+    pub fn parse(line: &str) -> Result<Response, ProtocolError> {
         let line = line.trim_end();
         let (verb, rest) = match line.split_once(' ') {
             Some((v, r)) => (v, r),
@@ -204,39 +223,58 @@ impl Response {
         match verb {
             "OK" => Ok(Response::Ok(field(&tokens, 0, "id")?)),
             "BUSY" => Ok(Response::Busy(rest.to_string())),
-            "ERR" => Ok(Response::Err(rest.to_string())),
+            "ERR" => {
+                let (code, detail) = match rest.split_once(' ') {
+                    Some((c, d)) => (c, d),
+                    None => (rest, ""),
+                };
+                Ok(Response::Err(ProtocolError::new(
+                    code.parse::<ErrorCode>()?,
+                    detail,
+                )))
+            }
             "STATUS" => Ok(Response::Status {
                 id: field(&tokens, 0, "id")?,
                 state: tokens
                     .get(1)
-                    .ok_or("missing field <state>")?
+                    .ok_or_else(|| {
+                        ProtocolError::new(ErrorCode::MissingField, "missing field <state>")
+                    })?
                     .to_string(),
             }),
             "QUEUE" => Ok(Response::Queue {
                 machine: tokens
                     .first()
-                    .ok_or("missing field <machine>")?
+                    .ok_or_else(|| {
+                        ProtocolError::new(ErrorCode::MissingField, "missing field <machine>")
+                    })?
                     .to_string(),
                 depth: field(&tokens, 1, "depth")?,
             }),
             "METRICS" => {
                 let mut pairs = Vec::new();
                 for token in &tokens {
-                    let (k, v) = token
-                        .split_once('=')
-                        .ok_or_else(|| format!("bad metrics pair {token:?}"))?;
+                    let (k, v) = token.split_once('=').ok_or_else(|| {
+                        ProtocolError::new(
+                            ErrorCode::BadField,
+                            format!("bad metrics pair {token:?}"),
+                        )
+                    })?;
                     pairs.push((k.to_string(), v.to_string()));
                 }
                 Ok(Response::Metrics(pairs))
             }
             "BYE" => Ok(Response::Bye),
-            other => Err(format!("unknown response verb {other:?}")),
+            other => Err(ProtocolError::new(
+                ErrorCode::UnknownVerb,
+                format!("unknown response verb {other:?}"),
+            )),
         }
     }
 }
 
 impl FromStr for Response {
-    type Err = String;
+    type Err = ProtocolError;
 
     fn from_str(s: &str) -> Result<Self, <Response as FromStr>::Err> {
         Response::parse(s)
@@ -248,7 +286,7 @@ impl fmt::Display for Response {
         match self {
             Response::Ok(id) => write!(f, "OK {id}"),
             Response::Busy(reason) => write!(f, "BUSY {reason}"),
-            Response::Err(reason) => write!(f, "ERR {reason}"),
+            Response::Err(error) => write!(f, "ERR {error}"),
             Response::Status { id, state } => write!(f, "STATUS {id} {state}"),
             Response::Queue { machine, depth } => write!(f, "QUEUE {machine} {depth}"),
             Response::Metrics(pairs) => {
@@ -284,15 +322,31 @@ mod tests {
     }
 
     #[test]
-    fn request_parse_rejects_malformed() {
-        assert!(Request::parse("").is_err());
-        assert!(Request::parse("FROB 1").unwrap_err().contains("unknown verb"));
-        assert!(Request::parse("SUBMIT 1 2 3").unwrap_err().contains("6 or 7"));
-        assert!(Request::parse("SUBMIT x 0 1 1 1 1")
-            .unwrap_err()
-            .contains("provider"));
-        assert!(Request::parse("STATUS abc").unwrap_err().contains("id"));
-        assert!(Request::parse("QUEUE").unwrap_err().contains("machine"));
+    fn request_parse_rejects_malformed_with_typed_codes() {
+        assert_eq!(Request::parse("").unwrap_err().code, ErrorCode::Empty);
+        assert_eq!(
+            Request::parse("FROB 1").unwrap_err().code,
+            ErrorCode::UnknownVerb
+        );
+        assert_eq!(
+            Request::parse("SUBMIT 1 2 3").unwrap_err().code,
+            ErrorCode::BadArity
+        );
+        let err = Request::parse("SUBMIT x 0 1 1 1 1").unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadField);
+        assert!(err.detail.contains("provider"));
+        assert_eq!(
+            Request::parse("STATUS abc").unwrap_err().code,
+            ErrorCode::BadField
+        );
+        assert_eq!(
+            Request::parse("STATUS").unwrap_err().code,
+            ErrorCode::MissingField
+        );
+        assert_eq!(
+            Request::parse("QUEUE").unwrap_err().code,
+            ErrorCode::MissingField
+        );
     }
 
     #[test]
@@ -300,7 +354,8 @@ mod tests {
         let cases = vec![
             Response::Ok(42),
             Response::Busy("rate limit: provider 3".to_string()),
-            Response::Err("unknown machine \"foo\"".to_string()),
+            Response::err(ErrorCode::UnknownMachine, "unknown machine \"foo\""),
+            Response::err(ErrorCode::NotCancellable, ""),
             Response::Status {
                 id: 7,
                 state: "running".to_string(),
@@ -325,10 +380,28 @@ mod tests {
     }
 
     #[test]
+    fn err_wire_format_is_code_then_detail() {
+        let response = Response::err(ErrorCode::LineTooLong, "line exceeds 65536 bytes");
+        assert_eq!(
+            response.to_string(),
+            "ERR LINE_TOO_LONG line exceeds 65536 bytes"
+        );
+        match Response::parse("ERR BAD_FIELD bad <id>: \"abc\"").unwrap() {
+            Response::Err(error) => {
+                assert_eq!(error.code, ErrorCode::BadField);
+                assert_eq!(error.detail, "bad <id>: \"abc\"");
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
     fn response_parse_rejects_malformed() {
         assert!(Response::parse("WHAT 1").is_err());
         assert!(Response::parse("OK").is_err());
         assert!(Response::parse("STATUS 3").is_err());
         assert!(Response::parse("METRICS a=1 borked").is_err());
+        // An ERR whose code is not in the table is itself malformed.
+        assert!(Response::parse("ERR NO_SUCH_CODE detail").is_err());
     }
 }

@@ -7,28 +7,41 @@
 //! control happens before a job reaches the simulator:
 //!
 //! 1. **Validation** — unknown machine/provider or an empty batch is a
-//!    permanent `ERR`.
+//!    permanent `ERR` with a typed code.
 //! 2. **Rate limiting** — a per-provider [`TokenBucket`] driven by
 //!    *simulation* time; an empty bucket is a retryable `BUSY`.
 //! 3. **Backpressure** — a machine whose pending depth (queued +
 //!    executing) is at [`GatewayConfig::max_pending_per_machine`] answers
 //!    `BUSY` instead of queueing unboundedly.
 //!
+//! The read path treats every byte as hostile: request lines are read
+//! under a per-poll socket timeout with an idle-reaping deadline
+//! ([`GatewayConfig::idle_timeout`]), capped at
+//! [`GatewayConfig::max_line_bytes`] (a longer line is answered
+//! `ERR LINE_TOO_LONG` and the connection closed), and non-UTF-8 lines
+//! are answered `ERR NOT_UTF8`. Nothing a peer can send panics a
+//! handler — `clippy::unwrap_used`/`expect_used` are denied crate-wide
+//! outside tests — and a [`FaultPlan`] can deterministically inject
+//! connection drops, garbled lines, truncated/stalled writes, and
+//! handler panics to prove it (see `tests/chaos_gateway.rs`).
+//!
 //! [`Gateway::shutdown_and_drain`] stops accepting, joins every handler,
 //! runs the simulator to completion, and returns the final
 //! [`SimulationResult`] (auditable via `CloudConfig::audit`) plus the
 //! [`GatewayMetrics`] counters.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use qcs_cloud::{CloudConfig, JobSpec, LiveCloud, SimulationResult};
 use qcs_exec::WorkerPool;
 use qcs_machine::Fleet;
 
+use crate::error::ErrorCode;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::metrics::GatewayMetrics;
 use crate::protocol::{Request, Response};
 use crate::ratelimit::TokenBucket;
@@ -49,6 +62,17 @@ pub struct GatewayConfig {
     /// Admission bound per machine: a `SUBMIT` targeting a machine with
     /// this many jobs pending is answered `BUSY`.
     pub max_pending_per_machine: usize,
+    /// Socket read-timeout granularity: how often a blocked handler
+    /// wakes to check its idle deadline.
+    pub read_poll: Duration,
+    /// A connection that sends no complete line for this long is reaped
+    /// (closed and counted in [`GatewayMetrics::reaped_idle`]) — the
+    /// slow-loris defence.
+    pub idle_timeout: Duration,
+    /// Longest accepted request line, bytes. Anything longer is answered
+    /// `ERR LINE_TOO_LONG` and the connection is closed, bounding
+    /// per-connection memory.
+    pub max_line_bytes: usize,
 }
 
 impl Default for GatewayConfig {
@@ -59,6 +83,9 @@ impl Default for GatewayConfig {
             rate_capacity: 64.0,
             rate_refill_per_s: 1.0,
             max_pending_per_machine: 256,
+            read_poll: Duration::from_millis(100),
+            idle_timeout: Duration::from_secs(30),
+            max_line_bytes: 64 * 1024,
         }
     }
 }
@@ -74,6 +101,14 @@ impl SimClock {
     fn now_s(&self) -> f64 {
         self.started.elapsed().as_secs_f64() * self.compression
     }
+}
+
+/// Per-connection read-path limits, copied out of [`GatewayConfig`].
+#[derive(Debug, Clone, Copy)]
+struct ConnLimits {
+    read_poll: Duration,
+    idle_timeout: Duration,
+    max_line_bytes: usize,
 }
 
 struct State {
@@ -117,15 +152,24 @@ impl State {
                 self.metrics.submitted += 1;
                 let Some(machine_idx) = self.resolve_machine(machine) else {
                     self.metrics.rejected_invalid += 1;
-                    return Response::Err(format!("unknown machine {machine:?}"));
+                    return Response::err(
+                        ErrorCode::UnknownMachine,
+                        format!("unknown machine {machine:?}"),
+                    );
                 };
                 if *provider as usize >= self.buckets.len() {
                     self.metrics.rejected_invalid += 1;
-                    return Response::Err(format!("unknown provider {provider}"));
+                    return Response::err(
+                        ErrorCode::UnknownProvider,
+                        format!("unknown provider {provider}"),
+                    );
                 }
                 if *circuits == 0 || *shots == 0 {
                     self.metrics.rejected_invalid += 1;
-                    return Response::Err("empty batch: circuits and shots must be >= 1".into());
+                    return Response::err(
+                        ErrorCode::EmptyBatch,
+                        "circuits and shots must be >= 1",
+                    );
                 }
                 if !self.buckets[*provider as usize].try_take(self.cloud.now_s()) {
                     self.metrics.rejected_rate += 1;
@@ -160,7 +204,7 @@ impl State {
                     }
                     Err(err) => {
                         self.metrics.rejected_invalid += 1;
-                        Response::Err(err.to_string())
+                        Response::err(ErrorCode::Rejected, err.to_string())
                     }
                 }
             }
@@ -181,7 +225,10 @@ impl State {
                     }
                     Response::Ok(*id)
                 } else {
-                    Response::Err(format!("job {id} is not cancellable"))
+                    Response::err(
+                        ErrorCode::NotCancellable,
+                        format!("job {id} is not cancellable"),
+                    )
                 }
             }
             Request::Queue(machine) => match self.resolve_machine(machine) {
@@ -189,7 +236,10 @@ impl State {
                     machine: self.cloud.fleet().machines()[index].name().to_string(),
                     depth: self.cloud.queue_depth(index),
                 },
-                None => Response::Err(format!("unknown machine {machine:?}")),
+                None => Response::err(
+                    ErrorCode::UnknownMachine,
+                    format!("unknown machine {machine:?}"),
+                ),
             },
             Request::Metrics => {
                 let mut pairs = self.metrics.pairs();
@@ -210,10 +260,11 @@ pub struct Gateway {
     clock: Arc<SimClock>,
     shutdown: Arc<AtomicBool>,
     accept_handle: Option<std::thread::JoinHandle<()>>,
+    panics: Arc<AtomicUsize>,
 }
 
 impl Gateway {
-    /// Bind a loopback port and start serving.
+    /// Bind a loopback port and start serving with no fault injection.
     ///
     /// # Errors
     ///
@@ -223,10 +274,36 @@ impl Gateway {
         cloud_config: CloudConfig,
         config: GatewayConfig,
     ) -> std::io::Result<Gateway> {
+        Gateway::start_with_faults(fleet, cloud_config, config, FaultPlan::none())
+    }
+
+    /// Bind a loopback port and start serving under a fault-injection
+    /// plan: wire/handler faults per [`FaultPlan::decide`], plus machine
+    /// outages threaded into the [`LiveCloud`] when
+    /// [`FaultPlan::outages`] is set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's outage windows cover a different number of
+    /// machines than the fleet (a configuration error, not peer input).
+    pub fn start_with_faults(
+        fleet: Fleet,
+        cloud_config: CloudConfig,
+        config: GatewayConfig,
+        faults: FaultPlan,
+    ) -> std::io::Result<Gateway> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
+        let mut cloud = LiveCloud::new(fleet, cloud_config).with_status_tracking();
+        if let Some(outages) = faults.outages.clone() {
+            cloud = cloud.with_outages(outages);
+        }
         let state = Arc::new(Mutex::new(State {
-            cloud: LiveCloud::new(fleet, cloud_config).with_status_tracking(),
+            cloud,
             next_id: 0,
             buckets: (0..cloud_config.num_providers)
                 .map(|_| TokenBucket::new(config.rate_capacity, config.rate_refill_per_s))
@@ -239,15 +316,21 @@ impl Gateway {
             compression: config.time_compression,
         });
         let shutdown = Arc::new(AtomicBool::new(false));
+        let limits = ConnLimits {
+            read_poll: config.read_poll.max(Duration::from_millis(1)),
+            idle_timeout: config.idle_timeout,
+            max_line_bytes: config.max_line_bytes.max(1),
+        };
+        let pool = WorkerPool::new(config.threads);
+        let panics = pool.panics_handle();
 
         let accept_state = Arc::clone(&state);
         let accept_clock = Arc::clone(&clock);
         let accept_shutdown = Arc::clone(&shutdown);
-        let threads = config.threads;
+        let plan = Arc::new(faults);
         let accept_handle = std::thread::Builder::new()
             .name("qcs-gateway-accept".to_string())
             .spawn(move || {
-                let pool = WorkerPool::new(threads);
                 for stream in listener.incoming() {
                     if accept_shutdown.load(Ordering::SeqCst) {
                         break;
@@ -259,7 +342,8 @@ impl Gateway {
                     }
                     let state = Arc::clone(&accept_state);
                     let clock = Arc::clone(&accept_clock);
-                    pool.execute(move || handle_connection(stream, &state, &clock));
+                    let plan = Arc::clone(&plan);
+                    pool.execute(move || handle_connection(stream, &state, &clock, &plan, limits));
                 }
                 // `pool` drops here: joins all in-flight handlers.
             })?;
@@ -270,6 +354,7 @@ impl Gateway {
             clock,
             shutdown,
             accept_handle: Some(accept_handle),
+            panics,
         })
     }
 
@@ -285,6 +370,14 @@ impl Gateway {
         self.clock.now_s()
     }
 
+    /// Connection-handler panics contained by the worker pool so far.
+    /// With no [`FaultKind::PanicHandler`] injection this must stay `0`:
+    /// no peer input is allowed to panic a handler.
+    #[must_use]
+    pub fn handler_panics(&self) -> usize {
+        self.panics.load(Ordering::SeqCst)
+    }
+
     fn stop_accepting(&mut self) {
         if let Some(handle) = self.accept_handle.take() {
             self.shutdown.store(true, Ordering::SeqCst);
@@ -297,17 +390,27 @@ impl Gateway {
     /// Stop accepting connections, wait for in-flight handlers, run the
     /// simulation to completion, and return the final result and the
     /// gateway counters.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a connection handler leaked a reference to the shared
-    /// state (cannot happen once the accept thread has joined).
     #[must_use]
     pub fn shutdown_and_drain(mut self) -> (SimulationResult, GatewayMetrics) {
         self.stop_accepting();
-        let state = self.state.take().expect("state taken only here");
-        let state = Arc::try_unwrap(state)
-            .unwrap_or_else(|_| panic!("a connection handler outlived the accept thread"));
+        let Some(state) = self.state.take() else {
+            // Unreachable in practice: the state is taken only here and
+            // this method consumes `self`.
+            return (SimulationResult::default(), GatewayMetrics::default());
+        };
+        // The accept thread has joined and its pool has drained, so every
+        // handler's clone of the state is gone; the spin covers only the
+        // window where the OS is still tearing a handler thread down.
+        let mut state = state;
+        let state = loop {
+            match Arc::try_unwrap(state) {
+                Ok(inner) => break inner,
+                Err(back) => {
+                    state = back;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        };
         let State {
             mut cloud,
             mut metrics,
@@ -334,30 +437,178 @@ fn lock<'a>(state: &'a Arc<Mutex<State>>) -> std::sync::MutexGuard<'a, State> {
     state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-fn handle_connection(stream: TcpStream, state: &Arc<Mutex<State>>, clock: &Arc<SimClock>) {
+/// One attempt to read a request line under the connection limits.
+enum LineRead {
+    /// A complete line (newline stripped), or the final unterminated
+    /// frame before EOF — still answered, so a truncated `SUBMIT` on a
+    /// half-closed socket gets its `ERR` where the write half survives.
+    Line(Vec<u8>),
+    /// Clean close.
+    Eof,
+    /// No complete line within the idle deadline: reap the connection.
+    Idle,
+    /// The line exceeded `max_line_bytes`.
+    TooLong,
+    /// Unrecoverable transport error.
+    Failed,
+}
+
+/// Read one newline-terminated line, polling the socket at
+/// `limits.read_poll` granularity so a stalled peer is detected, and
+/// never buffering more than `limits.max_line_bytes + 1` bytes.
+fn read_request_line(reader: &mut BufReader<TcpStream>, limits: ConnLimits) -> LineRead {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut last_progress = Instant::now();
+    loop {
+        if buf.len() > limits.max_line_bytes {
+            return LineRead::TooLong;
+        }
+        let budget = (limits.max_line_bytes + 1 - buf.len()) as u64;
+        match reader.by_ref().take(budget).read_until(b'\n', &mut buf) {
+            // The budget > 0, so 0 bytes means EOF.
+            Ok(0) => {
+                return if buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line(buf)
+                };
+            }
+            Ok(_) => {
+                if buf.last() == Some(&b'\n') {
+                    buf.pop();
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    return LineRead::Line(buf);
+                }
+                // No newline yet: either the budget ran out (caught at
+                // the top of the loop) or EOF follows (next Ok(0)).
+                last_progress = Instant::now();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if last_progress.elapsed() >= limits.idle_timeout {
+                    return LineRead::Idle;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return LineRead::Failed,
+        }
+    }
+}
+
+/// Write one response line, applying a wire fault when instructed.
+fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    fault: Option<FaultKind>,
+    plan: &FaultPlan,
+) -> std::io::Result<()> {
+    let bytes = format!("{response}\n").into_bytes();
+    match fault {
+        Some(FaultKind::TruncateResponse) => {
+            // A strict prefix, never the newline: the peer sees a
+            // truncated frame followed by EOF.
+            let cut = (bytes.len() / 2).max(1);
+            stream.write_all(&bytes[..cut])?;
+            stream.flush()
+        }
+        Some(FaultKind::PartialWrite) => {
+            let mid = bytes.len() / 2;
+            stream.write_all(&bytes[..mid])?;
+            stream.flush()?;
+            std::thread::sleep(plan.partial_write_stall);
+            stream.write_all(&bytes[mid..])?;
+            stream.flush()
+        }
+        _ => stream.write_all(&bytes),
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    state: &Arc<Mutex<State>>,
+    clock: &Arc<SimClock>,
+    plan: &Arc<FaultPlan>,
+    limits: ConnLimits,
+) {
+    if stream.set_read_timeout(Some(limits.read_poll)).is_err() {
+        return;
+    }
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let raw = match read_request_line(&mut reader, limits) {
+            LineRead::Line(raw) => raw,
+            LineRead::Eof | LineRead::Failed => return,
+            LineRead::Idle => {
+                lock(state).metrics.reaped_idle += 1;
+                return;
+            }
+            LineRead::TooLong => {
+                lock(state).metrics.protocol_errors += 1;
+                let response = Response::err(
+                    ErrorCode::LineTooLong,
+                    format!("line exceeds {} bytes", limits.max_line_bytes),
+                );
+                // The rest of the oversized line is unread; close rather
+                // than resynchronize.
+                let _ = write_response(&mut writer, &response, None, plan);
+                return;
+            }
+        };
+        let Ok(line) = String::from_utf8(raw) else {
+            lock(state).metrics.protocol_errors += 1;
+            let response = Response::err(ErrorCode::NotUtf8, "request line is not valid UTF-8");
+            if write_response(&mut writer, &response, None, plan).is_err() {
+                return;
+            }
+            continue;
+        };
         if line.trim().is_empty() {
             continue;
         }
+        let now_s = clock.now_s();
+        let fault = plan.decide(&line, now_s);
+        if let Some(kind) = fault {
+            lock(state).metrics.note_fault(kind);
+        }
+        let line = match fault {
+            Some(FaultKind::DropConnection) => return,
+            Some(FaultKind::PanicHandler) => {
+                // Contained by the worker pool: this connection dies, the
+                // pool and every other connection keep serving.
+                panic!("injected fault: handler panic");
+            }
+            Some(FaultKind::GarbleRequest) => FaultPlan::garble(&line),
+            _ => line,
+        };
         let (response, quit) = match Request::parse(&line) {
             Ok(Request::Quit) => (Response::Bye, true),
-            Ok(request) => {
-                let now_s = clock.now_s();
-                (lock(state).respond(&request, now_s), false)
+            Ok(request) => (lock(state).respond(&request, now_s), false),
+            Err(error) => {
+                lock(state).metrics.protocol_errors += 1;
+                (Response::Err(error), false)
             }
-            Err(message) => (Response::Err(message), false),
         };
-        if writeln!(writer, "{response}").is_err() || writer.flush().is_err() {
-            break;
+        let write_fault = matches!(
+            fault,
+            Some(FaultKind::TruncateResponse | FaultKind::PartialWrite)
+        )
+        .then_some(fault)
+        .flatten();
+        if write_response(&mut writer, &response, write_fault, plan).is_err() {
+            return;
         }
-        if quit {
-            break;
+        if quit || write_fault == Some(FaultKind::TruncateResponse) {
+            return;
         }
     }
 }
@@ -404,7 +655,10 @@ mod tests {
         assert_eq!(roundtrip(&mut client, "CANCEL 1"), Response::Ok(1));
         assert_eq!(client.status(1).unwrap(), "cancelled");
         match roundtrip(&mut client, "CANCEL 0") {
-            Response::Err(reason) => assert!(reason.contains("not cancellable")),
+            Response::Err(error) => {
+                assert_eq!(error.code, ErrorCode::NotCancellable);
+                assert!(error.detail.contains("not cancellable"));
+            }
             other => panic!("expected ERR, got {other}"),
         }
         client.quit().unwrap();
@@ -420,30 +674,31 @@ mod tests {
     fn invalid_submissions_are_err_not_busy() {
         let gateway = frozen(GatewayConfig::default());
         let mut client = crate::GatewayClient::connect(gateway.addr()).unwrap();
-        for line in [
-            "SUBMIT 0 no-such-machine 10 1024 20 3",
-            "SUBMIT 9999 1 10 1024 20 3",
-            "SUBMIT 0 1 0 1024 20 3",
+        for (line, code) in [
+            ("SUBMIT 0 no-such-machine 10 1024 20 3", ErrorCode::UnknownMachine),
+            ("SUBMIT 9999 1 10 1024 20 3", ErrorCode::UnknownProvider),
+            ("SUBMIT 0 1 0 1024 20 3", ErrorCode::EmptyBatch),
         ] {
             match roundtrip(&mut client, line) {
-                Response::Err(_) => {}
+                Response::Err(error) => assert_eq!(error.code, code, "for {line:?}"),
                 other => panic!("expected ERR for {line:?}, got {other}"),
             }
         }
         client.quit().unwrap();
         // A wire-level malformed line (unparsable client-side) still gets
-        // a well-formed ERR response.
+        // a well-formed, typed ERR response.
         let mut raw = TcpStream::connect(gateway.addr()).unwrap();
         raw.write_all(b"BOGUS 1 2 3\n").unwrap();
         let mut reply = String::new();
         BufReader::new(&raw).read_line(&mut reply).unwrap();
         assert!(
-            reply.starts_with("ERR") && reply.contains("unknown verb"),
+            reply.starts_with("ERR UNKNOWN_VERB") && reply.contains("BOGUS"),
             "got {reply:?}"
         );
         drop(raw);
         let (result, metrics) = gateway.shutdown_and_drain();
         assert_eq!(metrics.rejected_invalid, 3);
+        assert_eq!(metrics.protocol_errors, 1);
         assert_eq!(metrics.accepted, 0);
         assert_eq!(result.total_jobs, 0);
     }

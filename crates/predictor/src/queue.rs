@@ -64,8 +64,8 @@ impl QueueWaitModel {
             (1.0, 1.0)
         } else {
             (
-                quantile(&ratios, 0.10).max(1e-3),
-                quantile(&ratios, 0.90).max(1e-3),
+                quantile(&ratios, 0.10).unwrap_or(1.0).max(1e-3),
+                quantile(&ratios, 0.90).unwrap_or(1.0).max(1e-3),
             )
         };
         QueueWaitModel {
@@ -152,7 +152,7 @@ pub fn evaluate_queue_prediction(
     QueuePredictionReport {
         jobs: scored.len(),
         correlation: pearson(&predicted, &actual),
-        median_abs_error_min: quantile(&abs_err, 0.5),
+        median_abs_error_min: quantile(&abs_err, 0.5).unwrap_or(f64::NAN),
         band_coverage: if scored.is_empty() {
             0.0
         } else {

@@ -1,4 +1,11 @@
 //! Descriptive statistics over `f64` samples.
+//!
+//! Quantile functions make their edge cases explicit: an empty sample has
+//! *no* quantile (the functions return [`Option`]), and NaN inputs are a
+//! caller bug (the functions panic) — a NaN that slipped into a sample
+//! would otherwise silently poison every order statistic above its sort
+//! position. Aggregators that summarize possibly-dirty data
+//! ([`Summary::of`]) filter NaN up front instead.
 
 /// Arithmetic mean; 0 for an empty slice.
 #[must_use]
@@ -40,50 +47,61 @@ pub fn coefficient_of_variation(values: &[f64]) -> f64 {
     }
 }
 
-/// The `q`-quantile (0..=1) with linear interpolation, computed on a sorted
-/// copy. Returns 0 for an empty slice. NaN values order after every finite
-/// value (total order), so they never poison the sort.
+/// The `q`-quantile (0..=1) with linear interpolation, computed on a
+/// sorted copy. `None` for an empty slice — an empty sample has no
+/// quantile, and the previous silent `0.0` masked empty-bucket bugs in
+/// aggregation pipelines.
 ///
 /// # Panics
 ///
-/// Panics if `q` is outside `[0, 1]`.
+/// Panics if `q` is outside `[0, 1]` or any value is NaN.
 #[must_use]
-pub fn quantile(values: &[f64], q: f64) -> f64 {
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
     if values.is_empty() {
-        return 0.0;
+        return None;
     }
     let mut sorted = values.to_vec();
     sorted.sort_by(f64::total_cmp);
     quantile_sorted(&sorted, q)
 }
 
-/// The `q`-quantile of an already-sorted slice.
+/// The `q`-quantile of an already-sorted slice; `None` for an empty
+/// slice.
 ///
 /// # Panics
 ///
-/// Panics if `q` is outside `[0, 1]`.
+/// Panics if `q` is outside `[0, 1]` or any value is NaN (checked at the
+/// sorted tail, where `total_cmp` places every NaN).
 #[must_use]
-pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-    if sorted.is_empty() {
-        return 0.0;
-    }
+    let last = sorted.last()?;
+    // total_cmp sorts every NaN after +inf, so the tail is the only
+    // place one can hide.
+    assert!(
+        !last.is_nan(),
+        "quantile of a sample containing NaN is undefined"
+    );
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
-    if lo == hi {
+    Some(if lo == hi {
         sorted[lo]
     } else {
         let frac = pos - lo as f64;
         sorted[lo] * (1.0 - frac) + sorted[hi] * frac
-    }
+    })
 }
 
-/// Median (the 0.5 quantile).
+/// Median (the 0.5 quantile); NaN for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is NaN (see [`quantile`]).
 #[must_use]
 pub fn median(values: &[f64]) -> f64 {
-    quantile(values, 0.5)
+    quantile(values, 0.5).unwrap_or(f64::NAN)
 }
 
 /// The fraction of samples satisfying `predicate`.
@@ -98,7 +116,7 @@ pub fn fraction_where(values: &[f64], predicate: impl Fn(f64) -> bool) -> f64 {
 /// A five-number-plus summary of a sample.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Summary {
-    /// Sample size.
+    /// Sample size (NaN values are excluded).
     pub count: usize,
     /// Minimum.
     pub min: f64,
@@ -117,23 +135,26 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Summarize a sample (empty input gives an all-zero summary).
+    /// Summarize a sample. NaN values are dropped first (a summary is a
+    /// report over the measurable part of the data); an input with no
+    /// finite-or-infinite values gives an all-zero summary.
     #[must_use]
     pub fn of(values: &[f64]) -> Self {
-        if values.is_empty() {
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        if sorted.is_empty() {
             return Summary::default();
         }
-        let mut sorted = values.to_vec();
         sorted.sort_by(f64::total_cmp);
+        let q = |p: f64| quantile_sorted(&sorted, p).unwrap_or(f64::NAN);
         Summary {
             count: sorted.len(),
             min: sorted[0],
-            q1: quantile_sorted(&sorted, 0.25),
-            median: quantile_sorted(&sorted, 0.5),
-            q3: quantile_sorted(&sorted, 0.75),
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
             max: sorted[sorted.len() - 1],
-            mean: mean(values),
-            std_dev: std_dev(values),
+            mean: mean(&sorted),
+            std_dev: std_dev(&sorted),
         }
     }
 }
@@ -155,18 +176,34 @@ mod tests {
     fn empty_inputs() {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(variance(&[]), 0.0);
-        assert_eq!(quantile(&[], 0.5), 0.0);
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile_sorted(&[], 0.0), None);
+        assert!(median(&[]).is_nan());
         assert_eq!(Summary::of(&[]).count, 0);
         assert_eq!(fraction_where(&[], |_| true), 0.0);
     }
 
     #[test]
+    fn single_element_is_every_quantile() {
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(quantile(&[7.5], q), Some(7.5));
+        }
+    }
+
+    #[test]
     fn quantiles_interpolate() {
         let v = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(quantile(&v, 0.0), 1.0);
-        assert_eq!(quantile(&v, 1.0), 4.0);
-        assert_eq!(quantile(&v, 0.5), 2.5);
-        assert!((quantile(&v, 0.25) - 1.75).abs() < 1e-12);
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 1.0), Some(4.0));
+        assert_eq!(quantile(&v, 0.5), Some(2.5));
+        assert!((quantile(&v, 0.25).unwrap() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_quantiles_are_min_and_max() {
+        let v = [9.0, -3.0, 4.5, 0.0, 12.25];
+        assert_eq!(quantile(&v, 0.0), Some(-3.0));
+        assert_eq!(quantile(&v, 1.0), Some(12.25));
     }
 
     #[test]
@@ -177,7 +214,7 @@ mod tests {
     #[test]
     fn unsorted_input_handled() {
         let v = [9.0, 1.0, 5.0];
-        assert_eq!(quantile(&v, 0.5), 5.0);
+        assert_eq!(quantile(&v, 0.5), Some(5.0));
     }
 
     #[test]
@@ -205,16 +242,25 @@ mod tests {
     }
 
     #[test]
-    fn nan_values_sort_last_instead_of_panicking() {
-        // total_cmp orders NaN after every finite value, so the low
-        // quantiles of a partially-NaN sample stay finite.
-        let v = [3.0, f64::NAN, 1.0, 2.0];
-        assert_eq!(quantile(&v, 0.0), 1.0);
-        assert!((quantile(&v, 1.0 / 3.0) - 2.0).abs() < 1e-12);
-        assert!(quantile(&v, 1.0).is_nan());
-        let s = Summary::of(&v);
+    #[should_panic(expected = "NaN")]
+    fn quantile_rejects_nan_input() {
+        let _ = quantile(&[3.0, f64::NAN, 1.0], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn quantile_rejects_all_nan_input() {
+        let _ = quantile(&[f64::NAN, f64::NAN], 0.0);
+    }
+
+    #[test]
+    fn summary_filters_nan_instead_of_propagating() {
+        let s = Summary::of(&[3.0, f64::NAN, 1.0, 2.0]);
+        assert_eq!(s.count, 3);
         assert_eq!(s.min, 1.0);
-        assert!(s.max.is_nan());
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(Summary::of(&[f64::NAN]), Summary::default());
     }
 
     #[test]

@@ -129,7 +129,7 @@ fn queue_times_dominate_execution_times() {
     // above 1 in the upper half of the distribution).
     let s = study();
     let ratios = s.queue_exec_ratios_sorted();
-    let high = qcs::stats::quantile(&ratios, 0.75);
+    let high = qcs::stats::quantile(&ratios, 0.75).unwrap();
     assert!(high > 2.0, "p75 ratio {high}");
 }
 

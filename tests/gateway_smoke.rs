@@ -95,6 +95,7 @@ fn gateway_smoke_concurrent_clients_backpressure_and_drain() {
             rate_capacity: 64.0,
             rate_refill_per_s: 0.0,
             threads: 4,
+            ..GatewayConfig::default()
         },
     )
     .expect("bind loopback");

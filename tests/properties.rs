@@ -141,9 +141,9 @@ proptest! {
     #[test]
     fn quantiles_are_monotone(mut values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
         values.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let q25 = stats::quantile_sorted(&values, 0.25);
-        let q50 = stats::quantile_sorted(&values, 0.5);
-        let q75 = stats::quantile_sorted(&values, 0.75);
+        let q25 = stats::quantile_sorted(&values, 0.25).unwrap();
+        let q50 = stats::quantile_sorted(&values, 0.5).unwrap();
+        let q75 = stats::quantile_sorted(&values, 0.75).unwrap();
         prop_assert!(q25 <= q50 && q50 <= q75);
         prop_assert!(q25 >= values[0] && q75 <= values[values.len() - 1]);
     }
