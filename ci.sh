@@ -27,7 +27,25 @@ cargo test -q -p qcs-gateway
 # with a clean audited drain and bit-identical fault-free replay.
 cargo test -q --test chaos_gateway
 
+# Bench-smoke gate: one short criterion run of the fusion bench; the
+# fused kernels must not be slower than per-instruction dispatch on the
+# transpiled-QFT workload (the simulator's real input shape).
+bench_out=$(QCS_BENCH_WARMUP_MS=200 QCS_BENCH_MEASURE_MS=1200 cargo bench -p qcs-bench --bench fusion 2>/dev/null | grep '^BENCH')
+unfused=$(printf '%s\n' "$bench_out" | grep 'fusion_qft10/unfused' | sed 's/.*"mean_ns"://; s/,.*//')
+fused=$(printf '%s\n' "$bench_out" | grep '"id":"fusion_qft10/fused"' | sed 's/.*"mean_ns"://; s/,.*//')
+awk -v f="$fused" -v u="$unfused" 'BEGIN {
+  if (f == "" || u == "") { print "bench-smoke: missing fusion bench output"; exit 1 }
+  if (f > u) { printf "bench-smoke: fused %.0f ns > unfused %.0f ns\n", f, u; exit 1 }
+  printf "bench-smoke: fused %.0f ns <= unfused %.0f ns\n", f, u
+}'
+
 cargo clippy --all-targets -- -D warnings
+
+# The simulation and transpilation hot paths carry the bit-reproducibility
+# guarantees; keep their crates individually warning-clean (fail fast,
+# focused report) on top of the workspace-wide gate above.
+cargo clippy -p qcs-sim --all-targets --no-deps -- -D warnings
+cargo clippy -p qcs-transpiler --all-targets --no-deps -- -D warnings
 
 # The serving crate must be panic-free on untrusted input: no unwrap or
 # expect in non-test gateway code (--no-deps keeps the deny flags from

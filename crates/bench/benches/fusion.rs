@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the gate-fusion statevector kernels and the
+//! trajectory buffer pool — the hot path behind the noisy simulator.
+//!
+//! `fusion_qft10` is the headline fused-vs-unfused comparison the
+//! `bench-smoke` CI gate asserts on; `fusion_pool` isolates the
+//! allocation cost the per-worker buffer pool removes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcs_circuit::library;
+use qcs_exec::BufferPool;
+use qcs_sim::{Complex, CompiledCircuit, Statevector};
+use qcs_topology::families;
+use qcs_transpiler::{transpile, Target, TranspileOptions};
+
+fn bench_fused_vs_unfused(c: &mut Criterion) {
+    // The simulator's real input is *transpiled* circuits: basis
+    // translation to {rz, sx, x, cx} turns every 1q gate into a same-wire
+    // rz/sx chain, exactly the runs the fusion pass collapses into one
+    // statevector sweep. The unfused baseline dispatches per instruction.
+    let target = Target::noiseless("bench", families::complete(10));
+    let circuit = transpile(&library::qft(10), &target, TranspileOptions::full())
+        .expect("qft fits the bench target")
+        .circuit;
+    let compiled = CompiledCircuit::compile(&circuit);
+    let mut group = c.benchmark_group("fusion_qft10");
+    group.bench_function("unfused", |b| {
+        b.iter(|| Statevector::from_circuit(&circuit).unwrap());
+    });
+    group.bench_function("fused", |b| {
+        b.iter(|| compiled.execute().unwrap());
+    });
+    group.finish();
+}
+
+fn bench_pooled_vs_fresh(c: &mut Criterion) {
+    // The per-trajectory statevector allocation, amortized away by the
+    // worker-local BufferPool: `fresh` allocates 2^12 amplitudes per run,
+    // `pooled` recycles one buffer across runs.
+    let circuit = library::qft(12);
+    let compiled = CompiledCircuit::compile(&circuit);
+    let mut group = c.benchmark_group("fusion_pool");
+    group.bench_function("fresh", |b| {
+        b.iter(|| compiled.execute().unwrap());
+    });
+    group.bench_function("pooled", |b| {
+        let mut pool: BufferPool<Complex> = BufferPool::new();
+        b.iter(|| {
+            let buf = pool.acquire(0, Complex::ZERO);
+            let state = compiled.execute_in(buf).unwrap();
+            let amps = state.into_amps();
+            let norm = amps[0];
+            pool.release(amps);
+            norm
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fused_vs_unfused, bench_pooled_vs_fresh);
+criterion_main!(benches);

@@ -64,6 +64,21 @@ fn bench_parallel_trajectories(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // The pre-fusion per-instruction path, kept as the bit-identity
+    // oracle: its single-thread time over `run`'s is the speedup the
+    // fused + skip-ahead + pooled path buys (BENCH_sim.json).
+    let reference = NoisySimulator {
+        trajectories: 16,
+        seed: 7,
+        ..NoisySimulator::default()
+    }
+    .with_threads(1);
+    let mut group = c.benchmark_group("noisy_qft10_traj16_reference");
+    group.bench_with_input(BenchmarkId::new("threads", 1usize), &reference, |b, sim| {
+        b.iter(|| sim.run_reference(&circuit, &snapshot, 16_384).unwrap());
+    });
+    group.finish();
 }
 
 criterion_group!(

@@ -2,12 +2,19 @@
 //! device-aware compilation, and the benefit of dynamic recompilation on
 //! new calibration data.
 
-use qcs::experiments::stale_compilation_cost;
+use qcs::experiments::stale_compilation_cost_with;
 use qcs::machine::Fleet;
+use qcs::transpiler::TranspileCache;
 use qcs_bench::write_csv;
+use qcs_exec::ExecConfig;
 
 fn main() {
     let fleet = Fleet::ibm_like();
+    let exec = ExecConfig::from_env();
+    // One cache across all machines: per-machine keys never collide (the
+    // target name and calibration content differ), while each machine's
+    // interior calibration cycles are compiled once instead of twice.
+    let cache = TranspileCache::new();
     println!("Stale vs fresh compilation (4q QFT benchmark, 30 calibration days)");
     println!(
         "  {:<12} {:>12} {:>12} {:>14}",
@@ -16,7 +23,8 @@ fn main() {
     let mut csv_rows = Vec::new();
     for name in ["casablanca", "toronto", "manhattan"] {
         let machine = fleet.get(name).expect("machine exists");
-        let rows = stale_compilation_cost(machine, 4, 30, 4096, 7).expect("experiment runs");
+        let rows = stale_compilation_cost_with(&exec, 1, machine, 4, 30, 4096, 7, &cache)
+            .expect("experiment runs");
         let mean = |f: &dyn Fn(&qcs::experiments::StalenessRow) -> f64| {
             rows.iter().map(f).sum::<f64>() / rows.len() as f64
         };
@@ -36,6 +44,13 @@ fn main() {
             ));
         }
     }
+    let stats = cache.stats();
+    println!(
+        "  transpile cache: {} hits / {} misses ({:.0}% hit rate)",
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hit_rate()
+    );
     write_csv(
         "extension_stale_compilation.csv",
         "machine,compile_day,pos_fresh,pos_stale",

@@ -40,6 +40,8 @@ use qcs_cloud::{CloudConfig, JobSpec, LiveCloud, SimulationResult};
 use qcs_exec::WorkerPool;
 use qcs_machine::Fleet;
 
+use qcs_transpiler::TranspileCache;
+
 use crate::error::ErrorCode;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::metrics::GatewayMetrics;
@@ -117,6 +119,7 @@ struct State {
     buckets: Vec<TokenBucket>,
     metrics: GatewayMetrics,
     max_pending: usize,
+    transpile_cache: Arc<TranspileCache>,
 }
 
 impl State {
@@ -243,6 +246,12 @@ impl State {
             },
             Request::Metrics => {
                 let mut pairs = self.metrics.pairs();
+                let cache = self.transpile_cache.stats();
+                pairs.push(("transpile_cache_hits".to_string(), cache.hits.to_string()));
+                pairs.push((
+                    "transpile_cache_misses".to_string(),
+                    cache.misses.to_string(),
+                ));
                 pairs.push(("sim_time_s".to_string(), format!("{:.3}", self.cloud.now_s())));
                 Response::Metrics(pairs)
             }
@@ -261,6 +270,7 @@ pub struct Gateway {
     shutdown: Arc<AtomicBool>,
     accept_handle: Option<std::thread::JoinHandle<()>>,
     panics: Arc<AtomicUsize>,
+    transpile_cache: Arc<TranspileCache>,
 }
 
 impl Gateway {
@@ -275,6 +285,24 @@ impl Gateway {
         config: GatewayConfig,
     ) -> std::io::Result<Gateway> {
         Gateway::start_with_faults(fleet, cloud_config, config, FaultPlan::none())
+    }
+
+    /// Like [`start`](Gateway::start), but sharing a caller-owned
+    /// [`TranspileCache`]: the study pipeline compiling against this fleet
+    /// hands its cache in, and the `METRICS` reply's
+    /// `transpile_cache_hits` / `transpile_cache_misses` then report the
+    /// same counters the study observes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start_with_cache(
+        fleet: Fleet,
+        cloud_config: CloudConfig,
+        config: GatewayConfig,
+        cache: Arc<TranspileCache>,
+    ) -> std::io::Result<Gateway> {
+        Gateway::start_inner(fleet, cloud_config, config, FaultPlan::none(), cache)
     }
 
     /// Bind a loopback port and start serving under a fault-injection
@@ -296,6 +324,22 @@ impl Gateway {
         config: GatewayConfig,
         faults: FaultPlan,
     ) -> std::io::Result<Gateway> {
+        Gateway::start_inner(
+            fleet,
+            cloud_config,
+            config,
+            faults,
+            Arc::new(TranspileCache::new()),
+        )
+    }
+
+    fn start_inner(
+        fleet: Fleet,
+        cloud_config: CloudConfig,
+        config: GatewayConfig,
+        faults: FaultPlan,
+        cache: Arc<TranspileCache>,
+    ) -> std::io::Result<Gateway> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let mut cloud = LiveCloud::new(fleet, cloud_config).with_status_tracking();
@@ -310,6 +354,7 @@ impl Gateway {
                 .collect(),
             metrics: GatewayMetrics::default(),
             max_pending: config.max_pending_per_machine,
+            transpile_cache: Arc::clone(&cache),
         }));
         let clock = Arc::new(SimClock {
             started: Instant::now(),
@@ -355,7 +400,16 @@ impl Gateway {
             shutdown,
             accept_handle: Some(accept_handle),
             panics,
+            transpile_cache: cache,
         })
+    }
+
+    /// The transpile cache whose hit/miss counters the `METRICS` reply
+    /// reports. Shared (not a snapshot): transpiles routed through this
+    /// handle show up in subsequent `METRICS` replies.
+    #[must_use]
+    pub fn transpile_cache(&self) -> &Arc<TranspileCache> {
+        &self.transpile_cache
     }
 
     /// The bound loopback address clients should connect to.
@@ -743,6 +797,60 @@ mod tests {
         let (result, metrics) = gateway.shutdown_and_drain();
         assert_eq!(metrics.rejected_backpressure, 1);
         assert_eq!(result.total_jobs, 2);
+    }
+
+    #[test]
+    fn metrics_reports_shared_transpile_cache_counters() {
+        let cache = Arc::new(TranspileCache::new());
+        let gateway = Gateway::start_with_cache(
+            Fleet::ibm_like(),
+            CloudConfig::default(),
+            GatewayConfig {
+                time_compression: 0.0,
+                ..GatewayConfig::default()
+            },
+            Arc::clone(&cache),
+        )
+        .expect("bind loopback");
+        assert!(Arc::ptr_eq(gateway.transpile_cache(), &cache));
+
+        let mut client = crate::GatewayClient::connect(gateway.addr()).unwrap();
+        let get = |pairs: &[(String, String)], k: &str| {
+            pairs
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("METRICS reply missing {k}"))
+        };
+
+        let cold = client.metrics().unwrap();
+        assert_eq!(get(&cold, "transpile_cache_hits"), "0");
+        assert_eq!(get(&cold, "transpile_cache_misses"), "0");
+
+        // A study pipeline compiling against this fleet through the shared
+        // handle: 20 identical circuits dedupe to one compilation.
+        let fleet = Fleet::ibm_like();
+        let machine = fleet
+            .machines()
+            .iter()
+            .find(|m| m.topology().num_qubits() >= 5)
+            .expect("fleet has a 5q+ machine");
+        let target = qcs_transpiler::Target::from_machine(machine, 0.0);
+        let circuits = vec![qcs_circuit::library::ghz(3); 20];
+        qcs_transpiler::transpile_batch_cached(
+            &circuits,
+            &target,
+            qcs_transpiler::TranspileOptions::default(),
+            &qcs_exec::ExecConfig::sequential(),
+            &cache,
+        )
+        .unwrap();
+
+        let warm = client.metrics().unwrap();
+        assert_eq!(get(&warm, "transpile_cache_hits"), "19");
+        assert_eq!(get(&warm, "transpile_cache_misses"), "1");
+        client.quit().unwrap();
+        let (_, _) = gateway.shutdown_and_drain();
     }
 
     #[test]

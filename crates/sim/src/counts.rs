@@ -1,6 +1,6 @@
 //! Measurement result histograms, as returned to cloud clients.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::fmt;
 
 /// A histogram of measured classical bit-strings.
@@ -8,6 +8,12 @@ use std::fmt;
 /// Keys are clbit words (bit `i` = classical bit `i`); the paper's
 /// "Results" object (§II-B ⑥): one count of bitstrings per executed
 /// circuit.
+///
+/// Storage is a hash map (O(1) recording on the simulator's shot loop);
+/// every observable order — [`Counts::iter`], [`fmt::Display`], the
+/// Hellinger accumulation — is sorted by outcome word, so results stay
+/// bit-reproducible run to run. Counters saturate instead of overflowing
+/// for pathological shot counts.
 ///
 /// # Examples
 ///
@@ -24,7 +30,7 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Counts {
     width: usize,
-    histogram: BTreeMap<u64, u64>,
+    histogram: HashMap<u64, u64>,
 }
 
 impl Counts {
@@ -33,7 +39,28 @@ impl Counts {
     pub fn new(width: usize) -> Self {
         Counts {
             width,
-            histogram: BTreeMap::new(),
+            histogram: HashMap::new(),
+        }
+    }
+
+    /// An empty histogram pre-sized for an expected number of shots: the
+    /// map reserves `min(expected_shots, 2^width)` slots up front — the
+    /// bitstring cardinality bounds how many distinct outcomes can ever
+    /// appear, so wide registers don't over-allocate and narrow ones
+    /// never rehash mid-loop.
+    #[must_use]
+    pub fn with_capacity(width: usize, expected_shots: usize) -> Self {
+        Counts {
+            width,
+            histogram: HashMap::with_capacity(Self::outcome_bound(width, expected_shots)),
+        }
+    }
+
+    /// `min(expected, 2^width)` without overflowing for wide registers.
+    fn outcome_bound(width: usize, expected: usize) -> usize {
+        match 1usize.checked_shl(width as u32) {
+            Some(cardinality) => expected.min(cardinality),
+            None => expected,
         }
     }
 
@@ -43,15 +70,18 @@ impl Counts {
         self.width
     }
 
-    /// Add `n` observations of `outcome`.
+    /// Add `n` observations of `outcome` (saturating at `u64::MAX`).
     pub fn record(&mut self, outcome: u64, n: u64) {
-        *self.histogram.entry(outcome).or_insert(0) += n;
+        let slot = self.histogram.entry(outcome).or_insert(0);
+        *slot = slot.saturating_add(n);
     }
 
-    /// Total shots recorded.
+    /// Total shots recorded (saturating at `u64::MAX`).
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.histogram.values().sum()
+        self.histogram
+            .values()
+            .fold(0u64, |acc, &v| acc.saturating_add(v))
     }
 
     /// Count of a specific outcome.
@@ -82,7 +112,9 @@ impl Counts {
 
     /// Iterate `(outcome, count)` in ascending outcome order.
     pub fn iter(&self) -> impl Iterator<Item = (&u64, &u64)> {
-        self.histogram.iter()
+        let mut entries: Vec<(&u64, &u64)> = self.histogram.iter().collect();
+        entries.sort_unstable_by_key(|(k, _)| **k);
+        entries.into_iter()
     }
 
     /// Number of distinct outcomes observed.
@@ -91,14 +123,20 @@ impl Counts {
         self.histogram.len()
     }
 
-    /// Merge another histogram into this one.
+    /// Merge another histogram into this one. The map is pre-sized for
+    /// the incoming outcomes (bounded by the bitstring cardinality) so
+    /// the per-trajectory merge loop in the noisy simulator never rehashes
+    /// more than once; counters saturate instead of overflowing.
     ///
     /// # Panics
     ///
     /// Panics if widths differ.
     pub fn merge(&mut self, other: &Counts) {
         assert_eq!(self.width, other.width, "width mismatch");
-        for (&k, &v) in other.iter() {
+        let incoming = Self::outcome_bound(self.width, other.num_outcomes())
+            .saturating_sub(self.histogram.len());
+        self.histogram.reserve(incoming);
+        for (&k, &v) in &other.histogram {
             self.record(k, v);
         }
     }
@@ -125,8 +163,10 @@ impl Counts {
         if total == 0 {
             return 0.0;
         }
+        // Accumulate in sorted outcome order: float summation order must
+        // not depend on hash-map iteration order.
         let mut sum = 0.0;
-        for (&k, &v) in &self.histogram {
+        for (&k, &v) in self.iter() {
             let p = v as f64 / total as f64;
             let q = ideal.get(k as usize).copied().unwrap_or(0.0);
             sum += (p * q).sqrt();
@@ -138,7 +178,7 @@ impl Counts {
 impl fmt::Display for Counts {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, (&k, &v)) in self.histogram.iter().enumerate() {
+        for (i, (&k, &v)) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -199,6 +239,40 @@ mod tests {
         let mut c = Counts::new(2);
         c.record(0b10, 1);
         assert_eq!(c.to_string(), "{10: 1}");
+    }
+
+    #[test]
+    fn iter_is_sorted_by_outcome() {
+        let mut c = Counts::new(4);
+        for k in [9u64, 3, 12, 0, 7] {
+            c.record(k, 1);
+        }
+        let keys: Vec<u64> = c.iter().map(|(&k, _)| k).collect();
+        assert_eq!(keys, vec![0, 3, 7, 9, 12]);
+    }
+
+    #[test]
+    fn with_capacity_bounds_by_cardinality() {
+        // 2-bit register: at most 4 outcomes no matter how many shots.
+        let c = Counts::with_capacity(2, 1_000_000);
+        assert!(c.histogram.capacity() < 64, "over-allocated for width 2");
+        // A wide register must not overflow the shift.
+        let w = Counts::with_capacity(64, 128);
+        assert_eq!(w.width(), 64);
+    }
+
+    #[test]
+    fn record_saturates_instead_of_overflowing() {
+        let mut c = Counts::new(1);
+        c.record(0, u64::MAX - 1);
+        c.record(0, 5); // would overflow; must clamp
+        assert_eq!(c.count(0), u64::MAX);
+        c.record(1, 3);
+        assert_eq!(c.total(), u64::MAX, "total saturates too");
+        let mut other = Counts::new(1);
+        other.record(0, 10);
+        c.merge(&other); // merge into a saturated slot stays saturated
+        assert_eq!(c.count(0), u64::MAX);
     }
 
     #[test]

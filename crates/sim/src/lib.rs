@@ -26,12 +26,14 @@
 mod complex;
 mod counts;
 mod equivalence;
+pub mod fusion;
 mod noisy;
 mod statevector;
 
 pub use complex::Complex;
 pub use equivalence::equivalent_unitaries;
 pub use counts::Counts;
+pub use fusion::CompiledCircuit;
 pub use noisy::{
     clbit_distribution, measurement_map, probability_of_success, qft_pos_circuit,
     used_clbit_width, NoisySimulator,

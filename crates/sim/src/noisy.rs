@@ -7,14 +7,50 @@
 //! measured bit flips with its calibrated readout error. Error magnitudes
 //! come straight from the calibration snapshot, so fidelity inherits the
 //! machine-to-machine and day-to-day variation of the calibration model.
+//!
+//! # The optimized hot path
+//!
+//! [`NoisySimulator::run`] is several times faster than the naive
+//! per-instruction loop (preserved as [`NoisySimulator::run_reference`])
+//! while producing bit-identical [`Counts`]:
+//!
+//! - **Pre-decoded steps**: instructions are decoded once per run into
+//!   [`fusion::instruction_kernel`] kernels with their calibrated error
+//!   probability and duration attached, so trajectories never re-match
+//!   gate enums or re-derive matrices and snapshot lookups.
+//! - **Trajectory skip-ahead**: gate error probabilities are
+//!   state-independent, so a cheap dry walk over each trajectory's own RNG
+//!   stream — consuming exactly the one uniform per noisy gate plus one
+//!   Pauli-word draw per fired error the real run would — records the
+//!   trajectory's error events up front. Event-free trajectories share one
+//!   ideal-circuit execution and one sampling table, and sample their
+//!   shots from their own RNG exactly where the full run would have left
+//!   it. Skip-ahead is disabled when decoherence is on or the circuit
+//!   contains a reset, whose draws depend on the evolving state (see
+//!   DESIGN.md §4f for the soundness argument).
+//! - **Noiseless-prefix reuse**: every trajectory evolves identically to
+//!   the ideal circuit until its first error event, so the ideal evolution
+//!   is snapshotted every few instructions (`PrefixCheckpoints`) and an
+//!   eventful trajectory restores the longest checkpointed prefix at or
+//!   before its first event — a `memcpy` — instead of recomputing it, then
+//!   replays only the remainder with its recorded Pauli injections.
+//! - **Buffer pooling**: eventful trajectories build their statevector
+//!   inside a per-worker [`qcs_exec::BufferPool`] buffer instead of a
+//!   fresh `2^n` allocation each.
+//! - **Integer shot loop**: readout errors are pre-scaled to exact integer
+//!   thresholds on the raw 53-bit uniform draw and basis states come from
+//!   a guide-table-accelerated CDF search (`ShotSampler`), resolving
+//!   every draw to the exact outcome the reference float comparisons and
+//!   binary search produce while doing a fraction of the work per shot.
 
 use qcs_calibration::CalibrationSnapshot;
 use qcs_circuit::{Circuit, Gate, Instruction, Qubit};
-use qcs_exec::ExecConfig;
+use qcs_exec::{BufferPool, ExecConfig};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
-use crate::{CdfSampler, Counts, SimError, Statevector};
+use crate::fusion::{self, Kernel};
+use crate::{CdfSampler, Complex, Counts, SimError, Statevector};
 
 /// Monte-Carlo noisy simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +79,167 @@ impl Default for NoisySimulator {
             decoherence: false,
             threads: 0,
         }
+    }
+}
+
+/// One pre-decoded instruction of the trajectory loop: the statevector
+/// kernel plus everything the noise model needs, computed once per run.
+struct TrajStep {
+    kernel: Kernel,
+    /// Operand qubits, for Pauli injection and decoherence.
+    qubits: Vec<Qubit>,
+    /// Whether the noise model applies to this step at all (unitary,
+    /// non-identity, non-directive).
+    eligible: bool,
+    /// Calibrated gate error probability (0 when ineligible).
+    error_prob: f64,
+    /// Nominal duration for decoherence (0 when decoherence is off).
+    duration_ns: f64,
+}
+
+/// Per-worker scratch of the trajectory loop: a reusable sampling table
+/// and a statevector buffer pool, both thread-local by construction.
+struct Scratch {
+    sampler: ShotSampler,
+    pool: BufferPool<Complex>,
+}
+
+impl Scratch {
+    fn new() -> Self {
+        Scratch {
+            sampler: ShotSampler::default(),
+            pool: BufferPool::new(),
+        }
+    }
+}
+
+/// A measurement-map entry with the readout error pre-scaled by
+/// [`uniform_threshold`] and the lookup hoisted out of the shot loop:
+/// `(qubit, clbit, flip_threshold)`.
+type ReadoutEntry = (usize, usize, u64);
+
+/// The scale of the 53-bit uniform draw: `gen_range(0.0..1.0)` returns
+/// exactly `k * 2^-53` for `k = next_u64() >> 11`.
+const UNIFORM_SCALE: f64 = (1u64 << 53) as f64;
+
+/// The exact integer threshold reproducing `gen_range(0.0..1.0) < p`:
+/// the draw is `k * 2^-53` with integer `k`, so `u < p  ⟺  k < p * 2^53`
+/// (exact reals) `⟺  k < ceil(p * 2^53)` — and `p * 2^53` is an exact
+/// f64 product (power-of-two scaling), so this threshold resolves every
+/// draw bit-identically to the float comparison while the shot loop
+/// skips the int-to-float conversion.
+fn uniform_threshold(p: f64) -> u64 {
+    (p * UNIFORM_SCALE).ceil() as u64
+}
+
+/// A sampling table drawing basis states bit-identically to
+/// [`CdfSampler`] on the same RNG stream, faster: a guide table indexed
+/// by the top bits of the raw uniform narrows the CDF search to a short
+/// forward scan with the same predicate the reference binary search
+/// resolves (`cdf[i] <= u`), so every draw returns the same index.
+#[derive(Default)]
+struct ShotSampler {
+    /// Forward prefix sums of the probabilities — same summation order
+    /// (and therefore the same rounding) as [`CdfSampler`].
+    cdf: Vec<f64>,
+    /// `guide[g]` = first index whose cdf exceeds `g / guide.len()`,
+    /// capped to the last index. `guide.len() == cdf.len()` (a power of
+    /// two), so bucket `g = k >> shift` of a raw draw `k` satisfies
+    /// `g / guide.len() <= k * 2^-53` exactly and the guide entry is a
+    /// sound lower bound for the search.
+    guide: Vec<u32>,
+    /// `53 - log2(guide.len())`.
+    shift: u32,
+}
+
+impl ShotSampler {
+    /// Rebuild the tables for a new state, reusing both allocations.
+    fn rebuild(&mut self, state: &Statevector) {
+        state.probabilities_into(&mut self.cdf);
+        let mut acc = 0.0f64;
+        for p in &mut self.cdf {
+            acc += *p;
+            *p = acc;
+        }
+        let len = self.cdf.len();
+        debug_assert!(len.is_power_of_two(), "statevector length is 2^n");
+        self.shift = 53 - len.trailing_zeros();
+        self.guide.clear();
+        self.guide.resize(len, 0);
+        // `g * inv` is exact: both are powers of two apart (len <= 2^25).
+        let inv = 1.0 / len as f64;
+        let mut i = 0usize;
+        let last = len - 1;
+        for (g, slot) in self.guide.iter_mut().enumerate() {
+            let bucket_lo = g as f64 * inv;
+            while i < len && self.cdf[i] <= bucket_lo {
+                i += 1;
+            }
+            *slot = i.min(last) as u32;
+        }
+    }
+
+    /// Draw one basis state: one uniform, identical to
+    /// `CdfSampler::sample` on the same stream.
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let k = rng.next_u64() >> 11;
+        let u = k as f64 * (1.0 / UNIFORM_SCALE);
+        let mut i = self.guide[(k >> self.shift) as usize] as usize;
+        let last = self.cdf.len() - 1;
+        while i < last && self.cdf[i] <= u {
+            i += 1;
+        }
+        i
+    }
+}
+
+/// Snapshots of the shared noiseless evolution, taken every `stride`
+/// instructions: every trajectory is identical to the ideal circuit until
+/// its first error event, so an eventful trajectory restores the longest
+/// checkpointed prefix at or before that event (a `memcpy`) instead of
+/// recomputing it. Storage is capped ([`CHECKPOINT_BUDGET_BYTES`]); for
+/// states too large to snapshot the stride widens until the scheme
+/// degrades to plain recompute, which is still correct.
+struct PrefixCheckpoints {
+    stride: usize,
+    /// `snapshots[j]` = amplitudes after `(j + 1) * stride` instructions.
+    snapshots: Vec<Vec<Complex>>,
+}
+
+/// Cap on total prefix-checkpoint storage per run.
+const CHECKPOINT_BUDGET_BYTES: usize = 32 << 20;
+
+impl PrefixCheckpoints {
+    /// Build by evolving |0..0> through the per-instruction step kernels —
+    /// the same per-instruction applications a trajectory performs, so
+    /// every snapshot is bit-identical to any trajectory's own ideal
+    /// prefix. Returns the checkpoints and the final ideal state (which
+    /// seeds the shared event-free sampling table).
+    fn build(num_qubits: usize, steps: &[TrajStep]) -> Result<(Self, Statevector), SimError> {
+        let state_bytes = (1usize << num_qubits) * std::mem::size_of::<Complex>();
+        let max_snapshots = (CHECKPOINT_BUDGET_BYTES / state_bytes.max(1)).min(16);
+        let stride = match max_snapshots {
+            0 => steps.len().max(1),
+            n => steps.len().div_ceil(n).max(1),
+        };
+        let mut state = Statevector::zero(num_qubits)?;
+        let mut snapshots = Vec::new();
+        for (i, step) in steps.iter().enumerate() {
+            state.apply_kernel(&step.kernel)?;
+            if (i + 1) % stride == 0 && i + 1 < steps.len() {
+                snapshots.push(state.amps().to_vec());
+            }
+        }
+        Ok((PrefixCheckpoints { stride, snapshots }, state))
+    }
+
+    /// The longest checkpointed prefix spanning at most `upto`
+    /// instructions, as `(instructions_applied, amplitudes)`; `None`
+    /// means start from |0..0>.
+    fn restore_point(&self, upto: usize) -> Option<(usize, &[Complex])> {
+        let j = (upto / self.stride).min(self.snapshots.len());
+        j.checked_sub(1)
+            .map(|j| ((j + 1) * self.stride, self.snapshots[j].as_slice()))
     }
 }
 
@@ -80,7 +277,8 @@ impl NoisySimulator {
     /// Trajectories run on a bounded worker pool ([`NoisySimulator::threads`])
     /// and each one seeds its own RNG from `(self.seed, trajectory index)`
     /// via SplitMix64, so the returned [`Counts`] are bit-identical for a
-    /// given seed at any thread count.
+    /// given seed at any thread count — and bit-identical to the
+    /// unoptimized [`NoisySimulator::run_reference`] path.
     ///
     /// # Errors
     ///
@@ -91,6 +289,147 @@ impl NoisySimulator {
     /// Panics if `shots == 0` or the snapshot does not cover the circuit
     /// width.
     pub fn run(
+        &self,
+        circuit: &Circuit,
+        snapshot: &CalibrationSnapshot,
+        shots: u32,
+    ) -> Result<Counts, SimError> {
+        assert!(shots > 0, "shots must be positive");
+        assert!(
+            snapshot.num_qubits() >= circuit.num_qubits(),
+            "snapshot narrower than circuit"
+        );
+        let readout = self.readout_entries(circuit, snapshot);
+        let width = used_clbit_width_of_entries(&readout);
+        let num_qubits = circuit.num_qubits();
+
+        let trajectories = self.trajectories.clamp(1, shots as usize);
+        let base = shots as usize / trajectories;
+        let extra = shots as usize % trajectories;
+
+        // Decode every instruction once; trajectories replay the compact
+        // step stream instead of the instruction list.
+        let steps: Vec<TrajStep> = circuit
+            .instructions()
+            .iter()
+            .map(|inst| self.decode_step(inst, snapshot))
+            .collect();
+
+        // Skip-ahead is sound only when every random draw of a trajectory
+        // is state-independent: decoherence (jump probabilities depend on
+        // the state) and reset (a projective measurement draw) disable it.
+        let compiled = fusion::CompiledCircuit::compile(circuit);
+        let skip_ahead = !self.decoherence && !compiled.has_reset();
+        let shared = if skip_ahead {
+            let (prefix, ideal) = PrefixCheckpoints::build(num_qubits, &steps)?;
+            let mut sampler = ShotSampler::default();
+            sampler.rebuild(&ideal);
+            Some((prefix, sampler))
+        } else {
+            None
+        };
+
+        let indices: Vec<usize> = (0..trajectories).collect();
+        let exec = ExecConfig::with_threads(self.threads);
+        let partials = qcs_exec::parallel_map_with(
+            &exec,
+            &indices,
+            Scratch::new,
+            |scratch, _, &t| -> Result<Counts, SimError> {
+                let traj_shots = base + usize::from(t < extra);
+                let seed = qcs_exec::derive_seed(self.seed, t as u64);
+                let mut rng = StdRng::seed_from_u64(seed);
+
+                if let Some((prefix, shared_sampler)) = &shared {
+                    // Dry walk: one uniform per noisy gate plus one
+                    // Pauli-word draw per fired error — exactly the draw
+                    // sequence of the full run, whose state applications
+                    // consume no randomness here. Afterwards the RNG sits
+                    // exactly where the full run would have left it.
+                    let mut events: Vec<(usize, usize)> = Vec::new();
+                    for (i, step) in steps.iter().enumerate() {
+                        if step.error_prob > 0.0 && rng.gen_range(0.0..1.0) < step.error_prob {
+                            events.push((i, draw_pauli_word(&mut rng, step.qubits.len())));
+                        }
+                    }
+                    if events.is_empty() {
+                        // Identical to the ideal circuit: share its
+                        // execution and sampling table.
+                        return Ok(sample_shots(
+                            shared_sampler,
+                            &mut rng,
+                            traj_shots,
+                            &readout,
+                            width,
+                        ));
+                    }
+                    // Restore the shared noiseless prefix nearest the
+                    // first event and replay only the remainder, injecting
+                    // the recorded Pauli words at their steps.
+                    let buf = scratch.pool.acquire(0, Complex::ZERO);
+                    let (mut next, mut state) = match prefix.restore_point(events[0].0 + 1) {
+                        Some((applied, amps)) => {
+                            (applied, Statevector::restore_in(num_qubits, buf, amps)?)
+                        }
+                        None => (0, Statevector::zero_in(num_qubits, buf)?),
+                    };
+                    for &(i, word) in &events {
+                        while next <= i {
+                            state.apply_kernel(&steps[next].kernel)?;
+                            next += 1;
+                        }
+                        apply_pauli_word(&mut state, &steps[i].qubits, word)?;
+                    }
+                    while next < steps.len() {
+                        state.apply_kernel(&steps[next].kernel)?;
+                        next += 1;
+                    }
+                    scratch.sampler.rebuild(&state);
+                    scratch.pool.release(state.into_amps());
+                    return Ok(sample_shots(
+                        &scratch.sampler,
+                        &mut rng,
+                        traj_shots,
+                        &readout,
+                        width,
+                    ));
+                }
+
+                // Decoherence or reset: the full per-gate stochastic path.
+                let buf = scratch.pool.acquire(0, Complex::ZERO);
+                let mut state = Statevector::zero_in(num_qubits, buf)?;
+                self.apply_steps(&steps, snapshot, &mut state, &mut rng)?;
+                scratch.sampler.rebuild(&state);
+                scratch.pool.release(state.into_amps());
+                Ok(sample_shots(
+                    &scratch.sampler,
+                    &mut rng,
+                    traj_shots,
+                    &readout,
+                    width,
+                ))
+            },
+        );
+
+        merge_partials(partials, width)
+    }
+
+    /// The pre-optimization execution path: per-instruction gate matching,
+    /// a fresh statevector and CDF rebuild per trajectory, no skip-ahead.
+    ///
+    /// Kept as the regression oracle: [`NoisySimulator::run`] must produce
+    /// bit-identical [`Counts`] (property-tested), and the criterion bench
+    /// records the speedup of `run` over this path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the circuit exceeds simulator limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots == 0` or the snapshot does not cover the circuit
+    /// width.
+    pub fn run_reference(
         &self,
         circuit: &Circuit,
         snapshot: &CalibrationSnapshot,
@@ -139,17 +478,58 @@ impl NoisySimulator {
             },
         );
 
-        // Merge in trajectory order; the first error (by trajectory
-        // index) wins, matching what a sequential loop would report.
-        let mut counts = Counts::new(width);
-        for partial in partials {
-            counts.merge(&partial?);
-        }
-        Ok(counts)
+        merge_partials(partials, width)
     }
 
-    /// Run one Pauli trajectory: the ideal circuit with stochastic Pauli
-    /// injections after faulty gates.
+    /// Decode one instruction into its trajectory step.
+    fn decode_step(&self, inst: &Instruction, snapshot: &CalibrationSnapshot) -> TrajStep {
+        let eligible =
+            inst.gate.is_unitary() && !inst.gate.is_directive() && inst.gate != Gate::Id;
+        TrajStep {
+            kernel: fusion::instruction_kernel(inst),
+            qubits: inst.qubits.clone(),
+            eligible,
+            error_prob: if eligible {
+                gate_error(inst, snapshot)
+            } else {
+                0.0
+            },
+            duration_ns: if eligible && self.decoherence {
+                gate_duration_ns(inst, snapshot)
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Run one full noisy trajectory over the pre-decoded step stream —
+    /// draw-for-draw identical to [`NoisySimulator::run_trajectory`].
+    fn apply_steps(
+        &self,
+        steps: &[TrajStep],
+        snapshot: &CalibrationSnapshot,
+        state: &mut Statevector,
+        rng: &mut StdRng,
+    ) -> Result<(), SimError> {
+        for step in steps {
+            state.apply_kernel_with_rng(&step.kernel, rng)?;
+            if !step.eligible {
+                continue;
+            }
+            if step.error_prob > 0.0 && rng.gen_range(0.0..1.0) < step.error_prob {
+                inject_pauli(state, &step.qubits, rng)?;
+            }
+            if self.decoherence {
+                for q in &step.qubits {
+                    apply_decoherence(state, q.index(), step.duration_ns, snapshot, rng);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run one Pauli trajectory the pre-optimization way: the ideal
+    /// circuit with stochastic Pauli injections after faulty gates.
     fn run_trajectory(
         &self,
         circuit: &Circuit,
@@ -175,6 +555,88 @@ impl NoisySimulator {
         }
         Ok(state)
     }
+
+    /// The measurement map with readout errors attached (pre-scaled to
+    /// integer flip thresholds), hoisting the per-shot snapshot lookup
+    /// and float comparison out of the loop.
+    fn readout_entries(
+        &self,
+        circuit: &Circuit,
+        snapshot: &CalibrationSnapshot,
+    ) -> Vec<ReadoutEntry> {
+        measurement_map(circuit)
+            .into_iter()
+            .map(|(q, c)| (q, c, uniform_threshold(snapshot.qubit(q).readout_error)))
+            .collect()
+    }
+}
+
+/// Widest classical register accumulated in a dense array instead of the
+/// hash map (`2^16` slots, 512 KiB — beyond that fall back to hashing).
+const DENSE_COUNTS_MAX_WIDTH: usize = 16;
+
+/// The shot loop shared by both trajectory kinds: sample a basis state,
+/// push it through the readout-error channel, record the clbit word.
+///
+/// Draw-for-draw identical to the reference shot loop: one uniform per
+/// basis sample resolved by [`ShotSampler`], one uniform per readout
+/// entry resolved against its exact [`uniform_threshold`]. Outcomes
+/// accumulate in a dense per-word array (bounded by
+/// [`DENSE_COUNTS_MAX_WIDTH`]) and collapse into [`Counts`] once.
+fn sample_shots(
+    sampler: &ShotSampler,
+    rng: &mut StdRng,
+    traj_shots: usize,
+    readout: &[ReadoutEntry],
+    width: usize,
+) -> Counts {
+    if width > DENSE_COUNTS_MAX_WIDTH {
+        let mut counts = Counts::with_capacity(width, traj_shots);
+        for _ in 0..traj_shots {
+            let word = one_shot(sampler, rng, readout);
+            counts.record(word, 1);
+        }
+        return counts;
+    }
+    let mut dense = vec![0u64; 1 << width];
+    for _ in 0..traj_shots {
+        let word = one_shot(sampler, rng, readout);
+        dense[word as usize] += 1;
+    }
+    let observed = dense.iter().filter(|&&n| n > 0).count();
+    let mut counts = Counts::with_capacity(width, observed);
+    for (word, &n) in dense.iter().enumerate() {
+        if n > 0 {
+            counts.record(word as u64, n);
+        }
+    }
+    counts
+}
+
+/// One shot: sample a basis state, flip each measured bit with its
+/// readout probability (one draw per entry, fired or not), pack the word.
+#[inline]
+fn one_shot(sampler: &ShotSampler, rng: &mut StdRng, readout: &[ReadoutEntry]) -> u64 {
+    let basis = sampler.sample(rng) as u64;
+    let mut word = 0u64;
+    for &(q, c, threshold) in readout {
+        let flip = u64::from(rng.next_u64() >> 11 < threshold);
+        word |= (((basis >> q) & 1) ^ flip) << c;
+    }
+    word
+}
+
+/// Merge per-trajectory partial counts in trajectory order; the first
+/// error (by trajectory index) wins, matching a sequential loop.
+fn merge_partials(
+    partials: Vec<Result<Counts, SimError>>,
+    width: usize,
+) -> Result<Counts, SimError> {
+    let mut counts = Counts::new(width);
+    for partial in partials {
+        counts.merge(&partial?);
+    }
+    Ok(counts)
 }
 
 /// Nominal duration of an instruction for decoherence purposes, ns
@@ -253,10 +715,22 @@ fn inject_pauli(
     qubits: &[Qubit],
     rng: &mut StdRng,
 ) -> Result<(), SimError> {
-    // Sample a non-identity Pauli word: for k qubits there are 4^k - 1.
-    let k = qubits.len();
+    let word = draw_pauli_word(rng, qubits.len());
+    apply_pauli_word(state, qubits, word)
+}
+
+/// Draw a uniformly random non-identity Pauli word on `k` qubits (two
+/// bits per qubit, at least one nonzero): one `gen_range` draw, split out
+/// of [`inject_pauli`] so the skip-ahead dry walk can consume it at the
+/// reference stream position and apply it later.
+fn draw_pauli_word(rng: &mut StdRng, k: usize) -> usize {
+    // For k qubits there are 4^k - 1 non-identity words.
     let choices = 4usize.pow(k as u32) - 1;
-    let word = rng.gen_range(1..=choices);
+    rng.gen_range(1..=choices)
+}
+
+/// Apply a pre-drawn Pauli word (see [`draw_pauli_word`]).
+fn apply_pauli_word(state: &mut Statevector, qubits: &[Qubit], word: usize) -> Result<(), SimError> {
     for (i, &q) in qubits.iter().enumerate() {
         let pauli = (word >> (2 * i)) & 3;
         let gate = match pauli {
@@ -292,6 +766,11 @@ pub fn measurement_map(circuit: &Circuit) -> Vec<(usize, usize)> {
 #[must_use]
 pub fn used_clbit_width(measure_map: &[(usize, usize)]) -> usize {
     measure_map.iter().map(|&(_, c)| c + 1).max().unwrap_or(1)
+}
+
+/// [`used_clbit_width`] over readout-annotated entries.
+fn used_clbit_width_of_entries(entries: &[ReadoutEntry]) -> usize {
+    entries.iter().map(|&(_, c, _)| c + 1).max().unwrap_or(1)
 }
 
 /// The exact clbit-word distribution of `circuit` under noiseless
@@ -513,6 +992,189 @@ mod tests {
         for threads in [2, 8] {
             let counts = sim.with_threads(threads).run(&c, &snap, 4096).unwrap();
             assert_eq!(reference, counts, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn optimized_path_matches_reference_bit_for_bit() {
+        // The load-bearing regression: fused kernels + skip-ahead + buffer
+        // pooling must not change a single observable bit vs the
+        // pre-optimization path, at several noise scales and thread counts.
+        let c = qft_pos_circuit(5);
+        for scale in [0.01, 0.3, 1.0, 4.0] {
+            let snap = noisy_snapshot(5, scale);
+            for trajectories in [1, 8, 32] {
+                let sim = NoisySimulator {
+                    trajectories,
+                    seed: 11,
+                    ..NoisySimulator::default()
+                };
+                let reference = sim.with_threads(1).run_reference(&c, &snap, 2048).unwrap();
+                for threads in [1, 3, 8] {
+                    let optimized = sim.with_threads(threads).run(&c, &snap, 2048).unwrap();
+                    assert_eq!(
+                        reference, optimized,
+                        "diverged at scale {scale}, {trajectories} trajectories, {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_path_matches_reference_with_decoherence() {
+        // Decoherence disables skip-ahead; the step-stream path must still
+        // be draw-for-draw identical to the instruction walk.
+        let c = qft_pos_circuit(4);
+        let snap = noisy_snapshot(4, 1.5);
+        let sim = NoisySimulator {
+            trajectories: 12,
+            seed: 23,
+            ..NoisySimulator::default()
+        }
+        .with_decoherence();
+        let reference = sim.with_threads(1).run_reference(&c, &snap, 1024).unwrap();
+        for threads in [1, 4] {
+            let optimized = sim.with_threads(threads).run(&c, &snap, 1024).unwrap();
+            assert_eq!(reference, optimized, "decoherence path diverged");
+        }
+    }
+
+    #[test]
+    fn optimized_path_matches_reference_with_reset() {
+        // Mid-circuit reset draws from the state: skip-ahead must stand
+        // down and still match the reference bit-for-bit.
+        let mut c = Circuit::with_clbits(3, 3);
+        c.h(0).cx(0, 1).apply(Gate::Reset, &[1]).h(1).cx(1, 2);
+        c.measure_all();
+        let snap = noisy_snapshot(3, 2.0);
+        let sim = NoisySimulator {
+            trajectories: 8,
+            seed: 31,
+            ..NoisySimulator::default()
+        };
+        let reference = sim.run_reference(&c, &snap, 512).unwrap();
+        let optimized = sim.run(&c, &snap, 512).unwrap();
+        assert_eq!(reference, optimized, "reset path diverged");
+    }
+
+    #[test]
+    fn shot_sampler_matches_cdf_sampler_draw_for_draw() {
+        // The guide-table sampler must resolve every uniform to the exact
+        // index the reference binary search produces, on states with both
+        // spread-out and concentrated distributions.
+        let spread = Statevector::from_circuit(&qcs_circuit::library::qft(6)).unwrap();
+        let concentrated = Statevector::zero(6).unwrap();
+        for (name, state) in [("spread", &spread), ("concentrated", &concentrated)] {
+            let reference = CdfSampler::of(state);
+            let mut fast = ShotSampler::default();
+            fast.rebuild(state);
+            let mut rng_a = StdRng::seed_from_u64(41);
+            let mut rng_b = StdRng::seed_from_u64(41);
+            for draw in 0..20_000 {
+                assert_eq!(
+                    reference.sample(&mut rng_a),
+                    fast.sample(&mut rng_b),
+                    "{name} diverged at draw {draw}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_threshold_is_exact() {
+        // k < threshold must agree with the float comparison
+        // k * 2^-53 < p for every k, including at the boundary.
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut checked = 0u32;
+        for _ in 0..2000 {
+            let p: f64 = rng.gen_range(0.0..1.0) * rng.gen_range(0.0..1.0);
+            let threshold = uniform_threshold(p);
+            let boundary = (p * UNIFORM_SCALE) as u64;
+            for k in boundary.saturating_sub(2)..=(boundary + 2).min((1 << 53) - 1) {
+                let float_side = (k as f64) * (1.0 / UNIFORM_SCALE) < p;
+                assert_eq!(k < threshold, float_side, "p={p}, k={k}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+        assert_eq!(uniform_threshold(0.0), 0);
+        assert_eq!(uniform_threshold(1.0), 1 << 53);
+    }
+
+    #[test]
+    fn wide_registers_fall_back_to_hashed_counts() {
+        // Measuring into a clbit beyond DENSE_COUNTS_MAX_WIDTH exercises
+        // the hash-map shot loop; it must still match the reference.
+        let mut c = Circuit::with_clbits(2, DENSE_COUNTS_MAX_WIDTH + 1);
+        c.h(0).cx(0, 1);
+        c.measure(0, DENSE_COUNTS_MAX_WIDTH).measure(1, 3);
+        let snap = noisy_snapshot(2, 2.0);
+        let sim = NoisySimulator {
+            trajectories: 4,
+            seed: 13,
+            ..NoisySimulator::default()
+        };
+        let reference = sim.run_reference(&c, &snap, 512).unwrap();
+        let optimized = sim.run(&c, &snap, 512).unwrap();
+        assert_eq!(reference, optimized, "wide-register path diverged");
+        assert_eq!(optimized.width(), DENSE_COUNTS_MAX_WIDTH + 1);
+    }
+
+    #[test]
+    fn prefix_checkpoints_restore_the_exact_ideal_prefix() {
+        // Every snapshot must equal the amplitudes a fresh per-step
+        // evolution reaches at the same instruction count.
+        let c = qft_pos_circuit(4);
+        let snap = noisy_snapshot(4, 1.0);
+        let sim = NoisySimulator::with_seed(0);
+        let steps: Vec<TrajStep> = c
+            .instructions()
+            .iter()
+            .map(|inst| sim.decode_step(inst, &snap))
+            .collect();
+        let (prefix, ideal) = PrefixCheckpoints::build(4, &steps).unwrap();
+        assert!(
+            !prefix.snapshots.is_empty(),
+            "a {} instruction circuit should checkpoint",
+            steps.len()
+        );
+        for upto in 0..=steps.len() {
+            let (applied, amps) = match prefix.restore_point(upto) {
+                Some(point) => point,
+                None => continue,
+            };
+            assert!(applied <= upto, "restore point overshot {upto}");
+            let mut state = Statevector::zero(4).unwrap();
+            for step in &steps[..applied] {
+                state.apply_kernel(&step.kernel).unwrap();
+            }
+            assert_eq!(state.amps(), amps, "snapshot at {applied} diverged");
+        }
+        // The final state of the build pass is the full ideal evolution.
+        let mut state = Statevector::zero(4).unwrap();
+        for step in &steps {
+            state.apply_kernel(&step.kernel).unwrap();
+        }
+        assert_eq!(state.amps(), ideal.amps());
+    }
+
+    #[test]
+    fn heavy_noise_exercises_multi_event_replay() {
+        // At scale 8 nearly every trajectory has several events, so the
+        // checkpoint-restore path replays across multiple segments; it
+        // must stay bit-identical to the reference.
+        let c = qft_pos_circuit(6);
+        let snap = noisy_snapshot(6, 8.0);
+        let sim = NoisySimulator {
+            trajectories: 24,
+            seed: 19,
+            ..NoisySimulator::default()
+        };
+        let reference = sim.with_threads(1).run_reference(&c, &snap, 2048).unwrap();
+        for threads in [1, 4] {
+            let optimized = sim.with_threads(threads).run(&c, &snap, 2048).unwrap();
+            assert_eq!(reference, optimized, "multi-event replay diverged");
         }
     }
 

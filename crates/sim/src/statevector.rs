@@ -78,6 +78,72 @@ impl Statevector {
         Ok(Statevector { num_qubits, amps })
     }
 
+    /// The all-zeros state built inside a caller-provided buffer, reusing
+    /// its allocation (see [`qcs_exec::BufferPool`]) — the zero-allocation
+    /// variant of [`Statevector::zero`] for trajectory loops. The buffer is
+    /// resized and overwritten; reclaim it afterwards with
+    /// [`Statevector::into_amps`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyQubits`] beyond [`MAX_QUBITS`].
+    pub fn zero_in(num_qubits: usize, mut buf: Vec<Complex>) -> Result<Self, SimError> {
+        if num_qubits > MAX_QUBITS {
+            return Err(SimError::TooManyQubits {
+                requested: num_qubits,
+            });
+        }
+        buf.clear();
+        buf.resize(1 << num_qubits, Complex::ZERO);
+        buf[0] = Complex::ONE;
+        Ok(Statevector {
+            num_qubits,
+            amps: buf,
+        })
+    }
+
+    /// A state restored from snapshotted amplitudes into a caller-provided
+    /// buffer (see [`qcs_exec::BufferPool`]) — the checkpoint-reuse path of
+    /// the noisy simulator. `amps.len()` must be `2^num_qubits`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyQubits`] beyond [`MAX_QUBITS`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amps.len() != 2^num_qubits`.
+    pub fn restore_in(
+        num_qubits: usize,
+        mut buf: Vec<Complex>,
+        amps: &[Complex],
+    ) -> Result<Self, SimError> {
+        if num_qubits > MAX_QUBITS {
+            return Err(SimError::TooManyQubits {
+                requested: num_qubits,
+            });
+        }
+        assert_eq!(amps.len(), 1 << num_qubits, "snapshot width mismatch");
+        buf.clear();
+        buf.extend_from_slice(amps);
+        Ok(Statevector {
+            num_qubits,
+            amps: buf,
+        })
+    }
+
+    /// Consume the state, releasing its amplitude buffer for reuse.
+    #[must_use]
+    pub fn into_amps(self) -> Vec<Complex> {
+        self.amps
+    }
+
+    /// The raw amplitude slice (for snapshotting checkpoints).
+    #[must_use]
+    pub fn amps(&self) -> &[Complex] {
+        &self.amps
+    }
+
     /// Run the unitary part of `circuit` on |0...0>. Measurements and
     /// barriers are skipped (sample afterwards with
     /// [`Statevector::probabilities`]).
@@ -184,8 +250,14 @@ impl Statevector {
         Ok(())
     }
 
+    /// Raw amplitude access for the fused-kernel sweeps in
+    /// [`crate::fusion`]; every mutation must preserve normalization.
+    pub(crate) fn amps_mut(&mut self) -> &mut [Complex] {
+        &mut self.amps
+    }
+
     /// Apply an arbitrary 2x2 unitary `[[a, b], [c, d]]` to qubit `q`.
-    fn apply_1q(&mut self, q: usize, m: &[[Complex; 2]; 2]) {
+    pub(crate) fn apply_1q(&mut self, q: usize, m: &[[Complex; 2]; 2]) {
         let bit = 1usize << q;
         for base in 0..self.amps.len() {
             if base & bit == 0 {
@@ -199,7 +271,7 @@ impl Statevector {
         }
     }
 
-    fn apply_x(&mut self, q: usize) {
+    pub(crate) fn apply_x(&mut self, q: usize) {
         let bit = 1usize << q;
         for base in 0..self.amps.len() {
             if base & bit == 0 {
@@ -209,7 +281,7 @@ impl Statevector {
     }
 
     /// Multiply the |1> component of qubit `q` by `phase`.
-    fn apply_phase(&mut self, q: usize, phase: Complex) {
+    pub(crate) fn apply_phase(&mut self, q: usize, phase: Complex) {
         let bit = 1usize << q;
         for idx in 0..self.amps.len() {
             if idx & bit != 0 {
@@ -218,18 +290,24 @@ impl Statevector {
         }
     }
 
-    /// Rz(t) = diag(e^{-it/2}, e^{it/2}).
-    fn apply_rz(&mut self, q: usize, theta: f64) {
+    /// Multiply the |0> component of qubit `q` by `c0` and the |1>
+    /// component by `c1` — a general diagonal 1q gate.
+    pub(crate) fn apply_phase_pair(&mut self, q: usize, c0: Complex, c1: Complex) {
         let bit = 1usize << q;
-        let neg = Complex::from_polar(1.0, -theta / 2.0);
-        let pos = Complex::from_polar(1.0, theta / 2.0);
         for idx in 0..self.amps.len() {
-            let phase = if idx & bit == 0 { neg } else { pos };
+            let phase = if idx & bit == 0 { c0 } else { c1 };
             self.amps[idx] = self.amps[idx] * phase;
         }
     }
 
-    fn apply_cx(&mut self, control: usize, target: usize) {
+    /// Rz(t) = diag(e^{-it/2}, e^{it/2}).
+    fn apply_rz(&mut self, q: usize, theta: f64) {
+        let neg = Complex::from_polar(1.0, -theta / 2.0);
+        let pos = Complex::from_polar(1.0, theta / 2.0);
+        self.apply_phase_pair(q, neg, pos);
+    }
+
+    pub(crate) fn apply_cx(&mut self, control: usize, target: usize) {
         let cbit = 1usize << control;
         let tbit = 1usize << target;
         for base in 0..self.amps.len() {
@@ -239,7 +317,7 @@ impl Statevector {
         }
     }
 
-    fn apply_controlled_phase(&mut self, a: usize, b: usize, phase: Complex) {
+    pub(crate) fn apply_controlled_phase(&mut self, a: usize, b: usize, phase: Complex) {
         let mask = (1usize << a) | (1usize << b);
         for idx in 0..self.amps.len() {
             if idx & mask == mask {
@@ -248,7 +326,7 @@ impl Statevector {
         }
     }
 
-    fn apply_swap(&mut self, a: usize, b: usize) {
+    pub(crate) fn apply_swap(&mut self, a: usize, b: usize) {
         let abit = 1usize << a;
         let bbit = 1usize << b;
         for idx in 0..self.amps.len() {
@@ -774,7 +852,10 @@ mod tests {
             let mut s = Statevector::from_circuit(&c).unwrap();
             s.reset_qubit(0, &mut rng);
             let p1 = s.probability_one(1);
-            assert!(p1 < 1e-9 || p1 > 1.0 - 1e-9, "partner not collapsed: {p1}");
+            assert!(
+                !(1e-9..=1.0 - 1e-9).contains(&p1),
+                "partner not collapsed: {p1}"
+            );
             if p1 > 0.5 {
                 ones += 1;
             }

@@ -1,0 +1,557 @@
+//! Content-addressed transpile cache.
+//!
+//! The paper's workload is dominated by *re*-compilation: batches of
+//! identical or near-identical circuits submitted against the same machine
+//! and calibration epoch (§IV-C observes clients resubmitting the same
+//! program across days). Transpilation here is deterministic — same
+//! circuit, target, and options always produce the same
+//! [`TranspileResult`] — so the full pass pipeline can be memoized behind
+//! a content hash of everything that feeds it:
+//!
+//! * the circuit structure (name, widths, every instruction's gate,
+//!   parameter bits, and operand indices),
+//! * the target (machine name, coupling edges, and the complete
+//!   calibration snapshot including its cycle — the "calibration epoch"),
+//! * the [`TranspileOptions`] (layout/routing method, optimization level,
+//!   SABRE tuning).
+//!
+//! Keys are two independently-seeded 64-bit FxHash-style digests over that
+//! material; a collision requires both 64-bit streams to collide at once.
+//! The cache is sharded (key-bits pick the shard) so parallel study
+//! fan-out threads rarely contend on one lock, and hit/miss counters are
+//! lock-free atomics surfaced through study stats and the gateway
+//! `METRICS` reply.
+//!
+//! Failures are *not* cached: an `Err` from the pipeline is returned but
+//! never memoized, so a later call with the same key re-runs the passes.
+//!
+//! Concurrent misses on the same key are *coalesced*: the first caller
+//! marks the key in-flight and runs the pipeline; later callers park on
+//! the shard's condvar and wake as hits. This both avoids duplicate
+//! compilations and makes the hit/miss counters schedule-independent —
+//! a fan-out over the same calendar of calibrations reports the same
+//! counters at any thread count, which the `extension_stale_compilation`
+//! determinism check relies on.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use qcs_circuit::Circuit;
+
+use crate::error::TranspileError;
+use crate::target::Target;
+use crate::transpile::{TranspileOptions, TranspileResult};
+
+/// Multiplier from FxHash (Firefox's hasher): odd, high avalanche when
+/// combined with the pre-multiply rotate-xor step.
+const FX_MULT: u64 = 0x517c_c1b7_2722_0a95;
+
+/// A seeded FxHash-style streaming hasher over 64-bit words.
+///
+/// Not cryptographic — this is a content-address for memoization, and the
+/// two-seed composite key in [`TranspileKey`] keeps accidental collisions
+/// out of reach for study-sized workloads.
+#[derive(Debug, Clone, Copy)]
+struct FxStream {
+    state: u64,
+}
+
+impl FxStream {
+    fn seeded(seed: u64) -> Self {
+        FxStream { state: seed }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.state = (self.state.rotate_left(5) ^ v).wrapping_mul(FX_MULT);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_f64(&mut self, v: f64) {
+        // Hash the exact bit pattern: keys must distinguish values that
+        // compare equal but behave differently downstream (-0.0 vs 0.0).
+        self.write_u64(v.to_bits());
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        for chunk in s.as_bytes().chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    fn finish(self) -> u64 {
+        // One extra scramble so trailing zero-words still diffuse.
+        self.state.rotate_left(5).wrapping_mul(FX_MULT)
+    }
+}
+
+/// Content address of one transpile call: two independently-seeded 64-bit
+/// digests over the circuit, target, and options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TranspileKey {
+    lo: u64,
+    hi: u64,
+}
+
+impl TranspileKey {
+    /// Digest the full input content of a transpile call.
+    #[must_use]
+    pub fn of(circuit: &Circuit, target: &Target, options: &TranspileOptions) -> Self {
+        let lo = Self::digest(0x9e37_79b9_7f4a_7c15, circuit, target, options);
+        let hi = Self::digest(0xd1b5_4a32_d192_ed03, circuit, target, options);
+        TranspileKey { lo, hi }
+    }
+
+    fn digest(seed: u64, circuit: &Circuit, target: &Target, options: &TranspileOptions) -> u64 {
+        let mut h = FxStream::seeded(seed);
+        hash_circuit(&mut h, circuit);
+        hash_target(&mut h, target);
+        hash_options(&mut h, options);
+        h.finish()
+    }
+
+    /// Which of `shards` this key maps to.
+    fn shard(&self, shards: usize) -> usize {
+        (self.hi as usize) % shards
+    }
+}
+
+fn hash_circuit(h: &mut FxStream, circuit: &Circuit) {
+    h.write_str(circuit.name());
+    h.write_usize(circuit.num_qubits());
+    h.write_usize(circuit.num_clbits());
+    h.write_usize(circuit.size());
+    for inst in circuit.instructions() {
+        h.write_str(inst.gate.name());
+        let params = inst.gate.params();
+        h.write_usize(params.len());
+        for p in params {
+            h.write_f64(p);
+        }
+        h.write_usize(inst.qubits.len());
+        for q in &inst.qubits {
+            h.write_usize(q.index());
+        }
+        h.write_usize(inst.clbits.len());
+        for c in &inst.clbits {
+            h.write_usize(c.index());
+        }
+    }
+}
+
+fn hash_target(h: &mut FxStream, target: &Target) {
+    h.write_str(target.name());
+    let topology = target.topology();
+    h.write_usize(topology.num_qubits());
+    h.write_usize(topology.num_edges());
+    for &(a, b) in topology.edges() {
+        h.write_usize(a);
+        h.write_usize(b);
+    }
+    let snapshot = target.snapshot();
+    // The calibration epoch: same machine on a different day is a miss.
+    h.write_u64(snapshot.cycle);
+    h.write_usize(snapshot.num_qubits());
+    for q in 0..snapshot.num_qubits() {
+        let cal = snapshot.qubit(q);
+        h.write_f64(cal.t1_us);
+        h.write_f64(cal.t2_us);
+        h.write_f64(cal.single_qubit_error);
+        h.write_f64(cal.readout_error);
+    }
+    // BTreeMap iteration: deterministic ascending edge order.
+    for (&(a, b), cal) in snapshot.edges() {
+        h.write_usize(a);
+        h.write_usize(b);
+        h.write_f64(cal.cx_error);
+        h.write_f64(cal.cx_duration_ns);
+    }
+}
+
+fn hash_options(h: &mut FxStream, options: &TranspileOptions) {
+    h.write_usize(options.layout as usize);
+    h.write_usize(options.routing as usize);
+    h.write_u64(u64::from(options.optimization_level));
+    h.write_usize(options.sabre.lookahead);
+    h.write_f64(options.sabre.lookahead_weight);
+    h.write_f64(options.sabre.decay_increment);
+}
+
+/// Point-in-time hit/miss statistics of a [`TranspileCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (including batch-internal dedupe).
+    pub hits: u64,
+    /// Lookups that ran the full pass pipeline.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the cache (0 when empty).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const NUM_SHARDS: usize = 16;
+
+/// A sharded, thread-safe memo table from [`TranspileKey`] to finished
+/// [`TranspileResult`]s.
+///
+/// Cloneable by `Arc` — share one handle between a study fan-out and the
+/// gateway so `METRICS` reflects the same counters the study observed.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_topology::families;
+/// use qcs_transpiler::{transpile_batch_cached, Target, TranspileCache, TranspileOptions};
+/// use qcs_circuit::library;
+///
+/// let target = Target::uniform("m", families::line(4), 7);
+/// let cache = TranspileCache::new();
+/// let circuits = vec![library::ghz(3); 10];
+/// let exec = qcs_exec::ExecConfig::sequential();
+/// let results = transpile_batch_cached(&circuits, &target, TranspileOptions::default(), &exec, &cache)?;
+/// assert_eq!(results.len(), 10);
+/// assert_eq!(cache.stats().misses, 1);
+/// assert_eq!(cache.stats().hits, 9);
+/// # Ok::<(), qcs_transpiler::TranspileError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct TranspileCache {
+    shards: [Shard; NUM_SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// One lock-striped slice of the memo table; the condvar parks callers
+/// waiting on an in-flight compilation of a key in this shard.
+#[derive(Debug, Default)]
+struct Shard {
+    map: Mutex<HashMap<TranspileKey, Slot>>,
+    ready: Condvar,
+}
+
+/// State of one memoized key: finished, or being compiled right now by
+/// some other caller (in which case waiters coalesce onto its result).
+#[derive(Debug)]
+enum Slot {
+    Ready(Arc<TranspileResult>),
+    InFlight,
+}
+
+impl TranspileCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        TranspileCache::default()
+    }
+
+    /// Look up a finished result by key, counting a hit on success.
+    ///
+    /// An in-flight compilation counts as absent — this path never waits.
+    /// Does not count a miss on failure — the dedupe-first batch path
+    /// classifies hits and misses up front, and [`Self::transpile`]
+    /// accounts for the single-call path.
+    #[must_use]
+    pub fn get(&self, key: &TranspileKey) -> Option<Arc<TranspileResult>> {
+        let shard = &self.shards[key.shard(NUM_SHARDS)];
+        let map = shard.map.lock().expect("cache shard poisoned");
+        match map.get(key) {
+            Some(Slot::Ready(result)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(result))
+            }
+            _ => None,
+        }
+    }
+
+    /// Insert a finished result under a key, waking any coalesced waiters.
+    pub fn insert(&self, key: TranspileKey, result: Arc<TranspileResult>) {
+        let shard = &self.shards[key.shard(NUM_SHARDS)];
+        let mut map = shard.map.lock().expect("cache shard poisoned");
+        map.insert(key, Slot::Ready(result));
+        shard.ready.notify_all();
+    }
+
+    /// Transpile through the cache: return the memoized result when the
+    /// content key is already present, otherwise run the full pipeline
+    /// and (on success) memoize it.
+    ///
+    /// Concurrent calls with the same key coalesce: exactly one runs the
+    /// pipeline (and counts the miss), the rest park and wake as hits —
+    /// so for a fixed multiset of calls the counters are identical at any
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`TranspileError`] from the pipeline; errors are
+    /// never cached, and a failure releases coalesced waiters to re-run
+    /// the pipeline themselves (each failed attempt is its own miss).
+    pub fn transpile(
+        &self,
+        circuit: &Circuit,
+        target: &Target,
+        options: TranspileOptions,
+    ) -> Result<Arc<TranspileResult>, TranspileError> {
+        let key = TranspileKey::of(circuit, target, &options);
+        let shard = &self.shards[key.shard(NUM_SHARDS)];
+        let mut map = shard.map.lock().expect("cache shard poisoned");
+        loop {
+            match map.get(&key) {
+                Some(Slot::Ready(result)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(result));
+                }
+                Some(Slot::InFlight) => {
+                    map = shard.ready.wait(map).expect("cache shard poisoned");
+                }
+                None => {
+                    map.insert(key, Slot::InFlight);
+                    break;
+                }
+            }
+        }
+        drop(map);
+
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = crate::transpile::transpile(circuit, target, options);
+        let mut map = shard.map.lock().expect("cache shard poisoned");
+        let ret = match outcome {
+            Ok(result) => {
+                let result = Arc::new(result);
+                map.insert(key, Slot::Ready(Arc::clone(&result)));
+                Ok(result)
+            }
+            Err(err) => {
+                map.remove(&key);
+                Err(err)
+            }
+        };
+        drop(map);
+        shard.ready.notify_all();
+        ret
+    }
+
+    /// Record `n` batch-internal dedupe hits (duplicates of a key seen
+    /// earlier in the same batch count as hits even on a cold cache).
+    pub(crate) fn count_hits(&self, n: u64) {
+        self.hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` misses that the batch path is about to transpile.
+    pub(crate) fn count_misses(&self, n: u64) {
+        self.misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Number of distinct keys currently memoized (in-flight keys are not
+    /// counted — they hold no result yet).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.map
+                    .lock()
+                    .expect("cache shard poisoned")
+                    .values()
+                    .filter(|slot| matches!(slot, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current hit/miss counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop all memoized entries (counters and in-flight markers are
+    /// preserved — a compilation in progress still completes and wakes
+    /// its waiters).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard
+                .map
+                .lock()
+                .expect("cache shard poisoned")
+                .retain(|_, slot| matches!(slot, Slot::InFlight));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcs_circuit::library;
+    use qcs_topology::families;
+
+    fn target() -> Target {
+        Target::uniform("cairo", families::ibm_guadalupe_16q(), 11)
+    }
+
+    #[test]
+    fn identical_inputs_share_a_key() {
+        let t = target();
+        let a = library::ghz(4);
+        let b = library::ghz(4);
+        let opts = TranspileOptions::default();
+        assert_eq!(TranspileKey::of(&a, &t, &opts), TranspileKey::of(&b, &t, &opts));
+    }
+
+    #[test]
+    fn key_is_sensitive_to_every_input_layer() {
+        let t = target();
+        let circuit = library::ghz(4);
+        let opts = TranspileOptions::default();
+        let base = TranspileKey::of(&circuit, &t, &opts);
+
+        // Circuit structure.
+        let mut other = library::ghz(4);
+        other.rz(0.25, 0);
+        assert_ne!(base, TranspileKey::of(&other, &t, &opts));
+
+        // A single gate parameter, even when the diff is one bit pattern.
+        let mut a = library::ghz(4);
+        a.rz(0.0, 0);
+        let mut b = library::ghz(4);
+        b.rz(-0.0, 0);
+        assert_ne!(
+            TranspileKey::of(&a, &t, &opts),
+            TranspileKey::of(&b, &t, &opts),
+            "keys must distinguish 0.0 from -0.0"
+        );
+
+        // Calibration epoch: same machine name and topology, next cycle.
+        let topology = families::ibm_guadalupe_16q();
+        let profile = qcs_calibration::NoiseProfile::with_seed(11);
+        let day0 = Target::new("cairo", topology.clone(), profile.snapshot(&topology, 0));
+        let day1 = Target::new("cairo", topology.clone(), profile.snapshot(&topology, 1));
+        assert_ne!(
+            TranspileKey::of(&circuit, &day0, &opts),
+            TranspileKey::of(&circuit, &day1, &opts),
+            "a new calibration cycle must change the key"
+        );
+
+        // Options.
+        let minimal = TranspileOptions::minimal();
+        assert_ne!(base, TranspileKey::of(&circuit, &t, &minimal));
+    }
+
+    #[test]
+    fn circuit_name_participates_in_the_key() {
+        let t = target();
+        let opts = TranspileOptions::default();
+        let anon = library::ghz(3);
+        let named = library::ghz(3).named("production");
+        assert_ne!(
+            TranspileKey::of(&anon, &t, &opts),
+            TranspileKey::of(&named, &t, &opts)
+        );
+    }
+
+    #[test]
+    fn cache_hit_returns_bit_identical_result() {
+        let t = target();
+        let cache = TranspileCache::new();
+        let circuit = library::qft(4);
+        let opts = TranspileOptions::default();
+
+        let miss = cache.transpile(&circuit, &t, opts).expect("transpile");
+        let hit = cache.transpile(&circuit, &t, opts).expect("transpile");
+        // The hit is not merely equal output — it is the memoized value.
+        assert!(Arc::ptr_eq(&miss, &hit), "hit shares the memoized value");
+        assert_eq!(miss.circuit, hit.circuit);
+        assert_eq!(miss.timings.entries(), hit.timings.entries());
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let narrow = Target::uniform("toy", families::line(2), 3);
+        let cache = TranspileCache::new();
+        let wide = library::ghz(5);
+        let opts = TranspileOptions::default();
+        assert!(cache.transpile(&wide, &narrow, opts).is_err());
+        assert!(cache.is_empty(), "failed transpiles must not be memoized");
+        assert!(cache.transpile(&wide, &narrow, opts).is_err(), "re-runs, same error");
+        assert_eq!(cache.stats().misses, 2, "each failed attempt is a fresh miss");
+    }
+
+    #[test]
+    fn concurrent_same_key_misses_coalesce_into_one_compilation() {
+        let t = target();
+        let cache = TranspileCache::new();
+        let circuit = library::qft(4);
+        let opts = TranspileOptions::default();
+        const CALLERS: usize = 8;
+
+        let barrier = std::sync::Barrier::new(CALLERS);
+        let results: Vec<Arc<TranspileResult>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CALLERS)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        cache.transpile(&circuit, &t, opts).expect("transpile")
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("caller")).collect()
+        });
+
+        // Exactly one pipeline run regardless of scheduling: every caller
+        // shares the single memoized allocation, and the counters are the
+        // same ones a sequential loop would report.
+        for r in &results[1..] {
+            assert!(Arc::ptr_eq(&results[0], r), "all callers share one result");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, CALLERS as u64 - 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn stats_and_clear() {
+        let cache = TranspileCache::new();
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+        let t = target();
+        let opts = TranspileOptions::default();
+        cache.transpile(&library::ghz(3), &t, opts).expect("transpile");
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1, "clear preserves counters");
+    }
+}

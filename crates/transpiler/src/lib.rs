@@ -26,6 +26,7 @@
 #![warn(clippy::all)]
 
 pub mod basis;
+mod cache;
 mod error;
 pub mod layout;
 pub mod multiprog;
@@ -35,6 +36,7 @@ pub mod schedule;
 mod target;
 mod transpile;
 
+pub use cache::{CacheStats, TranspileCache, TranspileKey};
 pub use error::TranspileError;
 pub use layout::Layout;
 pub use routing::{RoutingResult, SabreOptions};
@@ -42,6 +44,6 @@ pub use schedule::{DurationModel, ScheduledCircuit};
 pub use schedule::{schedule_alap, schedule_asap};
 pub use target::Target;
 pub use transpile::{
-    transpile, transpile_batch, LayoutMethod, PassTimings, RoutingMethod, TranspileOptions,
-    TranspileResult,
+    transpile, transpile_batch, transpile_batch_cached, LayoutMethod, PassTimings, RoutingMethod,
+    TranspileOptions, TranspileResult,
 };

@@ -10,8 +10,20 @@ use qcs_machine::{Fleet, Machine};
 use qcs_sim::{probability_of_success, qft_pos_circuit, NoisySimulator};
 use qcs_topology::{bisection_bandwidth, families};
 use qcs_transpiler::{
-    layout::noise_aware_layout, transpile, Layout, Target, TranspileError, TranspileOptions,
+    layout::noise_aware_layout, transpile, Layout, Target, TranspileCache, TranspileError,
+    TranspileOptions,
 };
+
+/// Split an env-configured worker budget between an outer fan-out of
+/// `fanout` items and each item's inner trajectory loop: the fan-out owns
+/// the pool, and only the headroom beyond one worker per item goes to the
+/// simulator (`QCS_THREADS=16` over 5 machines → 3 trajectory threads
+/// each). Results never depend on either count — this is purely a
+/// scheduling choice.
+fn sim_threads_for(exec: &ExecConfig, fanout: usize) -> usize {
+    let total = exec.effective_threads(usize::MAX);
+    (total / fanout.max(1)).max(1)
+}
 
 /// One pass-timing row of the Fig 5 experiment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -143,10 +155,14 @@ pub fn fidelity_vs_cx(
     seed: u64,
 ) -> Result<Vec<FidelityRow>, TranspileError> {
     // Worker-pool size from QCS_THREADS (unset = all cores), so the fig*
-    // binaries expose thread control without flag plumbing. Rows do not
-    // depend on the thread count.
+    // binaries expose thread control without flag plumbing. Threads beyond
+    // the machine fan-out go to each machine's trajectory loop. Rows do
+    // not depend on either thread count.
+    let exec = ExecConfig::from_env();
+    let sim_threads = sim_threads_for(&exec, machine_names.len());
     fidelity_vs_cx_with(
-        &ExecConfig::from_env(),
+        &exec,
+        sim_threads,
         fleet,
         machine_names,
         benchmark_qubits,
@@ -156,10 +172,13 @@ pub fn fidelity_vs_cx(
     )
 }
 
-/// [`fidelity_vs_cx`] with an explicit worker pool: machines are compiled
-/// and simulated concurrently. Each machine's simulation is seeded
-/// independently of thread scheduling, so the rows are identical to the
-/// sequential run.
+/// [`fidelity_vs_cx`] with an explicit worker pool and per-machine
+/// trajectory thread count: machines are compiled and simulated
+/// concurrently, and each machine's trajectory loop runs on `sim_threads`
+/// workers (`0` = all cores). Each machine's simulation is seeded
+/// independently of thread scheduling — and the noisy simulator's
+/// trajectory partitioning is thread-count invariant — so the rows are
+/// identical to the sequential run at any `(exec, sim_threads)` pair.
 ///
 /// # Errors
 ///
@@ -170,8 +189,10 @@ pub fn fidelity_vs_cx(
 ///
 /// Panics if a machine name is unknown or simulation fails (fleet machines
 /// are always simulable at 4 qubits).
+#[allow(clippy::too_many_arguments)]
 pub fn fidelity_vs_cx_with(
     exec: &ExecConfig,
+    sim_threads: usize,
     fleet: &Fleet,
     machine_names: &[&str],
     benchmark_qubits: usize,
@@ -191,12 +212,10 @@ pub fn fidelity_vs_cx_with(
         let (compact, region) = result.circuit.compacted();
         let region_snapshot = target.snapshot().restricted(&region);
         // Decoherence on: Fig 7 models real-hardware fidelity, where
-        // readout-window T1 decay matters. The trajectory loop runs
-        // single-threaded here — the fan-out across machines is already
-        // saturating the pool.
+        // readout-window T1 decay matters.
         let counts = NoisySimulator::with_seed(seed)
             .with_decoherence()
-            .with_threads(1)
+            .with_threads(sim_threads)
             .run(&compact, &region_snapshot, shots)
             .expect("compacted circuits fit the simulator");
         let (cx_depth, cx_total, cx_depth_err, cx_total_err) =
@@ -275,21 +294,33 @@ pub fn stale_compilation_cost(
     shots: u32,
     seed: u64,
 ) -> Result<Vec<StalenessRow>, TranspileError> {
-    // Worker-pool size from QCS_THREADS (unset = all cores); rows do not
-    // depend on the thread count.
+    // Worker-pool size from QCS_THREADS (unset = all cores); threads
+    // beyond the day fan-out go to each day's trajectory loop. Rows do
+    // not depend on either thread count.
+    let exec = ExecConfig::from_env();
+    let sim_threads = sim_threads_for(&exec, days as usize);
+    let cache = TranspileCache::new();
     stale_compilation_cost_with(
-        &ExecConfig::from_env(),
+        &exec,
+        sim_threads,
         machine,
         benchmark_qubits,
         days,
         shots,
         seed,
+        &cache,
     )
 }
 
-/// [`stale_compilation_cost`] with an explicit worker pool: days are
-/// evaluated concurrently. Each day already derives its own RNG seed
-/// (`seed ^ day`), so the rows are identical to the sequential run.
+/// [`stale_compilation_cost`] with an explicit worker pool, per-day
+/// trajectory thread count, and a shared [`TranspileCache`]: days are
+/// evaluated concurrently, and each day's two compilations go through the
+/// cache. Day `d` compiles against cycles `d` and `d + 1`, day `d + 1`
+/// against `d + 1` and `d + 2` — every interior cycle is requested twice
+/// across the experiment, so the cache halves the compile work (read
+/// [`TranspileCache::stats`] afterwards to see it). Each day already
+/// derives its own RNG seed (`seed ^ day`), so the rows are identical to
+/// the sequential, cache-cold run.
 ///
 /// # Errors
 ///
@@ -300,13 +331,16 @@ pub fn stale_compilation_cost(
 ///
 /// Panics if simulation fails (benchmark circuits always fit the
 /// simulator after compaction).
+#[allow(clippy::too_many_arguments)]
 pub fn stale_compilation_cost_with(
     exec: &ExecConfig,
+    sim_threads: usize,
     machine: &Machine,
     benchmark_qubits: usize,
     days: u64,
     shots: u32,
     seed: u64,
+    cache: &TranspileCache,
 ) -> Result<Vec<StalenessRow>, TranspileError> {
     let circuit = qft_pos_circuit(benchmark_qubits);
     let days: Vec<u64> = (0..days).collect();
@@ -319,13 +353,12 @@ pub fn stale_compilation_cost_with(
                 machine.topology().clone(),
                 machine.profile().snapshot(machine.topology(), compile_day),
             );
-            let compiled = transpile(&circuit, &target, TranspileOptions::full())?;
+            let compiled = cache.transpile(&circuit, &target, TranspileOptions::full())?;
             let (compact, region) = compiled.circuit.compacted();
-            // Execution always sees the *new* calibration. Trajectories
-            // run single-threaded: the per-day fan-out owns the pool.
+            // Execution always sees the *new* calibration.
             let counts = NoisySimulator::with_seed(seed ^ day)
                 .with_decoherence()
-                .with_threads(1)
+                .with_threads(sim_threads)
                 .run(&compact, &exec_snapshot.restricted(&region), shots)
                 .expect("compacted benchmark is simulable");
             pos[slot] = probability_of_success(&counts, 0);
@@ -410,22 +443,95 @@ mod tests {
     fn parallel_experiments_match_sequential() {
         let fleet = Fleet::ibm_like();
         let names = ["casablanca", "toronto", "manhattan"];
-        let seq =
-            fidelity_vs_cx_with(&ExecConfig::sequential(), &fleet, &names, 4, 12.0, 512, 3)
-                .unwrap();
-        let par =
-            fidelity_vs_cx_with(&ExecConfig::with_threads(4), &fleet, &names, 4, 12.0, 512, 3)
-                .unwrap();
+        let seq = fidelity_vs_cx_with(
+            &ExecConfig::sequential(),
+            1,
+            &fleet,
+            &names,
+            4,
+            12.0,
+            512,
+            3,
+        )
+        .unwrap();
+        // Fan-out threads and trajectory threads both vary; rows must not.
+        let par = fidelity_vs_cx_with(
+            &ExecConfig::with_threads(4),
+            3,
+            &fleet,
+            &names,
+            4,
+            12.0,
+            512,
+            3,
+        )
+        .unwrap();
         assert_eq!(seq, par);
 
         let machine = fleet.get("toronto").unwrap();
-        let seq =
-            stale_compilation_cost_with(&ExecConfig::sequential(), machine, 4, 4, 512, 3)
-                .unwrap();
-        let par =
-            stale_compilation_cost_with(&ExecConfig::with_threads(4), machine, 4, 4, 512, 3)
-                .unwrap();
+        let cold = TranspileCache::new();
+        let seq = stale_compilation_cost_with(
+            &ExecConfig::sequential(),
+            1,
+            machine,
+            4,
+            4,
+            512,
+            3,
+            &cold,
+        )
+        .unwrap();
+        let warm = TranspileCache::new();
+        let par = stale_compilation_cost_with(
+            &ExecConfig::with_threads(4),
+            3,
+            machine,
+            4,
+            4,
+            512,
+            3,
+            &warm,
+        )
+        .unwrap();
         assert_eq!(seq, par);
+        // And a warm cache must not change the rows either.
+        let rerun = stale_compilation_cost_with(
+            &ExecConfig::with_threads(4),
+            1,
+            machine,
+            4,
+            4,
+            512,
+            3,
+            &warm,
+        )
+        .unwrap();
+        assert_eq!(seq, rerun);
+    }
+
+    #[test]
+    fn staleness_experiment_reuses_interior_compilations() {
+        let fleet = Fleet::ibm_like();
+        let machine = fleet.get("casablanca").unwrap();
+        let cache = TranspileCache::new();
+        let days = 6u64;
+        stale_compilation_cost_with(
+            &ExecConfig::sequential(),
+            1,
+            machine,
+            4,
+            days,
+            256,
+            3,
+            &cache,
+        )
+        .unwrap();
+        let stats = cache.stats();
+        // 2 compiles per day; the interior cycles 1..days are each
+        // requested twice -> days - 1 hits, days + 1 unique compilations.
+        assert_eq!(stats.hits + stats.misses, 2 * days);
+        assert_eq!(stats.misses, days + 1);
+        assert_eq!(stats.hits, days - 1);
     }
 
     #[test]

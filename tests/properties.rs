@@ -266,6 +266,70 @@ proptest! {
     }
 }
 
+proptest! {
+    // The ISSUE 5 acceptance bar: >= 100 random circuits, each with its
+    // own seed, thread count, and noise scale.
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    #[test]
+    fn noisy_optimized_path_matches_reference(
+        circuit in arb_circuit(),
+        seed in 0u64..10_000,
+        threads in 1usize..5,
+        scale_pick in 0u8..3,
+        deco_pick in 0u8..2,
+    ) {
+        // The load-bearing guarantee of the fused + skip-ahead +
+        // checkpointed + pooled hot path: bit-identical Counts vs the
+        // pre-optimization per-instruction path, at every thread count.
+        use qcs::calibration::NoiseProfile;
+        use qcs::sim::NoisySimulator;
+        let scale = [0.05, 1.0, 6.0][scale_pick as usize];
+        let snap = NoiseProfile::with_seed(seed ^ 0xA5A5)
+            .scaled_errors(scale)
+            .snapshot(&families::complete(5), 0);
+        let mut sim = NoisySimulator {
+            trajectories: 6,
+            seed,
+            ..NoisySimulator::default()
+        };
+        if deco_pick == 1 {
+            sim = sim.with_decoherence();
+        }
+        let reference = sim.with_threads(1).run_reference(&circuit, &snap, 384).unwrap();
+        let optimized = sim.with_threads(threads).run(&circuit, &snap, 384).unwrap();
+        prop_assert_eq!(reference, optimized);
+    }
+
+    #[test]
+    fn fused_execution_matches_unfused(circuit in arb_circuit()) {
+        // Gate fusion must not change a single amplitude bit: the fused
+        // kernels perform the same per-element float operations in the
+        // same order as the per-instruction sweeps.
+        use qcs::sim::CompiledCircuit;
+        let unfused = Statevector::from_circuit(&circuit).unwrap();
+        let fused = CompiledCircuit::compile(&circuit).execute().unwrap();
+        prop_assert_eq!(unfused.amps(), fused.amps());
+    }
+
+    #[test]
+    fn transpile_cache_hit_is_bit_identical(circuit in arb_circuit(), seed in 0u64..500) {
+        // A cache hit must return exactly the compilation a cold
+        // transpile produces.
+        use qcs::transpiler::TranspileCache;
+        let target = Target::uniform("falcon", families::ibm_falcon_27q(), seed);
+        let cache = TranspileCache::new();
+        let cold = cache.transpile(&circuit, &target, TranspileOptions::full()).unwrap();
+        let hit = cache.transpile(&circuit, &target, TranspileOptions::full()).unwrap();
+        let fresh = transpile(&circuit, &target, TranspileOptions::full()).unwrap();
+        prop_assert_eq!(&hit.circuit, &cold.circuit);
+        prop_assert_eq!(&hit.circuit, &fresh.circuit);
+        prop_assert_eq!(hit.layout.clone(), fresh.layout.clone());
+        let stats = cache.stats();
+        prop_assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+}
+
 /// A random small cloud trace: jobs on machines 0-3 from providers 0-3
 /// with strictly increasing submit times and a mix of patience levels
 /// (impatient enough to cancel, patient enough to run, infinite).
