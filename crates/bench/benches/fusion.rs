@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use qcs_circuit::library;
 use qcs_exec::BufferPool;
-use qcs_sim::{Complex, CompiledCircuit, Statevector};
+use qcs_sim::{Complex, CompiledCircuit, SimdPolicy, Statevector, SvExec};
 use qcs_topology::families;
 use qcs_transpiler::{transpile, Target, TranspileOptions};
 
@@ -28,6 +28,14 @@ fn bench_fused_vs_unfused(c: &mut Criterion) {
     });
     group.bench_function("fused", |b| {
         b.iter(|| compiled.execute().unwrap());
+    });
+    // The same fused kernels through the explicit f64x4-chunked path on
+    // one thread: isolates the SIMD win from block parallelism. The CI
+    // bench-smoke gate asserts this point is never slower than the
+    // scalar `fused` point (amplitudes are bit-identical).
+    let wide = SvExec::auto().with_simd(SimdPolicy::Wide).with_threads(1);
+    group.bench_function("wide", |b| {
+        b.iter(|| compiled.execute_with(&wide).unwrap());
     });
     group.finish();
 }

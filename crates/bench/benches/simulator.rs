@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qcs_calibration::NoiseProfile;
 use qcs_circuit::library;
-use qcs_sim::{qft_pos_circuit, NoisySimulator, Statevector};
+use qcs_sim::{qft_pos_circuit, CompiledCircuit, NoisySimulator, SimdPolicy, Statevector, SvExec};
 use qcs_topology::families;
 
 fn bench_statevector(c: &mut Criterion) {
@@ -14,6 +14,51 @@ fn bench_statevector(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circuit| {
             b.iter(|| Statevector::from_circuit(circuit).unwrap());
         });
+    }
+    group.finish();
+}
+
+fn bench_simd_blocks(c: &mut Criterion) {
+    // The SIMD + block-parallel headline: the 16-qubit QFT compiled once,
+    // executed under the sequential scalar policy (the oracle), the
+    // single-thread wide (f64x4-chunked) path, and the wide path on a
+    // full block team — plus a block-granularity sweep. Amplitudes are
+    // bit-identical across every point (blocked_wide_kernels_match_
+    // scalar_amplitudes); only wall-clock may differ.
+    let circuit = library::qft(16);
+    let compiled = CompiledCircuit::compile(&circuit);
+    let cores = qcs_exec::ExecConfig::default().effective_threads(usize::MAX);
+    let mut group = c.benchmark_group("statevector_qft16_kernels");
+    let points = [
+        ("scalar", SvExec::scalar()),
+        (
+            "wide",
+            SvExec::auto().with_simd(SimdPolicy::Wide).with_threads(1),
+        ),
+        (
+            "wide_blocks",
+            SvExec::auto().with_simd(SimdPolicy::Wide).with_threads(cores),
+        ),
+    ];
+    for (name, sv) in points {
+        group.bench_with_input(BenchmarkId::new("policy", name), &sv, |b, sv| {
+            b.iter(|| compiled.execute_with(sv).unwrap());
+        });
+    }
+    // Block-size sweep at the full team width: pairs per block, 0 = one
+    // contiguous chunk per worker.
+    for block_pairs in [1024usize, 4096, 16384] {
+        let sv = SvExec::auto()
+            .with_simd(SimdPolicy::Wide)
+            .with_threads(cores)
+            .with_block_pairs(block_pairs);
+        group.bench_with_input(
+            BenchmarkId::new("block_pairs", block_pairs),
+            &sv,
+            |b, sv| {
+                b.iter(|| compiled.execute_with(sv).unwrap());
+            },
+        );
     }
     group.finish();
 }
@@ -55,13 +100,9 @@ fn bench_parallel_trajectories(c: &mut Criterion) {
             ..NoisySimulator::default()
         }
         .with_threads(threads);
-        group.bench_with_input(
-            BenchmarkId::new("threads", threads),
-            &sim,
-            |b, sim| {
-                b.iter(|| sim.run(&circuit, &snapshot, 16_384).unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("threads", threads), &sim, |b, sim| {
+            b.iter(|| sim.run(&circuit, &snapshot, 16_384).unwrap());
+        });
     }
     group.finish();
 
@@ -84,6 +125,7 @@ fn bench_parallel_trajectories(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_statevector,
+    bench_simd_blocks,
     bench_noisy_run,
     bench_parallel_trajectories
 );

@@ -72,12 +72,112 @@ impl ExecConfig {
     #[must_use]
     pub fn effective_threads(&self, items: usize) -> usize {
         let configured = if self.threads == 0 {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            detected_parallelism()
         } else {
             self.threads
         };
         configured.min(items).max(1)
     }
+
+    /// Work-aware variant of [`ExecConfig::effective_threads`]: the worker
+    /// count additionally capped by the physically available cores and by
+    /// `total work / MIN_WORK_PER_THREAD`, so that small workloads bypass
+    /// the pool entirely (1 worker = the plain sequential loop) instead of
+    /// paying spawn-and-join overhead that exceeds the work itself.
+    ///
+    /// Unlike `effective_threads` — whose explicit counts are honored
+    /// verbatim because pool *sizing* (e.g. the gateway's connection
+    /// handlers) must obey configuration — this is for *compute* dispatch,
+    /// where threads beyond the core count or the work supply only add
+    /// overhead. `work_per_item` is a caller-chosen unit (the simulator
+    /// uses "amplitude operations", i.e. `kernels × 2^n` per trajectory).
+    #[must_use]
+    pub fn effective_threads_for_work(&self, items: usize, work_per_item: u64) -> usize {
+        let cores = detected_parallelism();
+        let total_work = (items as u64).saturating_mul(work_per_item);
+        let by_work = usize::try_from(total_work / MIN_WORK_PER_THREAD).unwrap_or(usize::MAX);
+        self.effective_threads(items)
+            .min(cores)
+            .min(by_work.max(1))
+            .max(1)
+    }
+}
+
+/// Minimum work units (caller-defined; the simulator counts amplitude
+/// operations) each worker must have before
+/// [`ExecConfig::effective_threads_for_work`] grants it a thread. Chosen
+/// so that workloads in the tens-of-microseconds range — where scoped
+/// spawn/join overhead dominates — run sequentially.
+pub const MIN_WORK_PER_THREAD: u64 = 2_000_000;
+
+/// Detected core count, probed once per process.
+/// [`std::thread::available_parallelism`] re-reads the cgroup quota
+/// files on every call (tens of microseconds inside a container), which
+/// the simulator's per-run work-aware sizing cannot afford — the hot
+/// paths ask several times per [`NoisySimulator`](../qcs_sim) run.
+fn detected_parallelism() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    })
+}
+
+/// Run `f(worker_index)` once per worker on a scoped team: workers
+/// `1..workers` on freshly spawned threads, worker `0` inline on the
+/// calling thread. Returns when every worker has finished.
+///
+/// This is the primitive under block-parallel statevector kernels
+/// (`qcs-sim`): the closure typically loops over the worker's
+/// [`block_ranges`] and synchronizes phases with a [`std::sync::Barrier`].
+/// A team of 1 is exactly the sequential call `f(0)` — no threads, no
+/// overhead.
+///
+/// # Panics
+///
+/// Re-raises the first spawned worker's panic on the calling thread.
+pub fn run_team<F>(workers: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if workers <= 1 {
+        f(0);
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..workers)
+            .map(|w| scope.spawn(move || f(w)))
+            .collect();
+        f(0);
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+/// The deterministic static block schedule: the index ranges of `total`
+/// items that `worker` (of `workers`) owns when the items are cut into
+/// consecutive blocks of `block` items and blocks are dealt round-robin
+/// by block index.
+///
+/// The schedule is a pure function of `(total, block, worker, workers)` —
+/// no work stealing, no atomics — so the partition of items across
+/// workers is identical on every run and every machine, and any two
+/// distinct workers own disjoint ranges. `block` and `workers` of 0 are
+/// treated as 1.
+pub fn block_ranges(
+    total: usize,
+    block: usize,
+    worker: usize,
+    workers: usize,
+) -> impl Iterator<Item = std::ops::Range<usize>> {
+    let block = block.max(1);
+    let nblocks = total.div_ceil(block);
+    (worker..nblocks)
+        .step_by(workers.max(1))
+        .map(move |b| (b * block)..((b + 1) * block).min(total))
 }
 
 /// Map `f` over `items` on a bounded worker pool, returning results in
@@ -354,11 +454,23 @@ impl<T: Clone> BufferPool<T> {
     }
 
     /// Take a buffer of exactly `len` elements, every element set to
-    /// `fill`. Reuses a previously released buffer's allocation when one
-    /// is available; otherwise allocates.
+    /// `fill`. Reuses the *smallest capacity-compatible* free buffer
+    /// (capacity ≥ `len`, so the resize never reallocates); when no free
+    /// buffer fits, allocates fresh rather than stealing an undersized
+    /// allocation that the resize would immediately throw away — mixed
+    /// buffer sizes (full statevectors next to per-block scratch) then
+    /// each reuse their own allocation class.
     pub fn acquire(&mut self, len: usize, fill: T) -> Vec<T> {
-        match self.free.pop() {
-            Some(mut buf) => {
+        let mut best: Option<(usize, usize)> = None; // (free index, capacity)
+        for (i, buf) in self.free.iter().enumerate() {
+            let cap = buf.capacity();
+            if cap >= len && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((i, cap));
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                let mut buf = self.free.swap_remove(i);
                 self.reuses += 1;
                 buf.clear();
                 buf.resize(len, fill);
@@ -511,6 +623,94 @@ mod tests {
     }
 
     #[test]
+    fn work_aware_threads_bypass_pool_on_small_work() {
+        // An explicit 8-thread config still collapses to 1 worker when the
+        // total work is below one thread's minimum — the satellite fix for
+        // the noisy_qft10_traj16 thread-scaling regression, where spawn
+        // overhead exceeded the per-trajectory work.
+        let config = ExecConfig::with_threads(8);
+        assert_eq!(config.effective_threads_for_work(16, 1), 1);
+        assert_eq!(config.effective_threads_for_work(16, 0), 1);
+        assert_eq!(
+            config.effective_threads_for_work(16, MIN_WORK_PER_THREAD / 16),
+            1,
+            "exactly one thread's worth of work must not fan out"
+        );
+        assert_eq!(config.effective_threads_for_work(0, u64::MAX), 1);
+    }
+
+    #[test]
+    fn work_aware_threads_cap_by_cores_and_work() {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let config = ExecConfig::with_threads(8);
+        // Unbounded work: capped only by config and physical cores.
+        assert_eq!(
+            config.effective_threads_for_work(64, u64::MAX / 64),
+            8.min(cores)
+        );
+        // Work for exactly 2 threads: never more than 2, whatever the cores.
+        assert!(config.effective_threads_for_work(64, MIN_WORK_PER_THREAD / 16) <= 2);
+        // Item cap still applies.
+        assert_eq!(config.effective_threads_for_work(1, u64::MAX), 1);
+    }
+
+    #[test]
+    fn run_team_covers_every_worker_once() {
+        for workers in [1, 2, 5] {
+            let hits: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+            run_team(workers, |w| {
+                hits[w].fetch_add(1, Ordering::Relaxed);
+            });
+            for (w, hit) in hits.iter().enumerate() {
+                assert_eq!(hit.load(Ordering::Relaxed), 1, "worker {w}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "team boom")]
+    fn run_team_propagates_worker_panic() {
+        run_team(3, |w| assert!(w != 2, "team boom"));
+    }
+
+    #[test]
+    fn block_ranges_partition_exactly() {
+        // Every (total, block, workers) combination must partition
+        // 0..total: disjoint, complete, and in ascending order per worker.
+        for total in [0usize, 1, 7, 64, 100] {
+            for block in [1usize, 3, 8, 200] {
+                for workers in [1usize, 2, 3, 7] {
+                    let mut covered = vec![false; total];
+                    for w in 0..workers {
+                        let mut last_end = 0;
+                        for range in block_ranges(total, block, w, workers) {
+                            assert!(range.start >= last_end, "ranges out of order");
+                            assert!(range.end <= total);
+                            last_end = range.end;
+                            for i in range {
+                                assert!(!covered[i], "index {i} assigned twice");
+                                covered[i] = true;
+                            }
+                        }
+                    }
+                    assert!(covered.iter().all(|&c| c), "index unassigned");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_ranges_are_deterministic_round_robin() {
+        // 10 items, blocks of 3, 2 workers: blocks 0,2 -> worker 0 and
+        // blocks 1,3 -> worker 1, by block index — a pure function of the
+        // inputs, so the schedule is reproducible anywhere.
+        let w0: Vec<_> = block_ranges(10, 3, 0, 2).collect();
+        let w1: Vec<_> = block_ranges(10, 3, 1, 2).collect();
+        assert_eq!(w0, vec![0..3, 6..9]);
+        assert_eq!(w1, vec![3..6, 9..10]);
+    }
+
+    #[test]
     fn worker_pool_runs_all_tasks_on_drop() {
         let pool = WorkerPool::new(3);
         assert_eq!(pool.threads(), 3);
@@ -646,6 +846,42 @@ mod tests {
         pool.release(a);
         let b = pool.acquire(6, 0);
         assert_eq!(b, vec![0; 6], "stale contents leaked through");
+    }
+
+    #[test]
+    fn buffer_pool_prefers_smallest_fitting_capacity() {
+        let mut pool: BufferPool<f64> = BufferPool::new();
+        let small = pool.acquire(4, 0.0);
+        let medium = pool.acquire(8, 0.0);
+        let large = pool.acquire(16, 0.0);
+        let medium_ptr = medium.as_ptr();
+        pool.release(small);
+        pool.release(large);
+        pool.release(medium);
+        // len 6 fits both the 8- and 16-capacity buffers: best fit is 8.
+        let buf = pool.acquire(6, 1.0);
+        assert_eq!(buf.as_ptr(), medium_ptr, "did not pick the best fit");
+        assert_eq!(pool.reuses(), 1);
+        assert_eq!(pool.allocations(), 3);
+    }
+
+    #[test]
+    fn buffer_pool_does_not_steal_undersized_buffers() {
+        let mut pool: BufferPool<u64> = BufferPool::new();
+        let small = pool.acquire(4, 0);
+        pool.release(small);
+        // Nothing fits len 32: allocate fresh, keep the small buffer free.
+        let big = pool.acquire(32, 0);
+        assert_eq!(pool.reuses(), 0);
+        assert_eq!(pool.allocations(), 2);
+        pool.release(big);
+        // Both allocation classes now reuse independently.
+        let again_small = pool.acquire(3, 0);
+        let again_big = pool.acquire(20, 0);
+        assert!(again_small.capacity() < 32);
+        assert!(again_big.capacity() >= 32);
+        assert_eq!(pool.reuses(), 2);
+        assert_eq!(pool.allocations(), 2);
     }
 
     #[test]

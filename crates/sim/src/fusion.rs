@@ -35,7 +35,7 @@ use qcs_circuit::{Circuit, Gate, Instruction};
 use rand::Rng;
 
 use crate::statevector::matrices;
-use crate::{Complex, SimError, Statevector};
+use crate::{Complex, SimError, Statevector, SvExec};
 
 /// One element operation of a fused single-qubit sweep, acting on an
 /// amplitude pair `(a0, a1)` = (bit clear, bit set).
@@ -101,8 +101,8 @@ pub enum Kernel {
     Reset(usize),
 }
 
-#[inline]
-fn op1_apply(op: &Op1, a0: &mut Complex, a1: &mut Complex) {
+#[inline(always)]
+pub(crate) fn op1_apply(op: &Op1, a0: &mut Complex, a1: &mut Complex) {
     match op {
         Op1::Mat(m) => {
             let (b0, b1) = (*a0, *a1);
@@ -115,6 +115,34 @@ fn op1_apply(op: &Op1, a0: &mut Complex, a1: &mut Complex) {
             *a1 = *a1 * *c1;
         }
         Op1::X => std::mem::swap(a0, a1),
+    }
+}
+
+/// Apply one element operation of a fused 2q sweep to a 4-amplitude
+/// block `(x00, x01, x10, x11)` — shared by [`Statevector::apply_fused2`]
+/// and the blocked kernels in [`crate::kernels`], so both paths perform
+/// literally the same arithmetic per block.
+#[inline(always)]
+pub(crate) fn op2_apply(
+    op: &Op2,
+    x00: &mut Complex,
+    x01: &mut Complex,
+    x10: &mut Complex,
+    x11: &mut Complex,
+) {
+    match op {
+        Op2::Low(op1) => {
+            op1_apply(op1, x00, x01);
+            op1_apply(op1, x10, x11);
+        }
+        Op2::High(op1) => {
+            op1_apply(op1, x00, x10);
+            op1_apply(op1, x01, x11);
+        }
+        Op2::CxControlLow => std::mem::swap(x01, x11),
+        Op2::CxControlHigh => std::mem::swap(x10, x11),
+        Op2::SwapQ => std::mem::swap(x01, x10),
+        Op2::Phase11(p) => *x11 = *x11 * *p,
     }
 }
 
@@ -155,20 +183,7 @@ impl Statevector {
                 let mut x10 = amps[i10];
                 let mut x11 = amps[i11];
                 for op in ops {
-                    match op {
-                        Op2::Low(op1) => {
-                            op1_apply(op1, &mut x00, &mut x01);
-                            op1_apply(op1, &mut x10, &mut x11);
-                        }
-                        Op2::High(op1) => {
-                            op1_apply(op1, &mut x00, &mut x10);
-                            op1_apply(op1, &mut x01, &mut x11);
-                        }
-                        Op2::CxControlLow => std::mem::swap(&mut x01, &mut x11),
-                        Op2::CxControlHigh => std::mem::swap(&mut x10, &mut x11),
-                        Op2::SwapQ => std::mem::swap(&mut x01, &mut x10),
-                        Op2::Phase11(p) => x11 = x11 * *p,
-                    }
+                    op2_apply(op, &mut x00, &mut x01, &mut x10, &mut x11);
                 }
                 amps[base] = x00;
                 amps[i01] = x01;
@@ -522,6 +537,61 @@ impl CompiledCircuit {
     pub fn execute_in(&self, buf: Vec<Complex>) -> Result<Statevector, SimError> {
         let mut state = Statevector::zero_in(self.num_qubits, buf)?;
         self.apply_to(&mut state)?;
+        Ok(state)
+    }
+
+    /// Apply the kernel stream to an existing state under an execution
+    /// policy (SIMD lanes, worker team, block size) — bit-identical to
+    /// [`CompiledCircuit::apply_to`] at every setting (see
+    /// [`crate::SvExec`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unsupported`] on a mid-circuit reset.
+    pub fn apply_to_with(&self, state: &mut Statevector, exec: &SvExec) -> Result<(), SimError> {
+        exec.run_stream(state, &self.kernels)
+    }
+
+    /// Execute the stream on |0...0> under an execution policy — the
+    /// SIMD + block-parallel equivalent of [`CompiledCircuit::execute`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for oversized circuits or mid-circuit resets.
+    pub fn execute_with(&self, exec: &SvExec) -> Result<Statevector, SimError> {
+        let mut state = Statevector::zero(self.num_qubits)?;
+        self.apply_to_with(&mut state, exec)?;
+        Ok(state)
+    }
+
+    /// Execute the stream on |0...0> inside a pooled buffer under an
+    /// execution policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for oversized circuits or mid-circuit resets.
+    pub fn execute_in_with(&self, buf: Vec<Complex>, exec: &SvExec) -> Result<Statevector, SimError> {
+        let mut state = Statevector::zero_in(self.num_qubits, buf)?;
+        self.apply_to_with(&mut state, exec)?;
+        Ok(state)
+    }
+
+    /// Execute the stream inside a pooled buffer and fill `probs` with
+    /// the final measurement probabilities in the *same* worker pass —
+    /// the fused-probability path the noisy simulator samples from (see
+    /// [`SvExec::run_stream_with_probs`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for oversized circuits or mid-circuit resets.
+    pub fn execute_in_with_probs(
+        &self,
+        buf: Vec<Complex>,
+        exec: &SvExec,
+        probs: &mut Vec<f64>,
+    ) -> Result<Statevector, SimError> {
+        let mut state = Statevector::zero_in(self.num_qubits, buf)?;
+        exec.run_stream_with_probs(&mut state, &self.kernels, probs)?;
         Ok(state)
     }
 }

@@ -1,0 +1,1282 @@
+//! SIMD-wide, block-parallel statevector kernels.
+//!
+//! The scalar kernels in [`crate::statevector`] and [`crate::fusion`]
+//! walk the `2^n`-amplitude array one pair at a time on one core. This
+//! module adds the two missing axes of single-circuit parallelism,
+//! without changing a single floating-point result:
+//!
+//! - **Lane parallelism (SIMD).** The wide path processes amplitude
+//!   pairs in chunks of [`LANES`] = 4, loading the re/im components into
+//!   structure-of-arrays `[f64; 4]` register blocks and applying each
+//!   element operation lane-wise — the f64x4 style the autovectorizer
+//!   reliably turns into packed AVX/NEON arithmetic. Every lane evaluates
+//!   the *same expression tree* as the scalar oracle ([`op1_apply`] /
+//!   [`op2_apply`]), so wide results are bit-identical, chunk boundaries
+//!   included.
+//! - **Core parallelism (blocks).** [`SvExec::run_stream`] splits each
+//!   kernel's pair (or quad) index domain into fixed blocks, deals the
+//!   blocks to a scoped worker team by a static round-robin schedule
+//!   ([`qcs_exec::block_ranges`]), and synchronizes between kernels with
+//!   a [`std::sync::Barrier`]. Workers never share an amplitude: the
+//!   pair→index maps are injective and the block schedule partitions the
+//!   domain, so there are **no atomics and no locks on amplitude data** —
+//!   determinism comes from disjointness, not synchronization order.
+//!
+//! # Memory layout and dispatch
+//!
+//! Amplitudes live in one `Vec<Complex>` (`#[repr(Rust)]` struct of two
+//! `f64`s, so effectively interleaved `re, im, re, im, ...`), with qubit
+//! 0 the least-significant bit of the basis index. A 1q kernel on qubit
+//! `q` (`bit = 1 << q`) acts on pairs `(i, i | bit)`; pair `p` of the
+//! `2^(n-1)`-element pair domain maps to
+//! `i = ((p & !(bit-1)) << 1) | (p & (bit-1))`. A 2q kernel on the sorted
+//! pair `(lo, hi)` acts on quads obtained by inserting zeros at `lo` then
+//! `hi`.
+//!
+//! Dispatch rules (see DESIGN.md §4g):
+//!
+//! - `bit >= LANES` (target qubit ≥ 2): consecutive pairs map to
+//!   *stride-1* runs of `bit` consecutive amplitudes on each side of the
+//!   pair — the wide path loads 4-pair chunks straight from contiguous
+//!   memory. For 2q kernels the condition is `1 << lo >= LANES`.
+//! - `bit < LANES` (*strided*, qubits 0–1): pairs interleave within a
+//!   4-amplitude window; the per-pair scalar loop is used. At most two
+//!   kernels per stream touch these qubits' low-bit layouts, so the wide
+//!   path still covers the bulk of any deep circuit.
+//! - The work-size threshold ([`qcs_exec::MIN_WORK_PER_THREAD`]) bypasses
+//!   the worker team entirely for small states, so an 8-qubit trajectory
+//!   never pays spawn/join or barrier overhead.
+//!
+//! The final measurement-probability pass
+//! ([`SvExec::run_stream_with_probs`]) is fused into the same worker
+//! team: after the last kernel's barrier, each worker writes
+//! `|amp|²` for its own blocks into the caller's probability buffer —
+//! an elementwise map, so it is bit-identical to
+//! [`Statevector::probabilities_into`] at any worker count. Reductions
+//! that *accumulate* across amplitudes (CDF prefix sums, `probability_one`,
+//! `norm`) stay sequential over that buffer, preserving the oracle's
+//! summation order exactly.
+
+use std::borrow::Borrow;
+use std::cell::UnsafeCell;
+use std::ops::Range;
+use std::sync::Barrier;
+
+use qcs_exec::{block_ranges, run_team, ExecConfig};
+
+use crate::fusion::{op1_apply, op2_apply, Kernel, Op1, Op2};
+use crate::{Complex, SimError, Statevector};
+
+/// Lane width of the wide path: 4 × f64 per component array (one AVX2
+/// register of doubles; two NEON registers).
+pub const LANES: usize = 4;
+
+/// Below this many amplitudes a single worker routes kernels through the
+/// direct per-kernel appliers ([`Statevector::apply_kernel`]) instead of
+/// the run/chunk machinery: the low-qubit trajectory states the noisy
+/// simulator replays in bulk (4–9 qubits) spend more time on run
+/// bookkeeping than on arithmetic. Identical appliers, identical order —
+/// the threshold is invisible in the results.
+const DIRECT_MAX_AMPS: usize = 512;
+
+/// Which inner-loop implementation [`SvExec`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimdPolicy {
+    /// Runtime choice: wide chunks wherever the target-qubit stride
+    /// allows ([`LANES`]-aligned runs), scalar pairs elsewhere.
+    #[default]
+    Auto,
+    /// Force the scalar per-pair loops everywhere — the oracle path,
+    /// kept for differential tests and benches.
+    Scalar,
+    /// Force the wide path wherever structurally possible (identical
+    /// dispatch to `Auto`; named so benches can label the axis).
+    Wide,
+}
+
+/// Execution policy for statevector kernel streams: SIMD dispatch,
+/// worker count, and amplitude-block granularity.
+///
+/// The default (`SvExec::auto()`) is always safe: bit-identical to the
+/// scalar sequential path at every setting, with threads and lane width
+/// chosen at runtime.
+///
+/// # Examples
+///
+/// ```
+/// use qcs_circuit::library;
+/// use qcs_sim::fusion::CompiledCircuit;
+/// use qcs_sim::{Statevector, SvExec};
+///
+/// let compiled = CompiledCircuit::compile(&library::qft(6));
+/// let fast = compiled.execute_with(&SvExec::auto()).unwrap();
+/// let oracle = compiled.execute().unwrap();
+/// assert_eq!(fast, oracle); // bit-identical amplitudes
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SvExec {
+    /// SIMD dispatch policy.
+    pub simd: SimdPolicy,
+    /// Worker threads for block-parallel application: `0` = auto
+    /// (work-aware: capped by cores and by
+    /// [`qcs_exec::MIN_WORK_PER_THREAD`]); an explicit count is honored
+    /// verbatim (capped only by the pair count), which is how tests force
+    /// real multi-worker execution on small states.
+    pub threads: usize,
+    /// Block granularity in *pairs* (half-amplitudes): `0` = auto (one
+    /// contiguous chunk per worker). Explicit sizes are dealt round-robin
+    /// by block index; 2q kernels and the probability pass scale the
+    /// block so it spans the same amplitude range.
+    pub block_pairs: usize,
+}
+
+impl SvExec {
+    /// The default policy: runtime SIMD dispatch, work-aware threading.
+    #[must_use]
+    pub fn auto() -> Self {
+        SvExec::default()
+    }
+
+    /// The sequential scalar oracle configuration (one worker, no wide
+    /// chunks) — what differential tests compare against.
+    #[must_use]
+    pub fn scalar() -> Self {
+        SvExec {
+            simd: SimdPolicy::Scalar,
+            threads: 1,
+            block_pairs: 0,
+        }
+    }
+
+    /// This policy with a different SIMD dispatch.
+    #[must_use]
+    pub fn with_simd(mut self, simd: SimdPolicy) -> Self {
+        self.simd = simd;
+        self
+    }
+
+    /// This policy with an explicit worker count (`0` = auto).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// This policy with an explicit block size in pairs (`0` = auto).
+    #[must_use]
+    pub fn with_block_pairs(mut self, block_pairs: usize) -> Self {
+        self.block_pairs = block_pairs;
+        self
+    }
+
+    fn use_wide(&self) -> bool {
+        !matches!(self.simd, SimdPolicy::Scalar)
+    }
+
+    /// Worker count for a stream of `num_kernels` kernels over `n_amps`
+    /// amplitudes. Explicit counts are honored (they exist to force
+    /// multi-worker coverage in tests); auto is work-aware so small
+    /// states never pay team overhead.
+    fn workers_for(&self, num_kernels: usize, n_amps: usize) -> usize {
+        let pairs = n_amps / 2;
+        if pairs == 0 {
+            return 1;
+        }
+        if self.threads > 0 {
+            return self.threads.min(pairs);
+        }
+        // Per-pair work: 2 amplitude ops per kernel touching it.
+        let work_per_pair = (num_kernels.max(1) as u64) * 2;
+        ExecConfig::default().effective_threads_for_work(pairs, work_per_pair)
+    }
+
+    /// Apply a kernel stream to `state` under this policy.
+    ///
+    /// Bit-identical to applying each kernel through
+    /// [`Statevector::apply_kernel`] in order, for every combination of
+    /// `simd`, `threads`, and `block_pairs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unsupported`] if the stream contains a
+    /// [`Kernel::Reset`] (which needs an RNG and a full-state reduction;
+    /// callers split streams at resets).
+    pub fn run_stream<K>(&self, state: &mut Statevector, kernels: &[K]) -> Result<(), SimError>
+    where
+        K: Borrow<Kernel> + Sync,
+    {
+        self.run_stream_inner(state, kernels, None)
+    }
+
+    /// Like [`SvExec::run_stream`], but additionally fills `probs` with
+    /// the measurement probabilities `|amp|²` of the *final* state — the
+    /// fused accumulation pass: the same worker team that applied the
+    /// last kernel writes the probabilities for its own blocks, saving a
+    /// separate full-array pass (and its spawn/join) before sampling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unsupported`] on [`Kernel::Reset`].
+    pub fn run_stream_with_probs<K>(
+        &self,
+        state: &mut Statevector,
+        kernels: &[K],
+        probs: &mut Vec<f64>,
+    ) -> Result<(), SimError>
+    where
+        K: Borrow<Kernel> + Sync,
+    {
+        self.run_stream_inner(state, kernels, Some(probs))
+    }
+
+    fn run_stream_inner<K>(
+        &self,
+        state: &mut Statevector,
+        kernels: &[K],
+        mut probs: Option<&mut Vec<f64>>,
+    ) -> Result<(), SimError>
+    where
+        K: Borrow<Kernel> + Sync,
+    {
+        if kernels
+            .iter()
+            .any(|k| matches!(k.borrow(), Kernel::Reset(_)))
+        {
+            return Err(SimError::Unsupported { gate: "reset" });
+        }
+        let n = state.amps().len();
+        let wide = self.use_wide();
+        let workers = self.workers_for(kernels.len(), n);
+
+        if workers <= 1 {
+            // Tiny states (and the Scalar oracle) go straight through the
+            // per-kernel appliers: below DIRECT_MAX_AMPS the run/chunk
+            // bookkeeping costs more than the few-element loops it feeds
+            // (runs span at most `bit` elements). Same appliers, same
+            // order — bit-identical either way.
+            if !wide || n <= DIRECT_MAX_AMPS {
+                for kernel in kernels {
+                    state.apply_kernel(kernel.borrow())?;
+                }
+            } else {
+                let cells = ShareCell::slice_from_mut(state.amps_mut());
+                for kernel in kernels {
+                    let kernel = kernel.borrow();
+                    let domain = kernel_domain(kernel, n);
+                    // SAFETY: one thread holds the (uniquely borrowed)
+                    // cells; no concurrent access exists.
+                    unsafe { apply_kernel_cells(cells, kernel, 0..domain, wide) };
+                }
+            }
+            if let Some(probs) = probs {
+                state.probabilities_into(probs);
+            }
+            return Ok(());
+        }
+
+        if let Some(probs) = probs.as_deref_mut() {
+            probs.clear();
+            probs.resize(n, 0.0);
+        }
+        let prob_cells = probs.map(|p| ShareCell::slice_from_mut(&mut p[..]));
+        let cells = ShareCell::slice_from_mut(state.amps_mut());
+        let barrier = Barrier::new(workers);
+        let block_pairs = self.block_pairs;
+        run_team(workers, |w| {
+            for kernel in kernels {
+                let kernel = kernel.borrow();
+                let domain = kernel_domain(kernel, n);
+                let block = block_for(block_pairs, domain, n, workers);
+                for range in block_ranges(domain, block, w, workers) {
+                    // SAFETY: `block_ranges` deals disjoint domain ranges
+                    // to distinct workers, the pair/quad→index maps are
+                    // injective, and a kernel only touches indices of its
+                    // own domain elements — so no two workers access the
+                    // same amplitude within a phase. The barrier below
+                    // orders phases (release/acquire), so cross-phase
+                    // access is never concurrent either.
+                    unsafe { apply_kernel_cells(cells, kernel, range, wide) };
+                }
+                barrier.wait();
+            }
+            if let Some(prob_cells) = prob_cells {
+                let block = block_for(block_pairs, n, n, workers);
+                for range in block_ranges(n, block, w, workers) {
+                    for i in range {
+                        // SAFETY: same disjoint-blocks argument, applied
+                        // elementwise to both arrays; the last kernel's
+                        // barrier ordered all amplitude writes before
+                        // these reads.
+                        unsafe {
+                            let a = cell_get(cells, i);
+                            cell_set(prob_cells, i, a.norm_sqr());
+                        }
+                    }
+                }
+            }
+        });
+        Ok(())
+    }
+
+    /// Fill `probs` with `|amp|²` of `state` under this policy — the
+    /// block-parallel, standalone form of
+    /// [`Statevector::probabilities_into`] (bit-identical: the map is
+    /// elementwise). Used where a probability pass cannot fuse with a
+    /// kernel stream (e.g. re-sampling a checkpointed state).
+    pub fn probabilities_into(&self, state: &Statevector, probs: &mut Vec<f64>) {
+        let amps = state.amps();
+        let n = amps.len();
+        // One amplitude op per pair: only very large states go wide.
+        let workers = self.workers_for(1, n);
+        if workers <= 1 {
+            state.probabilities_into(probs);
+            return;
+        }
+        probs.clear();
+        probs.resize(n, 0.0);
+        let prob_cells = ShareCell::slice_from_mut(&mut probs[..]);
+        let block_pairs = self.block_pairs;
+        run_team(workers, |w| {
+            let block = block_for(block_pairs, n, n, workers);
+            for range in block_ranges(n, block, w, workers) {
+                for i in range {
+                    // SAFETY: disjoint ranges per worker; `amps` is a
+                    // plain shared borrow (reads only).
+                    unsafe { cell_set(prob_cells, i, amps[i].norm_sqr()) };
+                }
+            }
+        });
+    }
+}
+
+/// Probability that qubit `q` reads 1, summed from a precomputed
+/// probability buffer in ascending index order — the same accumulation
+/// order (hence the same rounding) as [`Statevector::probability_one`],
+/// without re-walking the amplitudes. Pairs with
+/// [`SvExec::run_stream_with_probs`]: the fused final-pass buffer serves
+/// every per-qubit marginal without touching the state again.
+#[must_use]
+pub fn probability_one_from_probs(probs: &[f64], q: usize) -> f64 {
+    let bit = 1usize << q;
+    probs
+        .iter()
+        .enumerate()
+        .filter(|(idx, _)| idx & bit != 0)
+        .map(|(_, p)| *p)
+        .sum()
+}
+
+/// State norm from a precomputed probability buffer — the same ascending
+/// summation as [`Statevector::norm`] (`sqrt` of the in-order sum of
+/// `|amp|^2`), without re-walking the amplitudes.
+#[must_use]
+pub fn norm_from_probs(probs: &[f64]) -> f64 {
+    probs.iter().sum::<f64>().sqrt()
+}
+
+/// Block size in `domain` units for a pair-space granularity of
+/// `block_pairs` (`0` = one contiguous chunk per worker). Explicit sizes
+/// scale with the domain so a block spans the same amplitude range for
+/// 1q kernels (domain = pairs), 2q kernels (domain = quads), and the
+/// probability pass (domain = amplitudes).
+fn block_for(block_pairs: usize, domain: usize, n_amps: usize, workers: usize) -> usize {
+    if block_pairs == 0 {
+        domain.div_ceil(workers.max(1)).max(1)
+    } else {
+        ((block_pairs * 2).saturating_mul(domain) / n_amps.max(1)).max(1)
+    }
+}
+
+/// The index-domain size of one kernel over `n_amps` amplitudes: pairs
+/// for 1q kernels, quads for 2q kernels, 0 for no-ops. Degenerate 2q
+/// kernels (both operands the same qubit) reproduce the scalar oracle's
+/// behavior: `Cx(q,q)`/`Swap(q,q)` touch nothing, `CPhase(q,q,_)`
+/// degenerates to a 1q phase.
+pub(crate) fn kernel_domain(kernel: &Kernel, n_amps: usize) -> usize {
+    match kernel {
+        Kernel::Noop | Kernel::Reset(_) => 0,
+        Kernel::X(_)
+        | Kernel::Mat1(..)
+        | Kernel::Phase1(..)
+        | Kernel::PhasePair1(..)
+        | Kernel::Fused1(..) => n_amps / 2,
+        Kernel::Cx(a, b) | Kernel::Swap(a, b) if a == b => 0,
+        Kernel::CPhase(a, b, _) if a == b => n_amps / 2,
+        Kernel::Cx(..) | Kernel::Swap(..) | Kernel::CPhase(..) | Kernel::Fused2(..) => n_amps / 4,
+    }
+}
+
+/// Apply `kernel` to the domain elements in `range` through shared
+/// cells, dispatching each kernel kind onto the unified 1q-pair or
+/// 2q-quad range loops (wide or scalar).
+///
+/// # Safety
+///
+/// No other thread may concurrently access any amplitude belonging to a
+/// domain element in `range` (callers guarantee this by partitioning the
+/// domain disjointly and barriering between kernels).
+pub(crate) unsafe fn apply_kernel_cells(
+    cells: &[ShareCell<Complex>],
+    kernel: &Kernel,
+    range: Range<usize>,
+    wide: bool,
+) {
+    match kernel {
+        Kernel::Noop | Kernel::Reset(_) => {}
+        Kernel::X(q) => unsafe { apply1_range(cells, *q, &[Op1::X], range, wide) },
+        Kernel::Mat1(q, m) => unsafe { apply1_range(cells, *q, &[Op1::Mat(*m)], range, wide) },
+        Kernel::Phase1(q, p) => unsafe { apply1_range(cells, *q, &[Op1::Phase(*p)], range, wide) },
+        Kernel::PhasePair1(q, c0, c1) => unsafe {
+            apply1_range(cells, *q, &[Op1::PhasePair(*c0, *c1)], range, wide)
+        },
+        Kernel::Fused1(q, ops) => unsafe { apply1_range(cells, *q, ops, range, wide) },
+        Kernel::Cx(a, b) | Kernel::Swap(a, b) if a == b => {}
+        Kernel::CPhase(a, b, p) if a == b => unsafe {
+            // idx & (bit|bit) == bit: exactly the 1q phase on `a`.
+            apply1_range(cells, *a, &[Op1::Phase(*p)], range, wide)
+        },
+        Kernel::Cx(c, t) => {
+            let (lo, hi) = (*c.min(t), *c.max(t));
+            let op = if c < t {
+                Op2::CxControlLow
+            } else {
+                Op2::CxControlHigh
+            };
+            unsafe { apply2_range(cells, lo, hi, &[op], range, wide) }
+        }
+        Kernel::Swap(a, b) => {
+            let (lo, hi) = (*a.min(b), *a.max(b));
+            unsafe { apply2_range(cells, lo, hi, &[Op2::SwapQ], range, wide) }
+        }
+        Kernel::CPhase(a, b, p) => {
+            let (lo, hi) = (*a.min(b), *a.max(b));
+            unsafe { apply2_range(cells, lo, hi, &[Op2::Phase11(*p)], range, wide) }
+        }
+        Kernel::Fused2(lo, hi, ops) => unsafe { apply2_range(cells, *lo, *hi, ops, range, wide) },
+    }
+}
+
+/// A shared amplitude cell: `UnsafeCell` in `#[repr(transparent)]`
+/// clothing, so a `&mut [T]` can be reborrowed as `&[ShareCell<T>]` and
+/// handed to a worker team. This is the repo's only `unsafe` surface;
+/// soundness rests on the disjoint-block partition documented at the
+/// module level (and DESIGN.md §4g) — never on locks or atomics.
+#[repr(transparent)]
+pub(crate) struct ShareCell<T>(UnsafeCell<T>);
+
+// SAFETY: a ShareCell is shared across the scoped worker team, which
+// accesses disjoint cells per phase and orders phases with a Barrier;
+// T itself crosses threads by value, so `T: Send` suffices.
+unsafe impl<T: Send> Sync for ShareCell<T> {}
+
+impl<T: Copy> ShareCell<T> {
+    /// View an exclusive slice as shared cells. The returned slice
+    /// borrows `slice`, so the exclusive borrow stays frozen (no safe
+    /// access can alias it) for the cells' lifetime.
+    pub(crate) fn slice_from_mut(slice: &mut [T]) -> &[ShareCell<T>] {
+        let ptr: *mut [T] = slice;
+        // SAFETY: ShareCell<T> is repr(transparent) over UnsafeCell<T>,
+        // which is repr(transparent) over T — identical layout; lifetime
+        // and length carried over from the input borrow.
+        unsafe { &*(ptr as *const [ShareCell<T>]) }
+    }
+
+    /// Read the cell.
+    ///
+    /// # Safety
+    ///
+    /// No concurrent write to this cell may exist.
+    #[inline]
+    pub(crate) unsafe fn get(&self) -> T {
+        unsafe { *self.0.get() }
+    }
+
+    /// Write the cell.
+    ///
+    /// # Safety
+    ///
+    /// No concurrent access to this cell may exist.
+    #[inline]
+    pub(crate) unsafe fn set(&self, value: T) {
+        unsafe { *self.0.get() = value }
+    }
+}
+
+/// Read cell `i` without a bounds check — the hot-loop accessor. Bounds
+/// checks inside the lane loops block LLVM's vectorizer, and every index
+/// here is derived from a domain partition that is in range by
+/// construction.
+///
+/// # Safety
+///
+/// `i < cells.len()` and no concurrent write to cell `i`.
+#[inline(always)]
+unsafe fn cell_get<T: Copy>(cells: &[ShareCell<T>], i: usize) -> T {
+    debug_assert!(i < cells.len());
+    // SAFETY: forwarded from caller.
+    unsafe { cells.get_unchecked(i).get() }
+}
+
+/// Write cell `i` without a bounds check (see [`cell_get`]).
+///
+/// # Safety
+///
+/// `i < cells.len()` and no concurrent access to cell `i`.
+#[inline(always)]
+unsafe fn cell_set<T: Copy>(cells: &[ShareCell<T>], i: usize, value: T) {
+    debug_assert!(i < cells.len());
+    // SAFETY: forwarded from caller.
+    unsafe { cells.get_unchecked(i).set(value) }
+}
+
+/// Multiply every amplitude in the contiguous run `start..start + len`
+/// by `ph` — the core of the sparse phase fast paths. Each element is
+/// the exact [`Complex::mul`] expression of the generic per-pair path,
+/// evaluated independently, so scalar and wide chunking agree bit for
+/// bit.
+///
+/// # Safety
+///
+/// Exclusive access to the run; in bounds.
+#[inline(always)]
+unsafe fn phase_run(cells: &[ShareCell<Complex>], start: usize, len: usize, ph: Complex) {
+    for i in start..start + len {
+        // SAFETY: forwarded from caller.
+        unsafe {
+            let a = cell_get(cells, i);
+            cell_set(
+                cells,
+                i,
+                Complex::new(a.re * ph.re - a.im * ph.im, a.re * ph.im + a.im * ph.re),
+            );
+        }
+    }
+}
+
+/// Swap the contiguous runs `a..a + len` and `b..b + len` — pure data
+/// movement (no float ops), shared by the sparse Cx/Swap fast paths.
+///
+/// # Safety
+///
+/// Exclusive access to both runs; disjoint; in bounds.
+#[inline(always)]
+unsafe fn swap_runs(cells: &[ShareCell<Complex>], a: usize, b: usize, len: usize) {
+    for k in 0..len {
+        // SAFETY: forwarded from caller.
+        unsafe {
+            let va = cell_get(cells, a + k);
+            cell_set(cells, a + k, cell_get(cells, b + k));
+            cell_set(cells, b + k, va);
+        }
+    }
+}
+
+/// Map pair index `p` to the lower amplitude index of its pair by
+/// inserting a 0 at the target's bit position: the upper index is
+/// `expand1(p, bit) | bit`. Injective from `0..n/2` onto the bit-clear
+/// indices, ascending in `p`.
+#[inline]
+pub(crate) fn expand1(p: usize, bit: usize) -> usize {
+    let low = p & (bit - 1);
+    ((p - low) << 1) | low
+}
+
+/// Map quad index `p` to the `x00` amplitude index of its 4-block on the
+/// sorted qubit pair `(lobit, hibit)`: zeros inserted at `lo`, then `hi`.
+#[inline]
+pub(crate) fn quad_base(p: usize, lobit: usize, hibit: usize) -> usize {
+    expand1(expand1(p, lobit), hibit)
+}
+
+/// Scalar: apply an op run to pair `p` of qubit mask `bit`.
+///
+/// # Safety
+///
+/// Exclusive access to pair `p`'s two amplitudes (see
+/// [`apply_kernel_cells`]).
+#[inline(always)]
+unsafe fn apply1_pair(cells: &[ShareCell<Complex>], bit: usize, p: usize, ops: &[Op1]) {
+    let i0 = expand1(p, bit);
+    let i1 = i0 | bit;
+    // SAFETY: caller owns this pair.
+    unsafe {
+        let mut a0 = cell_get(cells, i0);
+        let mut a1 = cell_get(cells, i1);
+        for op in ops {
+            op1_apply(op, &mut a0, &mut a1);
+        }
+        cell_set(cells, i0, a0);
+        cell_set(cells, i1, a1);
+    }
+}
+
+/// Scalar: apply an op run to quad `p` of the sorted masks
+/// `(lobit, hibit)`.
+///
+/// # Safety
+///
+/// Exclusive access to quad `p`'s four amplitudes.
+#[inline(always)]
+unsafe fn apply2_quad(
+    cells: &[ShareCell<Complex>],
+    lobit: usize,
+    hibit: usize,
+    p: usize,
+    ops: &[Op2],
+) {
+    let base = quad_base(p, lobit, hibit);
+    let (i01, i10, i11) = (base | lobit, base | hibit, base | lobit | hibit);
+    // SAFETY: caller owns this quad.
+    unsafe {
+        let mut x00 = cell_get(cells, base);
+        let mut x01 = cell_get(cells, i01);
+        let mut x10 = cell_get(cells, i10);
+        let mut x11 = cell_get(cells, i11);
+        for op in ops {
+            op2_apply(op, &mut x00, &mut x01, &mut x10, &mut x11);
+        }
+        cell_set(cells, base, x00);
+        cell_set(cells, i01, x01);
+        cell_set(cells, i10, x10);
+        cell_set(cells, i11, x11);
+    }
+}
+
+/// Define an ISA-dispatched pair of clones for a hot run loop: `$name`
+/// probes the CPU (a cached atomic load) and jumps to `$avx2`, a copy of
+/// `$imp` compiled with AVX2 enabled, when the host offers it.
+///
+/// The build targets baseline x86-64 (SSE2), so without this the
+/// autovectorizer can never emit 256-bit lanes no matter how the loops
+/// are shaped. `#[target_feature]` recompiles just these loops — plus
+/// everything `#[inline(always)]`-ed into them ([`phase_run`],
+/// [`op1_apply`], [`op2_apply`], the cell accessors) — for the wider
+/// ISA. Packed AVX2 adds/muls are the same IEEE-754 operations as their
+/// scalar forms and rustc never licenses FMA contraction, so both
+/// clones produce bit-identical amplitudes: the dispatch is a pure
+/// wall-clock choice, which is what keeps `SimdPolicy::Scalar` (which
+/// never enters these wrappers) a meaningful oracle.
+macro_rules! isa_dispatch {
+    ($name:ident / $avx2:ident => $imp:ident ( $($arg:ident : $ty:ty),* $(,)? )) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2")]
+        unsafe fn $avx2($($arg: $ty),*) {
+            // SAFETY: forwarded from caller (AVX2 presence checked there).
+            unsafe { $imp($($arg),*) }
+        }
+
+        /// ISA-dispatched wrapper; see [`isa_dispatch`]. The safety
+        /// contract is the wrapped `_impl` loop's.
+        unsafe fn $name($($arg: $ty),*) {
+            #[cfg(target_arch = "x86_64")]
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: feature just detected; rest forwarded.
+                return unsafe { $avx2($($arg),*) };
+            }
+            // SAFETY: forwarded from caller.
+            unsafe { $imp($($arg),*) }
+        }
+    };
+}
+
+isa_dispatch!(apply1_phase / apply1_phase_avx2 => apply1_phase_impl(
+    cells: &[ShareCell<Complex>], bit: usize, ph: Complex, range: Range<usize>));
+isa_dispatch!(apply1_phasepair / apply1_phasepair_avx2 => apply1_phasepair_impl(
+    cells: &[ShareCell<Complex>], bit: usize, c0: Complex, c1: Complex, range: Range<usize>));
+isa_dispatch!(apply1_wide / apply1_wide_avx2 => apply1_wide_impl(
+    cells: &[ShareCell<Complex>], bit: usize, ops: &[Op1], range: Range<usize>));
+isa_dispatch!(apply2_phase11 / apply2_phase11_avx2 => apply2_phase11_impl(
+    cells: &[ShareCell<Complex>], lobit: usize, hibit: usize, ph: Complex, range: Range<usize>));
+isa_dispatch!(apply2_swap / apply2_swap_avx2 => apply2_swap_impl(
+    cells: &[ShareCell<Complex>], lobit: usize, hibit: usize, off_a: usize, off_b: usize,
+    range: Range<usize>));
+isa_dispatch!(apply2_wide / apply2_wide_avx2 => apply2_wide_impl(
+    cells: &[ShareCell<Complex>], lobit: usize, hibit: usize, ops: &[Op2], range: Range<usize>));
+
+/// Sparse `[Op1::Phase]` loop: only the bit-set side of each pair is
+/// touched — stream the contiguous upper runs (1 load + 1 store per
+/// amplitude) instead of round-tripping whole pairs.
+///
+/// # Safety
+///
+/// Exclusive access to all pairs in `range`; pairs in bounds.
+#[inline(always)]
+unsafe fn apply1_phase_impl(
+    cells: &[ShareCell<Complex>],
+    bit: usize,
+    ph: Complex,
+    range: Range<usize>,
+) {
+    let mut p = range.start;
+    let end = range.end;
+    while p < end {
+        let run_end = end.min(p - (p & (bit - 1)) + bit);
+        // SAFETY: forwarded from caller; the run stays inside the pairs
+        // `p..run_end`.
+        unsafe { phase_run(cells, expand1(p, bit) | bit, run_end - p, ph) };
+        p = run_end;
+    }
+}
+
+/// Sparse `[Op1::PhasePair]` loop: a lone Rz is two independent
+/// diagonal streams, one per pair side.
+///
+/// # Safety
+///
+/// Exclusive access to all pairs in `range`; pairs in bounds.
+#[inline(always)]
+unsafe fn apply1_phasepair_impl(
+    cells: &[ShareCell<Complex>],
+    bit: usize,
+    c0: Complex,
+    c1: Complex,
+    range: Range<usize>,
+) {
+    let mut p = range.start;
+    let end = range.end;
+    while p < end {
+        let run_end = end.min(p - (p & (bit - 1)) + bit);
+        let i0 = expand1(p, bit);
+        // SAFETY: forwarded from caller; runs stay inside the pairs.
+        unsafe {
+            phase_run(cells, i0, run_end - p, c0);
+            phase_run(cells, i0 | bit, run_end - p, c1);
+        }
+        p = run_end;
+    }
+}
+
+/// Generic wide 1q loop. Within a run of `bit` consecutive pair
+/// indices, `expand1` is an affine shift — both sides of the pair are
+/// contiguous amplitude runs, processed in [`LANES`]-wide register
+/// blocks. Each element goes through the same [`op1_apply`] calls as
+/// the scalar path (bit-identical); the chunking hoists op dispatch out
+/// of the element loop and gives LLVM fixed-size lanes to pack.
+///
+/// # Safety
+///
+/// Exclusive access to all pairs in `range`; pairs in bounds;
+/// `bit >= LANES`.
+#[inline(always)]
+unsafe fn apply1_wide_impl(
+    cells: &[ShareCell<Complex>],
+    bit: usize,
+    ops: &[Op1],
+    range: Range<usize>,
+) {
+    let mut p = range.start;
+    let end = range.end;
+    while p < end {
+        let run_end = end.min(p - (p & (bit - 1)) + bit);
+        while p + LANES <= run_end {
+            let i0 = expand1(p, bit);
+            let i1 = i0 | bit;
+            // SAFETY: forwarded from caller; lanes stay inside the run.
+            unsafe {
+                let mut a0 = [Complex::ZERO; LANES];
+                let mut a1 = [Complex::ZERO; LANES];
+                for l in 0..LANES {
+                    a0[l] = cell_get(cells, i0 + l);
+                    a1[l] = cell_get(cells, i1 + l);
+                }
+                for op in ops {
+                    for l in 0..LANES {
+                        op1_apply(op, &mut a0[l], &mut a1[l]);
+                    }
+                }
+                for l in 0..LANES {
+                    cell_set(cells, i0 + l, a0[l]);
+                    cell_set(cells, i1 + l, a1[l]);
+                }
+            }
+            p += LANES;
+        }
+        while p < run_end {
+            // SAFETY: forwarded from caller.
+            unsafe { apply1_pair(cells, bit, p, ops) };
+            p += 1;
+        }
+    }
+}
+
+/// Sparse `[Op2::Phase11]` loop: a lone controlled-phase touches only
+/// the `x11` amplitude of each quad. Within a run of `lobit`
+/// consecutive quad indices both `expand1` insertions are affine
+/// shifts, so each `base | offset` run is contiguous.
+///
+/// # Safety
+///
+/// Exclusive access to all quads in `range`; quads in bounds.
+#[inline(always)]
+unsafe fn apply2_phase11_impl(
+    cells: &[ShareCell<Complex>],
+    lobit: usize,
+    hibit: usize,
+    ph: Complex,
+    range: Range<usize>,
+) {
+    let mut p = range.start;
+    let end = range.end;
+    while p < end {
+        let run_end = end.min(p - (p & (lobit - 1)) + lobit);
+        let i11 = quad_base(p, lobit, hibit) | lobit | hibit;
+        // SAFETY: forwarded from caller; the run stays inside the quads
+        // `p..run_end`.
+        unsafe { phase_run(cells, i11, run_end - p, ph) };
+        p = run_end;
+    }
+}
+
+/// Sparse lone Cx/Swap loop: the permutation moves exactly two of the
+/// four quad amplitudes (`base | off_a` <-> `base | off_b`) — pure bit
+/// movement streamed over the contiguous runs.
+///
+/// # Safety
+///
+/// Exclusive access to all quads in `range`; quads in bounds;
+/// `off_a != off_b`, both quad offsets of `(lobit, hibit)`.
+#[inline(always)]
+unsafe fn apply2_swap_impl(
+    cells: &[ShareCell<Complex>],
+    lobit: usize,
+    hibit: usize,
+    off_a: usize,
+    off_b: usize,
+    range: Range<usize>,
+) {
+    let mut p = range.start;
+    let end = range.end;
+    while p < end {
+        let run_end = end.min(p - (p & (lobit - 1)) + lobit);
+        let base = quad_base(p, lobit, hibit);
+        // SAFETY: forwarded from caller; disjoint offset runs inside
+        // the quads `p..run_end`.
+        unsafe { swap_runs(cells, base | off_a, base | off_b, run_end - p) };
+        p = run_end;
+    }
+}
+
+/// Generic wide 2q loop: quad indices run contiguously for `lobit`
+/// consecutive `p` (the low insertion shifts affinely and the varying
+/// bits never reach `hi`); process [`LANES`]-wide register blocks of
+/// the four contiguous runs, each element through the same
+/// [`op2_apply`] as the scalar path.
+///
+/// # Safety
+///
+/// Exclusive access to all quads in `range`; quads in bounds;
+/// `lobit >= LANES`.
+#[inline(always)]
+unsafe fn apply2_wide_impl(
+    cells: &[ShareCell<Complex>],
+    lobit: usize,
+    hibit: usize,
+    ops: &[Op2],
+    range: Range<usize>,
+) {
+    let mut p = range.start;
+    let end = range.end;
+    while p < end {
+        let run_end = end.min(p - (p & (lobit - 1)) + lobit);
+        while p + LANES <= run_end {
+            let base = quad_base(p, lobit, hibit);
+            let (i01, i10, i11) = (base | lobit, base | hibit, base | lobit | hibit);
+            // SAFETY: forwarded from caller; lanes stay inside the run.
+            unsafe {
+                let mut x00 = [Complex::ZERO; LANES];
+                let mut x01 = [Complex::ZERO; LANES];
+                let mut x10 = [Complex::ZERO; LANES];
+                let mut x11 = [Complex::ZERO; LANES];
+                for l in 0..LANES {
+                    x00[l] = cell_get(cells, base + l);
+                    x01[l] = cell_get(cells, i01 + l);
+                    x10[l] = cell_get(cells, i10 + l);
+                    x11[l] = cell_get(cells, i11 + l);
+                }
+                for op in ops {
+                    for l in 0..LANES {
+                        op2_apply(op, &mut x00[l], &mut x01[l], &mut x10[l], &mut x11[l]);
+                    }
+                }
+                for l in 0..LANES {
+                    cell_set(cells, base + l, x00[l]);
+                    cell_set(cells, i01 + l, x01[l]);
+                    cell_set(cells, i10 + l, x10[l]);
+                    cell_set(cells, i11 + l, x11[l]);
+                }
+            }
+            p += LANES;
+        }
+        while p < run_end {
+            // SAFETY: forwarded from caller.
+            unsafe { apply2_quad(cells, lobit, hibit, p, ops) };
+            p += 1;
+        }
+    }
+}
+
+/// Apply a 1q op run over pair range `range` of qubit `q`: sparse fast
+/// paths for lone Phase / PhasePair kernels, the wide chunk loop when
+/// `wide` and the stride allows (`bit >= LANES`), the per-pair scalar
+/// loop otherwise. Sparse paths run the same element expressions in
+/// every mode; in wide mode they go through the ISA dispatcher (same
+/// results, wider registers), while `SimdPolicy::Scalar` keeps the
+/// baseline-build loop as the oracle.
+///
+/// # Safety
+///
+/// Exclusive access to all pairs in `range`.
+unsafe fn apply1_range(
+    cells: &[ShareCell<Complex>],
+    q: usize,
+    ops: &[Op1],
+    range: Range<usize>,
+    wide: bool,
+) {
+    let bit = 1usize << q;
+    if let [Op1::Phase(ph)] = ops {
+        // SAFETY: forwarded from caller.
+        unsafe {
+            if wide {
+                apply1_phase(cells, bit, *ph, range);
+            } else {
+                apply1_phase_impl(cells, bit, *ph, range);
+            }
+        }
+        return;
+    }
+    if let [Op1::PhasePair(c0, c1)] = ops {
+        // SAFETY: forwarded from caller.
+        unsafe {
+            if wide {
+                apply1_phasepair(cells, bit, *c0, *c1, range);
+            } else {
+                apply1_phasepair_impl(cells, bit, *c0, *c1, range);
+            }
+        }
+        return;
+    }
+    if wide && bit >= LANES {
+        // SAFETY: forwarded from caller.
+        unsafe { apply1_wide(cells, bit, ops, range) };
+        return;
+    }
+    for p in range {
+        // SAFETY: forwarded from caller.
+        unsafe { apply1_pair(cells, bit, p, ops) };
+    }
+}
+
+/// Apply a 2q op run over quad range `range` of the sorted qubit pair
+/// `(lo, hi)`: sparse fast paths for lone CPhase / Cx / Swap kernels,
+/// the wide chunk loop when `wide` and the low stride allows, the
+/// per-quad scalar loop otherwise. Mode handling mirrors
+/// [`apply1_range`].
+///
+/// # Safety
+///
+/// Exclusive access to all quads in `range`.
+unsafe fn apply2_range(
+    cells: &[ShareCell<Complex>],
+    lo: usize,
+    hi: usize,
+    ops: &[Op2],
+    range: Range<usize>,
+    wide: bool,
+) {
+    debug_assert!(lo < hi, "2q kernel pair must be sorted");
+    let lobit = 1usize << lo;
+    let hibit = 1usize << hi;
+    if let [op] = ops {
+        if let Op2::Phase11(ph) = op {
+            // SAFETY: forwarded from caller.
+            unsafe {
+                if wide {
+                    apply2_phase11(cells, lobit, hibit, *ph, range);
+                } else {
+                    apply2_phase11_impl(cells, lobit, hibit, *ph, range);
+                }
+            }
+            return;
+        }
+        let offsets = match op {
+            Op2::CxControlLow => Some((lobit, lobit | hibit)),
+            Op2::CxControlHigh => Some((hibit, lobit | hibit)),
+            Op2::SwapQ => Some((lobit, hibit)),
+            Op2::Phase11(_) | Op2::Low(_) | Op2::High(_) => None,
+        };
+        if let Some((off_a, off_b)) = offsets {
+            // SAFETY: forwarded from caller.
+            unsafe {
+                if wide {
+                    apply2_swap(cells, lobit, hibit, off_a, off_b, range);
+                } else {
+                    apply2_swap_impl(cells, lobit, hibit, off_a, off_b, range);
+                }
+            }
+            return;
+        }
+    }
+    if wide && lobit >= LANES {
+        // SAFETY: forwarded from caller.
+        unsafe { apply2_wide(cells, lobit, hibit, ops, range) };
+        return;
+    }
+    for p in range {
+        // SAFETY: forwarded from caller.
+        unsafe { apply2_quad(cells, lobit, hibit, p, ops) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statevector::matrices;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_state(num_qubits: usize, seed: u64) -> Statevector {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let amps: Vec<Complex> = (0..1usize << num_qubits)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        Statevector::restore_in(num_qubits, Vec::new(), &amps).unwrap()
+    }
+
+    /// One kernel of every kind on every qubit position — low qubits
+    /// exercise the strided path, high qubits the stride-1 wide path,
+    /// and range boundaries exercise chunk remainders.
+    fn kernel_menu(n: usize) -> Vec<Kernel> {
+        let ph = Complex::from_polar(1.0, 0.37);
+        let mut kernels = Vec::new();
+        for q in 0..n {
+            kernels.push(Kernel::X(q));
+            kernels.push(Kernel::Mat1(q, matrices::h()));
+            kernels.push(Kernel::Phase1(q, ph));
+            kernels.push(Kernel::PhasePair1(
+                q,
+                Complex::from_polar(1.0, -0.21),
+                Complex::from_polar(1.0, 0.21),
+            ));
+            kernels.push(Kernel::Fused1(
+                q,
+                vec![
+                    Op1::Mat(matrices::sx()),
+                    Op1::Phase(ph),
+                    Op1::X,
+                    Op1::PhasePair(ph, ph.conj()),
+                ],
+            ));
+        }
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                kernels.push(Kernel::Cx(a, b));
+                kernels.push(Kernel::CPhase(a, b, ph));
+                if a < b {
+                    kernels.push(Kernel::Swap(a, b));
+                    kernels.push(Kernel::Fused2(
+                        a,
+                        b,
+                        vec![
+                            Op2::High(Op1::Mat(matrices::h())),
+                            Op2::CxControlLow,
+                            Op2::Low(Op1::PhasePair(ph.conj(), ph)),
+                            Op2::SwapQ,
+                            Op2::CxControlHigh,
+                            Op2::Phase11(ph),
+                        ],
+                    ));
+                }
+            }
+        }
+        kernels
+    }
+
+    /// Apply through the scalar oracle (`Statevector::apply_kernel`).
+    fn oracle_apply(state: &mut Statevector, kernels: &[Kernel]) {
+        for k in kernels {
+            state.apply_kernel(k).unwrap();
+        }
+    }
+
+    #[test]
+    fn expand1_enumerates_bit_clear_indices() {
+        for q in 0..4usize {
+            let bit = 1 << q;
+            let indices: Vec<usize> = (0..8).map(|p| expand1(p, bit)).collect();
+            let expected: Vec<usize> = (0..16).filter(|i| i & bit == 0).collect();
+            assert_eq!(indices, expected, "qubit {q}");
+        }
+    }
+
+    #[test]
+    fn quad_base_enumerates_both_bits_clear() {
+        for (lo, hi) in [(0usize, 1usize), (0, 3), (1, 2), (2, 3)] {
+            let (lobit, hibit) = (1 << lo, 1 << hi);
+            let bases: Vec<usize> = (0..4).map(|p| quad_base(p, lobit, hibit)).collect();
+            let expected: Vec<usize> = (0..16).filter(|i| i & (lobit | hibit) == 0).collect();
+            assert_eq!(bases, expected, "pair ({lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn wide_matches_scalar_for_every_kernel_and_position() {
+        // Per-kernel differential: scalar oracle vs forced-wide, one
+        // kernel at a time, on a 6-qubit random state. Bit-exact.
+        for (i, kernel) in kernel_menu(6).iter().enumerate() {
+            let mut oracle = random_state(6, 1000 + i as u64);
+            let mut wide = oracle.clone();
+            oracle.apply_kernel(kernel).unwrap();
+            SvExec::scalar()
+                .with_simd(SimdPolicy::Wide)
+                .run_stream(&mut wide, std::slice::from_ref(kernel))
+                .unwrap();
+            assert_eq!(oracle, wide, "kernel #{i}: {kernel:?}");
+        }
+    }
+
+    #[test]
+    fn scalar_cells_match_oracle_for_every_kernel() {
+        for (i, kernel) in kernel_menu(5).iter().enumerate() {
+            let mut oracle = random_state(5, 2000 + i as u64);
+            let mut cells = oracle.clone();
+            oracle.apply_kernel(kernel).unwrap();
+            SvExec::scalar()
+                .run_stream(&mut cells, std::slice::from_ref(kernel))
+                .unwrap();
+            assert_eq!(oracle, cells, "kernel #{i}: {kernel:?}");
+        }
+    }
+
+    #[test]
+    fn blocked_teams_match_oracle_across_threads_blocks_and_lanes() {
+        // The full menu as one stream: every (threads, block, simd)
+        // combination must reproduce the oracle bit-exactly. Explicit
+        // thread counts force real multi-worker teams even on 1 core;
+        // block sizes cover 1 pair, odd sizes, and beyond-full-state.
+        let kernels = kernel_menu(6);
+        let mut oracle = random_state(6, 7);
+        oracle_apply(&mut oracle, &kernels);
+        for threads in [1usize, 2, 3, 5] {
+            for block_pairs in [0usize, 1, 3, 7, 16, 1 << 8] {
+                for simd in [SimdPolicy::Scalar, SimdPolicy::Wide, SimdPolicy::Auto] {
+                    let exec = SvExec {
+                        simd,
+                        threads,
+                        block_pairs,
+                    };
+                    let mut state = random_state(6, 7);
+                    exec.run_stream(&mut state, &kernels).unwrap();
+                    assert_eq!(
+                        oracle, state,
+                        "threads={threads} block_pairs={block_pairs} simd={simd:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_two_qubit_kernels_match_oracle() {
+        // Same-operand 2q kernels keep the scalar per-gate semantics:
+        // Cx/Swap are no-ops, CPhase acts as a 1q phase.
+        let ph = Complex::from_polar(1.0, 0.9);
+        for kernel in [
+            Kernel::Cx(2, 2),
+            Kernel::Swap(1, 1),
+            Kernel::CPhase(3, 3, ph),
+        ] {
+            let mut oracle = random_state(4, 11);
+            let mut blocked = oracle.clone();
+            oracle.apply_kernel(&kernel).unwrap();
+            SvExec::auto()
+                .with_threads(3)
+                .with_block_pairs(1)
+                .run_stream(&mut blocked, std::slice::from_ref(&kernel))
+                .unwrap();
+            assert_eq!(oracle, blocked, "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn fused_probability_pass_is_bit_identical() {
+        let kernels = kernel_menu(5);
+        let mut oracle = random_state(5, 3);
+        oracle_apply(&mut oracle, &kernels);
+        let mut expected = Vec::new();
+        oracle.probabilities_into(&mut expected);
+        for threads in [1usize, 2, 4] {
+            let mut state = random_state(5, 3);
+            let mut probs = vec![0.5; 7]; // stale, wrong-sized
+            SvExec::auto()
+                .with_threads(threads)
+                .with_block_pairs(3)
+                .run_stream_with_probs(&mut state, &kernels, &mut probs)
+                .unwrap();
+            assert_eq!(state, oracle, "threads={threads}");
+            assert_eq!(probs, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn standalone_probabilities_match_across_teams() {
+        let state = random_state(6, 21);
+        let mut expected = Vec::new();
+        state.probabilities_into(&mut expected);
+        for threads in [1usize, 2, 5] {
+            let mut probs = Vec::new();
+            SvExec::auto()
+                .with_threads(threads)
+                .probabilities_into(&state, &mut probs);
+            assert_eq!(probs, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn probability_one_from_probs_matches_statevector() {
+        let state = random_state(5, 40);
+        let mut probs = Vec::new();
+        state.probabilities_into(&mut probs);
+        for q in 0..5 {
+            // Bit-exact: same terms, same ascending-index summation order.
+            assert!(probability_one_from_probs(&probs, q) == state.probability_one(q));
+        }
+    }
+
+    #[test]
+    fn reset_kernels_are_rejected() {
+        let mut state = random_state(3, 1);
+        let kernels = vec![Kernel::X(0), Kernel::Reset(1)];
+        assert!(matches!(
+            SvExec::auto().run_stream(&mut state, &kernels),
+            Err(SimError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn auto_threads_bypass_team_for_small_states() {
+        // 6 qubits × a few kernels is far below MIN_WORK_PER_THREAD:
+        // auto must choose 1 worker. Explicit counts are honored.
+        let exec = SvExec::auto();
+        assert_eq!(exec.workers_for(10, 1 << 6), 1);
+        assert_eq!(SvExec::auto().with_threads(3).workers_for(1, 1 << 6), 3);
+        // Explicit counts still cap at the pair count.
+        assert_eq!(SvExec::auto().with_threads(64).workers_for(1, 8), 4);
+    }
+
+    #[test]
+    fn block_for_scales_with_domain() {
+        // 8 pairs of granularity on a 64-amp state: 8 for pairs (32),
+        // 4 for quads (16), 16 for amplitudes (64); never 0.
+        assert_eq!(block_for(8, 32, 64, 3), 8);
+        assert_eq!(block_for(8, 16, 64, 3), 4);
+        assert_eq!(block_for(8, 64, 64, 3), 16);
+        assert_eq!(block_for(1, 16, 64, 3), 1);
+        // Auto: one contiguous chunk per worker.
+        assert_eq!(block_for(0, 32, 64, 4), 8);
+        assert_eq!(block_for(0, 30, 64, 4), 8);
+    }
+}

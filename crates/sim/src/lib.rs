@@ -27,6 +27,7 @@ mod complex;
 mod counts;
 mod equivalence;
 pub mod fusion;
+mod kernels;
 mod noisy;
 mod statevector;
 
@@ -34,6 +35,7 @@ pub use complex::Complex;
 pub use equivalence::equivalent_unitaries;
 pub use counts::Counts;
 pub use fusion::CompiledCircuit;
+pub use kernels::{norm_from_probs, probability_one_from_probs, SimdPolicy, SvExec, LANES};
 pub use noisy::{
     clbit_distribution, measurement_map, probability_of_success, qft_pos_circuit,
     used_clbit_width, NoisySimulator,

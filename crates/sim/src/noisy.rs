@@ -50,7 +50,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
 use crate::fusion::{self, Kernel};
-use crate::{CdfSampler, Complex, Counts, SimError, Statevector};
+use crate::{CdfSampler, Complex, Counts, SimError, Statevector, SvExec};
 
 /// Monte-Carlo noisy simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,10 +65,21 @@ pub struct NoisySimulator {
     /// times. Off by default (gate + readout errors only).
     pub decoherence: bool,
     /// Worker threads for the trajectory loop; `0` (default) means
-    /// [`std::thread::available_parallelism`]. Counts are bit-identical
-    /// at any thread count: every trajectory draws from its own RNG,
-    /// seeded by SplitMix64 from `(seed, trajectory index)`.
+    /// [`std::thread::available_parallelism`], and the pool is bypassed
+    /// entirely (1 worker) when the total work is too small to amortize
+    /// it (see [`qcs_exec::ExecConfig::effective_threads_for_work`]).
+    /// Counts are bit-identical at any thread count: every trajectory
+    /// draws from its own RNG, seeded by SplitMix64 from
+    /// `(seed, trajectory index)`.
     pub threads: usize,
+    /// Statevector kernel execution policy (SIMD dispatch, amplitude-block
+    /// workers, block size) for the shared ideal evolution and the
+    /// trajectory replays. With auto threads (the default), the core
+    /// budget is split with the trajectory fan-out, so a wide circuit at
+    /// `trajectories = 1` saturates the machine through amplitude blocks
+    /// while a many-trajectory run keeps the outer fan-out. Counts are
+    /// bit-identical at every setting (see [`SvExec`]).
+    pub sv: SvExec,
 }
 
 impl Default for NoisySimulator {
@@ -78,6 +89,7 @@ impl Default for NoisySimulator {
             seed: 0,
             decoherence: false,
             threads: 0,
+            sv: SvExec::auto(),
         }
     }
 }
@@ -154,8 +166,39 @@ struct ShotSampler {
 
 impl ShotSampler {
     /// Rebuild the tables for a new state, reusing both allocations.
-    fn rebuild(&mut self, state: &Statevector) {
-        state.probabilities_into(&mut self.cdf);
+    /// The probability fill dispatches across the `sv` block team
+    /// ([`SvExec::probabilities_into`]); each probability is the same
+    /// single `norm_sqr` expression as
+    /// [`Statevector::probabilities_into`], so the tables are
+    /// bit-identical at every policy.
+    fn rebuild_with(&mut self, state: &Statevector, sv: &SvExec) {
+        sv.probabilities_into(state, &mut self.cdf);
+        self.finish_tables();
+    }
+
+    /// Run the final kernel segment of a trajectory and the probability
+    /// fill in one fused dispatch ([`SvExec::run_stream_with_probs`]):
+    /// the block team that applies the last gate writes `|amp|^2`
+    /// straight into the CDF buffer while the state is hot, instead of
+    /// a separate full pass. Prefix summation and the guide table stay
+    /// sequential (their rounding is order-sensitive), so the result is
+    /// bit-identical to applying the kernels and calling
+    /// [`ShotSampler::rebuild_with`].
+    fn rebuild_fused(
+        &mut self,
+        state: &mut Statevector,
+        kernels: &[&Kernel],
+        sv: &SvExec,
+    ) -> Result<(), SimError> {
+        sv.run_stream_with_probs(state, kernels, &mut self.cdf)?;
+        self.finish_tables();
+        Ok(())
+    }
+
+    /// Turn the freshly written probabilities in `self.cdf` into prefix
+    /// sums and rebuild the guide table (sequential: same summation
+    /// order as [`CdfSampler`]).
+    fn finish_tables(&mut self) {
         let mut acc = 0.0f64;
         for p in &mut self.cdf {
             acc += *p;
@@ -215,7 +258,15 @@ impl PrefixCheckpoints {
     /// every snapshot is bit-identical to any trajectory's own ideal
     /// prefix. Returns the checkpoints and the final ideal state (which
     /// seeds the shared event-free sampling table).
-    fn build(num_qubits: usize, steps: &[TrajStep]) -> Result<(Self, Statevector), SimError> {
+    ///
+    /// Kernels stream through `sv` in stride-aligned segments, so the
+    /// build uses the SIMD/block team while every snapshot still lands
+    /// on the exact same instruction boundary as the sequential walk.
+    fn build(
+        num_qubits: usize,
+        steps: &[TrajStep],
+        sv: &SvExec,
+    ) -> Result<(Self, Statevector), SimError> {
         let state_bytes = (1usize << num_qubits) * std::mem::size_of::<Complex>();
         let max_snapshots = (CHECKPOINT_BUDGET_BYTES / state_bytes.max(1)).min(16);
         let stride = match max_snapshots {
@@ -223,12 +274,16 @@ impl PrefixCheckpoints {
             n => steps.len().div_ceil(n).max(1),
         };
         let mut state = Statevector::zero(num_qubits)?;
+        let kernels: Vec<&Kernel> = steps.iter().map(|s| &s.kernel).collect();
         let mut snapshots = Vec::new();
-        for (i, step) in steps.iter().enumerate() {
-            state.apply_kernel(&step.kernel)?;
-            if (i + 1) % stride == 0 && i + 1 < steps.len() {
+        let mut start = 0usize;
+        while start < kernels.len() {
+            let end = (start + stride).min(kernels.len());
+            sv.run_stream(&mut state, &kernels[start..end])?;
+            if end.is_multiple_of(stride) && end < kernels.len() {
                 snapshots.push(state.amps().to_vec());
             }
+            start = end;
         }
         Ok((PrefixCheckpoints { stride, snapshots }, state))
     }
@@ -268,6 +323,33 @@ impl NoisySimulator {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Set the statevector kernel execution policy (SIMD dispatch, block
+    /// workers, block size); returns the modified simulator for
+    /// chaining. The result of [`NoisySimulator::run`] does not depend
+    /// on this value.
+    #[must_use]
+    pub fn with_sv(mut self, sv: SvExec) -> Self {
+        self.sv = sv;
+        self
+    }
+
+    /// Resolve the statevector policy for this run: explicit `sv.threads`
+    /// is honored verbatim; auto (`0`) resolves to the work-aware team
+    /// size for this state width and kernel count, capped by `budget` —
+    /// the share of the machine left over by the trajectory fan-out.
+    /// Pinning the resolved count keeps every stream of the run on the
+    /// same team size.
+    fn resolve_sv(&self, num_qubits: usize, num_kernels: usize, budget: usize) -> SvExec {
+        let mut sv = self.sv;
+        if sv.threads == 0 {
+            let pairs = (1usize << num_qubits) / 2;
+            let work_per_pair = (num_kernels.max(1) as u64) * 2;
+            let auto = ExecConfig::default().effective_threads_for_work(pairs.max(1), work_per_pair);
+            sv.threads = auto.min(budget).max(1);
+        }
+        sv
     }
 
     /// Execute `circuit` for `shots` shots under the noise described by
@@ -320,17 +402,39 @@ impl NoisySimulator {
         // the state) and reset (a projective measurement draw) disable it.
         let compiled = fusion::CompiledCircuit::compile(circuit);
         let skip_ahead = !self.decoherence && !compiled.has_reset();
+
+        // Work-aware trajectory fan-out: items are trajectories, work is
+        // (kernel applications) x (amplitudes), so a small circuit at a
+        // high thread count bypasses the pool instead of paying spawn
+        // overhead that dwarfs the work (the threads/{2,4,8} regression).
+        let work_per_traj = (steps.len().max(1) as u64) << num_qubits.min(40);
+        let traj_workers = ExecConfig::with_threads(self.threads)
+            .effective_threads_for_work(trajectories, work_per_traj);
+        let exec = ExecConfig::with_threads(traj_workers);
+
+        // The statevector block teams split the core budget with the
+        // trajectory fan-out: the shared ideal build runs before the
+        // fan-out and gets the whole machine; per-trajectory replays get
+        // the remainder, so trajectories = 1 on a wide state saturates
+        // every core through amplitude blocks without oversubscribing
+        // the many-trajectory case.
+        let cores = ExecConfig::default().effective_threads(usize::MAX);
+        let sv_shared = self.resolve_sv(num_qubits, steps.len(), cores);
+        let sv = self.resolve_sv(num_qubits, steps.len(), (cores / traj_workers.max(1)).max(1));
+
         let shared = if skip_ahead {
-            let (prefix, ideal) = PrefixCheckpoints::build(num_qubits, &steps)?;
+            let (prefix, ideal) = PrefixCheckpoints::build(num_qubits, &steps, &sv_shared)?;
             let mut sampler = ShotSampler::default();
-            sampler.rebuild(&ideal);
+            sampler.rebuild_with(&ideal, &sv_shared);
             Some((prefix, sampler))
         } else {
             None
         };
 
+        // Kernel views for segment streaming through the block executor.
+        let kernels: Vec<&Kernel> = steps.iter().map(|s| &s.kernel).collect();
+
         let indices: Vec<usize> = (0..trajectories).collect();
-        let exec = ExecConfig::with_threads(self.threads);
         let partials = qcs_exec::parallel_map_with(
             &exec,
             &indices,
@@ -374,17 +478,15 @@ impl NoisySimulator {
                         None => (0, Statevector::zero_in(num_qubits, buf)?),
                     };
                     for &(i, word) in &events {
-                        while next <= i {
-                            state.apply_kernel(&steps[next].kernel)?;
-                            next += 1;
+                        if next <= i {
+                            sv.run_stream(&mut state, &kernels[next..=i])?;
+                            next = i + 1;
                         }
                         apply_pauli_word(&mut state, &steps[i].qubits, word)?;
                     }
-                    while next < steps.len() {
-                        state.apply_kernel(&steps[next].kernel)?;
-                        next += 1;
-                    }
-                    scratch.sampler.rebuild(&state);
+                    scratch
+                        .sampler
+                        .rebuild_fused(&mut state, &kernels[next..], &sv)?;
                     scratch.pool.release(state.into_amps());
                     return Ok(sample_shots(
                         &scratch.sampler,
@@ -398,8 +500,8 @@ impl NoisySimulator {
                 // Decoherence or reset: the full per-gate stochastic path.
                 let buf = scratch.pool.acquire(0, Complex::ZERO);
                 let mut state = Statevector::zero_in(num_qubits, buf)?;
-                self.apply_steps(&steps, snapshot, &mut state, &mut rng)?;
-                scratch.sampler.rebuild(&state);
+                self.apply_steps(&steps, snapshot, &mut state, &mut rng, &sv)?;
+                scratch.sampler.rebuild_with(&state, &sv);
                 scratch.pool.release(state.into_amps());
                 Ok(sample_shots(
                     &scratch.sampler,
@@ -504,15 +606,23 @@ impl NoisySimulator {
 
     /// Run one full noisy trajectory over the pre-decoded step stream —
     /// draw-for-draw identical to [`NoisySimulator::run_trajectory`].
+    /// Unitary kernels stream through the `sv` block team one at a time
+    /// (the RNG draws interleave between gates, so longer segments can't
+    /// batch); resets keep the sequential projective-measurement path.
     fn apply_steps(
         &self,
         steps: &[TrajStep],
         snapshot: &CalibrationSnapshot,
         state: &mut Statevector,
         rng: &mut StdRng,
+        sv: &SvExec,
     ) -> Result<(), SimError> {
         for step in steps {
-            state.apply_kernel_with_rng(&step.kernel, rng)?;
+            if matches!(step.kernel, Kernel::Reset(_)) {
+                state.apply_kernel_with_rng(&step.kernel, rng)?;
+            } else {
+                sv.run_stream(state, std::slice::from_ref(&step.kernel))?;
+            }
             if !step.eligible {
                 continue;
             }
@@ -828,6 +938,7 @@ pub fn qft_pos_circuit(n: usize) -> Circuit {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SimdPolicy;
     use qcs_calibration::NoiseProfile;
     use qcs_topology::families;
 
@@ -996,6 +1107,43 @@ mod tests {
     }
 
     #[test]
+    fn counts_invariant_under_sv_policy() {
+        // The SIMD/block execution policy must never change a Counts
+        // bit: sweep dispatch x team size x block granularity against
+        // the sequential-scalar setting, with and without decoherence
+        // (the latter exercises the per-gate stochastic path).
+        for decoherence in [false, true] {
+            let c = qft_pos_circuit(4);
+            let snap = noisy_snapshot(4, 2.0);
+            let mut sim = NoisySimulator {
+                trajectories: 8,
+                seed: 23,
+                ..NoisySimulator::default()
+            };
+            if decoherence {
+                sim = sim.with_decoherence();
+            }
+            let reference = sim.with_sv(SvExec::scalar()).run(&c, &snap, 2048).unwrap();
+            for simd in [SimdPolicy::Auto, SimdPolicy::Scalar, SimdPolicy::Wide] {
+                for threads in [1, 2, 3] {
+                    for block_pairs in [0, 1, 5] {
+                        let sv = SvExec::auto()
+                            .with_simd(simd)
+                            .with_threads(threads)
+                            .with_block_pairs(block_pairs);
+                        let counts = sim.with_sv(sv).run(&c, &snap, 2048).unwrap();
+                        assert_eq!(
+                            reference, counts,
+                            "diverged at {simd:?}/{threads}t/{block_pairs}bp \
+                             (decoherence={decoherence})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn optimized_path_matches_reference_bit_for_bit() {
         // The load-bearing regression: fused kernels + skip-ahead + buffer
         // pooling must not change a single observable bit vs the
@@ -1068,7 +1216,7 @@ mod tests {
         for (name, state) in [("spread", &spread), ("concentrated", &concentrated)] {
             let reference = CdfSampler::of(state);
             let mut fast = ShotSampler::default();
-            fast.rebuild(state);
+            fast.rebuild_with(state, &SvExec::auto());
             let mut rng_a = StdRng::seed_from_u64(41);
             let mut rng_b = StdRng::seed_from_u64(41);
             for draw in 0..20_000 {
@@ -1133,7 +1281,7 @@ mod tests {
             .iter()
             .map(|inst| sim.decode_step(inst, &snap))
             .collect();
-        let (prefix, ideal) = PrefixCheckpoints::build(4, &steps).unwrap();
+        let (prefix, ideal) = PrefixCheckpoints::build(4, &steps, &SvExec::auto()).unwrap();
         assert!(
             !prefix.snapshots.is_empty(),
             "a {} instruction circuit should checkpoint",

@@ -18,11 +18,22 @@ use qcs_transpiler::{
 /// `fanout` items and each item's inner trajectory loop: the fan-out owns
 /// the pool, and only the headroom beyond one worker per item goes to the
 /// simulator (`QCS_THREADS=16` over 5 machines → 3 trajectory threads
-/// each). Results never depend on either count — this is purely a
-/// scheduling choice.
-fn sim_threads_for(exec: &ExecConfig, fanout: usize) -> usize {
+/// each). The headroom is then work-gated
+/// ([`ExecConfig::effective_threads_for_work`]): a small benchmark's
+/// trajectories are cheaper than the pool's spawn overhead, so the inner
+/// loop runs inline instead of fanning out (the `threads/{2,4,8}`
+/// regression on the 10-qubit noisy bench). Results never depend on
+/// either count — this is purely a scheduling choice.
+fn sim_threads_for(exec: &ExecConfig, fanout: usize, benchmark_qubits: usize, shots: u32) -> usize {
     let total = exec.effective_threads(usize::MAX);
-    (total / fanout.max(1)).max(1)
+    let budget = (total / fanout.max(1)).max(1);
+    // Per-trajectory work estimate: a QFT-like benchmark has ~n^2 gates,
+    // each touching all 2^n amplitudes.
+    let trajectories = NoisySimulator::default()
+        .trajectories
+        .clamp(1, shots.max(1) as usize);
+    let work = ((benchmark_qubits * benchmark_qubits).max(1) as u64) << benchmark_qubits.min(40);
+    ExecConfig::with_threads(budget).effective_threads_for_work(trajectories, work)
 }
 
 /// One pass-timing row of the Fig 5 experiment.
@@ -159,7 +170,7 @@ pub fn fidelity_vs_cx(
     // the machine fan-out go to each machine's trajectory loop. Rows do
     // not depend on either thread count.
     let exec = ExecConfig::from_env();
-    let sim_threads = sim_threads_for(&exec, machine_names.len());
+    let sim_threads = sim_threads_for(&exec, machine_names.len(), benchmark_qubits, shots);
     fidelity_vs_cx_with(
         &exec,
         sim_threads,
@@ -298,7 +309,7 @@ pub fn stale_compilation_cost(
     // beyond the day fan-out go to each day's trajectory loop. Rows do
     // not depend on either thread count.
     let exec = ExecConfig::from_env();
-    let sim_threads = sim_threads_for(&exec, days as usize);
+    let sim_threads = sim_threads_for(&exec, days as usize, benchmark_qubits, shots);
     let cache = TranspileCache::new();
     stale_compilation_cost_with(
         &exec,
@@ -374,6 +385,25 @@ pub fn stale_compilation_cost_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sim_threads_bypass_pool_below_work_threshold() {
+        // A 4-qubit benchmark at 2048 shots is far below the pool's
+        // amortization threshold: no matter how many workers the env
+        // grants, the trajectory loop must run inline (this was the
+        // noisy_qft10_traj16 threads/{2,4,8} bench regression).
+        for requested in [2, 4, 8, 16] {
+            let exec = ExecConfig::with_threads(requested);
+            assert_eq!(sim_threads_for(&exec, 1, 4, 2048), 1, "at {requested} workers");
+        }
+        // A wide benchmark clears the threshold: the headroom after the
+        // fan-out split is used, capped by the actual core count.
+        let cores = ExecConfig::default().effective_threads(usize::MAX);
+        let exec = ExecConfig::with_threads(16);
+        assert_eq!(sim_threads_for(&exec, 2, 22, 8192), cores.min(16 / 2));
+        // The fan-out always keeps priority over the inner loop.
+        assert_eq!(sim_threads_for(&exec, 64, 22, 8192), 1);
+    }
 
     #[test]
     fn compile_scaling_small_case() {

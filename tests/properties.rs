@@ -278,16 +278,28 @@ proptest! {
         threads in 1usize..5,
         scale_pick in 0u8..3,
         deco_pick in 0u8..2,
+        simd_pick in 0u8..3,
+        sv_threads in 1usize..4,
+        block_pick in 0u8..4,
     ) {
         // The load-bearing guarantee of the fused + skip-ahead +
         // checkpointed + pooled hot path: bit-identical Counts vs the
-        // pre-optimization per-instruction path, at every thread count.
+        // pre-optimization per-instruction path, at every thread count —
+        // and at every SIMD dispatch, statevector team size, and
+        // amplitude-block granularity (one chunk per worker, single
+        // pair, odd size, whole state in one block).
         use qcs::calibration::NoiseProfile;
-        use qcs::sim::NoisySimulator;
+        use qcs::sim::{NoisySimulator, SimdPolicy, SvExec};
         let scale = [0.05, 1.0, 6.0][scale_pick as usize];
         let snap = NoiseProfile::with_seed(seed ^ 0xA5A5)
             .scaled_errors(scale)
             .snapshot(&families::complete(5), 0);
+        let simd = [SimdPolicy::Auto, SimdPolicy::Scalar, SimdPolicy::Wide][simd_pick as usize];
+        let block_pairs = [0usize, 1, 3, 1 << 20][block_pick as usize];
+        let sv = SvExec::auto()
+            .with_simd(simd)
+            .with_threads(sv_threads)
+            .with_block_pairs(block_pairs);
         let mut sim = NoisySimulator {
             trajectories: 6,
             seed,
@@ -297,8 +309,32 @@ proptest! {
             sim = sim.with_decoherence();
         }
         let reference = sim.with_threads(1).run_reference(&circuit, &snap, 384).unwrap();
-        let optimized = sim.with_threads(threads).run(&circuit, &snap, 384).unwrap();
+        let optimized = sim.with_threads(threads).with_sv(sv).run(&circuit, &snap, 384).unwrap();
         prop_assert_eq!(reference, optimized);
+    }
+
+    #[test]
+    fn blocked_wide_kernels_match_scalar_amplitudes(
+        circuit in arb_circuit(),
+        sv_threads in 1usize..5,
+        simd_pick in 0u8..3,
+        block_pick in 0u8..4,
+    ) {
+        // The SIMD + block-parallel executor must reproduce the
+        // sequential scalar amplitudes bit-for-bit: lanes keep the exact
+        // per-pair expression trees and blocks partition disjoint index
+        // ranges, so no float op is reordered.
+        use qcs::sim::{CompiledCircuit, SimdPolicy, SvExec};
+        let simd = [SimdPolicy::Auto, SimdPolicy::Scalar, SimdPolicy::Wide][simd_pick as usize];
+        let block_pairs = [0usize, 1, 3, 1 << 20][block_pick as usize];
+        let sv = SvExec::auto()
+            .with_simd(simd)
+            .with_threads(sv_threads)
+            .with_block_pairs(block_pairs);
+        let compiled = CompiledCircuit::compile(&circuit);
+        let oracle = compiled.execute().unwrap();
+        let parallel = compiled.execute_with(&sv).unwrap();
+        prop_assert_eq!(oracle.amps(), parallel.amps());
     }
 
     #[test]
