@@ -27,6 +27,18 @@ cargo test -q -p qcs-gateway
 # with a clean audited drain and bit-identical fault-free replay.
 cargo test -q --test chaos_gateway
 
+# Streaming-equivalence gate: the O(1)-memory streaming sink must match
+# the exact in-memory fold on random traces under any drain schedule
+# (count/mean bit-identical, sketches within documented tolerance).
+cargo test -q --test properties streaming
+
+# Million-job bounded-memory gate: stream the full 10^6-job Zipf
+# population trace through the 4-shard FleetSim. The binary asserts zero
+# materialized records, a chunk-bounded arrival heap, fixed-capacity
+# reservoirs, a clean cross-shard charged-vs-executed conservation audit,
+# every job folded exactly once, and peak RSS under 512 MiB.
+cargo run --release -q -p qcs-bench --bin smoke_million_jobs
+
 # Bench-smoke gate: one short criterion run of the fusion bench; the
 # fused kernels must not be slower than per-instruction dispatch on the
 # transpiled-QFT workload (the simulator's real input shape).
@@ -52,6 +64,25 @@ awk -v w="$wide" -v f="$fused" 'BEGIN {
   printf "bench-smoke: wide %.0f ns <= fused %.0f ns (+10%% headroom)\n", w, f
 }'
 
+# Gateway bench-smoke gate: one short criterion run of the sharded-fleet
+# bench (SUBMIT -> OK over TCP loopback). Both hand-measured lines must
+# be present, and the live numbers must stay within a generous multiple
+# of the committed BENCH_gateway.json baseline — 20x absorbs shared-
+# runner jitter; a real regression (a lock held across the DES step, an
+# accidental O(records) scan per SUBMIT) shows up as 100x+.
+gw_out=$(QCS_BENCH_WARMUP_MS=200 QCS_BENCH_MEASURE_MS=1200 cargo bench -p qcs-bench --bench gateway 2>/dev/null | grep '^BENCH')
+gw_p99=$(printf '%s\n' "$gw_out" | grep '"id":"gateway_fleet/submit_p99"' | sed 's/.*"mean_ns"://; s/,.*//')
+gw_sustained=$(printf '%s\n' "$gw_out" | grep '"id":"gateway_fleet/submit_sustained"' | sed 's/.*"mean_ns"://; s/,.*//')
+base_p99=$(grep '"id": *"gateway_fleet/submit_p99"' BENCH_gateway.json | sed 's/.*"mean_ns": *//; s/,.*//')
+base_sustained=$(grep '"id": *"gateway_fleet/submit_sustained"' BENCH_gateway.json | sed 's/.*"mean_ns": *//; s/,.*//')
+awk -v p="$gw_p99" -v s="$gw_sustained" -v bp="$base_p99" -v bs="$base_sustained" 'BEGIN {
+  if (p == "" || s == "") { print "bench-smoke: missing gateway bench output"; exit 1 }
+  if (bp == "" || bs == "") { print "bench-smoke: missing BENCH_gateway.json baseline"; exit 1 }
+  if (p > bp * 20) { printf "bench-smoke: gateway p99 %.0f ns > 20x baseline %.0f ns\n", p, bp; exit 1 }
+  if (s > bs * 20) { printf "bench-smoke: gateway sustained %.0f ns/job > 20x baseline %.0f ns\n", s, bs; exit 1 }
+  printf "bench-smoke: gateway p99 %.0f ns, sustained %.0f ns/job (%.0f jobs/s) within 20x baseline\n", p, s, 1e9 / s
+}'
+
 cargo clippy --all-targets -- -D warnings
 
 # The simulation and transpilation hot paths carry the bit-reproducibility
@@ -61,6 +92,7 @@ cargo clippy --all-targets -- -D warnings
 cargo clippy -p qcs-sim --all-targets --no-deps -- -D warnings
 cargo clippy -p qcs-transpiler --all-targets --no-deps -- -D warnings
 cargo clippy -p qcs-exec --all-targets --no-deps -- -D warnings
+cargo clippy -p qcs-workload --all-targets --no-deps -- -D warnings
 
 # The serving crate must be panic-free on untrusted input: no unwrap or
 # expect in non-test gateway code (--no-deps keeps the deny flags from

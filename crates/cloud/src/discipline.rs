@@ -126,6 +126,15 @@ impl JobQueue {
         }
     }
 
+    /// Install cross-shard usage into the decayed accumulator only
+    /// (fair-share only; a no-op otherwise). See
+    /// [`FairShareQueue::inject_usage`].
+    pub fn inject_usage(&mut self, provider: u32, seconds: f64, now_s: f64) {
+        if let JobQueue::FairShare(q) = self {
+            q.inject_usage(provider, seconds, now_s);
+        }
+    }
+
     /// Remove a queued job by id (user cancellation).
     pub fn remove(&mut self, job_id: u64) -> Option<JobSpec> {
         match self {

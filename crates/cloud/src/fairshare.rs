@@ -128,6 +128,17 @@ impl FairShareQueue {
         &self.charged_raw
     }
 
+    /// Install usage charged *elsewhere* (another gateway shard) into the
+    /// decayed accumulator only. Scheduling then orders providers by their
+    /// global footprint, while `charged_raw` keeps counting only seconds
+    /// executed on *this* machine — preserving the per-machine
+    /// conservation law the auditor checks (charged_raw == sum of local
+    /// execution intervals).
+    pub fn inject_usage(&mut self, provider: u32, seconds: f64, now_s: f64) {
+        self.decay_to(now_s);
+        self.usage[provider as usize] += seconds;
+    }
+
     /// Remove a specific queued job by id (user cancellation). Returns the
     /// job if it was still queued.
     pub fn remove(&mut self, job_id: u64) -> Option<JobSpec> {

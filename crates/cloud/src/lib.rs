@@ -39,6 +39,7 @@ mod live;
 mod outage;
 pub mod reference;
 mod sim;
+mod streaming;
 pub mod trace;
 
 pub use audit::{AuditReport, AuditViolation, Auditor};
@@ -47,4 +48,5 @@ pub use fairshare::FairShareQueue;
 pub use job::{JobOutcome, JobRecord, JobSpec, QueueSample};
 pub use live::{JobStatus, LiveCloud, SubmitError};
 pub use outage::OutagePlan;
-pub use sim::{CloudConfig, Simulation, SimulationResult};
+pub use sim::{CloudConfig, RecordSink, Simulation, SimulationResult};
+pub use streaming::StreamingAggregates;

@@ -47,8 +47,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::{
-    CloudConfig, JobOutcome, JobQueue, JobRecord, JobSpec, OutagePlan, QueueSample,
-    SimulationResult,
+    CloudConfig, JobOutcome, JobQueue, JobRecord, JobSpec, OutagePlan, QueueSample, RecordSink,
+    SimulationResult, StreamingAggregates,
 };
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -223,8 +223,12 @@ pub struct LiveCloud {
     arrival_seq: u64,
     result: SimulationResult,
     auditor: Option<crate::Auditor>,
+    streaming: Option<StreamingAggregates>,
     sample_interval_s: f64,
-    next_sample_s: f64,
+    /// Index of the next sample instant: the k-th sample lands at exactly
+    /// `k as f64 * sample_interval_s`. An integer tick (not a running
+    /// float sum) so a 2-year campaign cannot drift the sample grid.
+    next_sample_tick: u64,
     /// pending-at-submit memo for jobs currently queued or executing;
     /// entries are removed at terminal events to bound memory.
     pending_memo: HashMap<u64, usize>,
@@ -265,8 +269,19 @@ impl LiveCloud {
             arrival_seq: 0,
             result: SimulationResult::default(),
             auditor: config.audit.then(crate::Auditor::new),
+            streaming: match config.record_sink {
+                RecordSink::Exact => None,
+                RecordSink::Streaming {
+                    reservoir_capacity,
+                    reservoir_seed,
+                } => Some(StreamingAggregates::new(
+                    reservoir_capacity as usize,
+                    reservoir_seed,
+                    config.num_providers,
+                )),
+            },
             sample_interval_s,
-            next_sample_s: sample_interval_s,
+            next_sample_tick: 1,
             pending_memo: HashMap::new(),
             now_s: 0.0,
             drain_cursor: 0,
@@ -337,10 +352,107 @@ impl LiveCloud {
         self.queues[machine].charged_raw()
     }
 
+    /// Per-provider lifetime charged seconds (undecayed) summed over
+    /// every machine. Zeros for disciplines without usage accounting.
+    /// This is the shard-local side of the cross-shard conservation law:
+    /// it must equal the seconds executed on this cloud's machines.
+    #[must_use]
+    pub fn charged_seconds_by_provider(&self) -> Vec<f64> {
+        let mut totals = vec![0.0; self.config.num_providers];
+        for queue in &self.queues {
+            if let Some(charged) = queue.charged_raw() {
+                for (total, c) in totals.iter_mut().zip(charged) {
+                    *total += c;
+                }
+            }
+        }
+        totals
+    }
+
+    /// Per-provider seconds executed on this cloud's machines so far:
+    /// the streaming ledger under a streaming sink, otherwise a fold over
+    /// the stored records. The exact-mode fold undercounts when
+    /// `background_record_divisor` samples records away; the streaming
+    /// ledger always covers the whole population.
+    #[must_use]
+    pub fn executed_seconds_by_provider(&self) -> Vec<f64> {
+        if let Some(aggregates) = &self.streaming {
+            return aggregates.executed_seconds_by_provider().to_vec();
+        }
+        let mut totals = vec![0.0; self.config.num_providers];
+        for record in &self.result.records {
+            if record.outcome != JobOutcome::Cancelled {
+                totals[record.provider as usize] += record.exec_time_s();
+            }
+        }
+        totals
+    }
+
     /// Jobs that reached a terminal state so far (whole population).
     #[must_use]
     pub fn total_jobs(&self) -> u64 {
         self.result.total_jobs
+    }
+
+    /// Jobs per outcome `[completed, errored, cancelled]` so far (whole
+    /// population). Unlike [`drain_new_records`](Self::drain_new_records)
+    /// this counts every terminal job regardless of record sampling or
+    /// sink mode, so it is the drain-independent way to observe progress.
+    #[must_use]
+    pub fn outcome_counts(&self) -> [u64; 3] {
+        self.result.outcome_counts
+    }
+
+    /// Submitted jobs whose submission time the clock has not reached yet
+    /// — the arrival-heap backlog. Chunked drivers use this to keep the
+    /// in-flight window (and thus memory) bounded on huge traces.
+    #[must_use]
+    pub fn pending_arrivals(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Terminal records materialized so far. Grows with the trace under
+    /// [`RecordSink::Exact`](crate::RecordSink::Exact); stays `0` under a
+    /// streaming sink — the number the bounded-memory smoke gate asserts
+    /// on.
+    #[must_use]
+    pub fn records_len(&self) -> usize {
+        self.result.records.len()
+    }
+
+    /// Live view of the streaming aggregates; `None` under the exact
+    /// record sink.
+    #[must_use]
+    pub fn streaming_aggregates(&self) -> Option<&StreamingAggregates> {
+        self.streaming.as_ref()
+    }
+
+    /// Install cross-shard fair-share usage: `seconds` of machine time
+    /// provider `provider` consumed *elsewhere* (on another gateway
+    /// shard's machines) since the last reconciliation. The seconds enter
+    /// every machine queue's **decayed** usage accumulator — each queue
+    /// orders against the provider's global footprint — but never the
+    /// undecayed `charged_raw` ledger, which stays equal to the seconds
+    /// executed *on this shard* so the auditor's per-machine conservation
+    /// law keeps holding exactly.
+    ///
+    /// No-op for disciplines without usage accounting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `provider` is outside the configured provider count.
+    pub fn inject_external_usage(&mut self, provider: u32, seconds: f64) {
+        assert!(
+            (provider as usize) < self.config.num_providers,
+            "unknown provider {provider}"
+        );
+        if seconds <= 0.0 {
+            return;
+        }
+        let now_s = self.now_s;
+        for queue in &mut self.queues {
+            queue.inject_usage(provider, seconds, now_s);
+        }
     }
 
     /// Where `job_id` currently is. `None` when status tracking is off or
@@ -508,6 +620,7 @@ impl LiveCloud {
                 .collect();
             result.audit = Some(auditor.finalize(&result, &self.outages, &charged_raw));
         }
+        result.streaming = self.streaming;
         result
     }
 
@@ -516,16 +629,27 @@ impl LiveCloud {
     /// sample instant that already passed is recorded against the state
     /// that actually held at that instant.
     fn emit_samples_until(&mut self, now_s: f64) {
-        while self.next_sample_s <= now_s {
+        if self.sample_interval_s <= 0.0 {
+            return;
+        }
+        // The k-th sample instant is derived as k * interval rather than
+        // by repeated float addition: over a 2-year, 6-hour campaign the
+        // accumulated `+=` error drifts the grid and can skip or
+        // duplicate a tick (non-representable intervals drift fastest).
+        loop {
+            let sample_s = self.next_sample_tick as f64 * self.sample_interval_s;
+            if sample_s > now_s {
+                break;
+            }
             for (m, queue) in self.queues.iter().enumerate() {
                 let pending = queue.len() + usize::from(self.executing[m].is_some());
                 self.result.queue_samples.push(QueueSample {
-                    time_s: self.next_sample_s,
+                    time_s: sample_s,
                     machine: m,
                     pending,
                 });
             }
-            self.next_sample_s += self.sample_interval_s;
+            self.next_sample_tick += 1;
         }
     }
 
@@ -650,6 +774,13 @@ impl LiveCloud {
                 self.result.daily_executions.resize(day + 1, 0);
             }
             self.result.daily_executions[day] += record.executions();
+        }
+        if let Some(aggregates) = self.streaming.as_mut() {
+            // Streaming sink: every record (no background sampling — the
+            // sketches cover the whole population) folds into O(1) state
+            // and is dropped.
+            aggregates.fold(&record);
+            return;
         }
         let keep = record.is_study
             || self.config.background_record_divisor <= 1
@@ -937,6 +1068,177 @@ mod tests {
         assert_eq!(batch.outcome_counts, result.outcome_counts);
         assert_eq!(batch.daily_executions, result.daily_executions);
         result.audit.as_ref().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn sample_grid_exact_over_long_horizons() {
+        // Regression: `emit_samples_until` used to advance the sample
+        // clock by repeated float addition. With a non-representable
+        // interval the accumulated error drifts the grid off k * interval
+        // and can eventually skip or duplicate a tick. The k-th sample
+        // must land at exactly `k as f64 * interval`.
+        for (interval_hours, horizon_s) in [
+            (6.0, 2.0 * 365.0 * 86_400.0), // the paper's 2-year campaign
+            (0.001, 86_400.0),             // 3.6 s: not representable, drifts fastest
+        ] {
+            let config = CloudConfig {
+                sample_interval_hours: interval_hours,
+                ..CloudConfig::default()
+            };
+            let fleet = Fleet::ibm_like();
+            let machines = fleet.len();
+            let mut cloud = LiveCloud::new(fleet, config);
+            cloud.submit(job(0, 1, horizon_s)).unwrap();
+            cloud.run_to_completion();
+            // Samples run to the last processed event (the completion),
+            // which lands shortly after the horizon.
+            let end_s = cloud.now_s();
+            let result = cloud.into_result();
+            let interval_s = interval_hours * 3600.0;
+            let expected_ticks = (1..)
+                .take_while(|&k| k as f64 * interval_s <= end_s)
+                .count();
+            assert_eq!(
+                result.queue_samples.len(),
+                expected_ticks * machines,
+                "interval {interval_hours} h: tick count drifted"
+            );
+            for (i, sample) in result.queue_samples.iter().enumerate() {
+                let k = (i / machines + 1) as f64;
+                assert_eq!(
+                    sample.time_s,
+                    k * interval_s,
+                    "sample {i} off the k * interval grid"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_sink_matches_exact_aggregates() {
+        let jobs: Vec<JobSpec> = (0..60)
+            .map(|i| {
+                let mut j = job(i, (i % 3) as usize + 1, i as f64 * 20.0);
+                if i % 5 == 0 {
+                    j.patience_s = 30.0; // force some cancellations
+                }
+                j
+            })
+            .collect();
+        let exact = Simulation::new(Fleet::ibm_like(), CloudConfig::default()).run(jobs.clone());
+        let config = CloudConfig {
+            record_sink: crate::RecordSink::streaming(7),
+            ..CloudConfig::default()
+        };
+        let streamed = Simulation::new(Fleet::ibm_like(), config).run(jobs);
+
+        // Whole-population aggregates are sink-independent.
+        assert_eq!(streamed.total_jobs, exact.total_jobs);
+        assert_eq!(streamed.outcome_counts, exact.outcome_counts);
+        assert_eq!(streamed.daily_executions, exact.daily_executions);
+        assert_eq!(streamed.queue_samples, exact.queue_samples);
+        // Records are folded, not accumulated.
+        assert!(streamed.records.is_empty());
+        assert!(exact.streaming.is_none());
+        let agg = streamed.streaming.as_ref().expect("streaming sink");
+        assert_eq!(agg.folded(), exact.total_jobs);
+        assert_eq!(agg.cancelled(), exact.outcome_counts[2]);
+        // Folding happens in terminal-event order — the same order the
+        // exact path stores records — so the mean is bit-identical.
+        let exact_queue_times: Vec<f64> = exact
+            .records
+            .iter()
+            .filter(|r| r.outcome != JobOutcome::Cancelled)
+            .map(JobRecord::queue_time_s)
+            .collect();
+        assert_eq!(
+            agg.queue_time().moments().count(),
+            exact_queue_times.len() as u64
+        );
+        assert_eq!(
+            agg.queue_time().moments().mean(),
+            qcs_stats::mean(&exact_queue_times)
+        );
+    }
+
+    #[test]
+    fn streaming_sink_visible_live_and_drains_nothing() {
+        let config = CloudConfig {
+            record_sink: crate::RecordSink::streaming(1),
+            error_rate: 0.0,
+            ..CloudConfig::default()
+        };
+        let mut cloud = LiveCloud::new(Fleet::ibm_like(), config);
+        cloud.submit(job(0, 1, 0.0)).unwrap();
+        cloud.submit(job(1, 2, 0.0)).unwrap();
+        assert_eq!(cloud.pending_arrivals(), 2);
+        cloud.run_to_completion();
+        assert_eq!(cloud.pending_arrivals(), 0);
+        assert_eq!(cloud.outcome_counts(), [2, 0, 0]);
+        assert_eq!(
+            cloud.streaming_aggregates().map(StreamingAggregates::folded),
+            Some(2)
+        );
+        assert!(
+            cloud.drain_new_records().is_empty(),
+            "streaming sink never materializes records"
+        );
+    }
+
+    #[test]
+    fn injected_usage_reorders_but_preserves_charged_raw() {
+        let config = CloudConfig {
+            error_rate: 0.0,
+            ..CloudConfig::default()
+        };
+        let mut cloud = LiveCloud::new(Fleet::ibm_like(), config);
+        // Blocker occupies the machine while two rivals queue behind it.
+        let mut blocker = job(0, 1, 0.0);
+        blocker.circuits = 900;
+        blocker.shots = 8192;
+        cloud.submit(blocker).unwrap();
+        let mut a = job(1, 1, 1.0);
+        a.provider = 1;
+        let mut b = job(2, 1, 2.0);
+        b.provider = 2;
+        cloud.submit(a).unwrap();
+        cloud.submit(b).unwrap();
+        cloud.step_until(10.0);
+        // Provider 1 hogged another shard: locally it should now lose to
+        // provider 2 despite its earlier submission.
+        cloud.inject_external_usage(1, 1e6);
+        cloud.run_to_completion();
+        let charged = cloud
+            .fair_share_charged(1)
+            .expect("fair share")
+            .to_vec();
+        let result = cloud.into_result();
+        let first = result
+            .records
+            .iter()
+            .filter(|r| r.id != 0)
+            .min_by(|x, y| x.start_s.total_cmp(&y.start_s))
+            .expect("rivals ran");
+        assert_eq!(first.provider, 2, "external usage demoted provider 1");
+        // charged_raw still equals locally-executed seconds only.
+        let executed: Vec<f64> = (0..3)
+            .map(|p| {
+                result
+                    .records
+                    .iter()
+                    .filter(|r| r.provider == p && r.outcome != JobOutcome::Cancelled)
+                    .map(JobRecord::exec_time_s)
+                    .sum()
+            })
+            .collect();
+        for p in 0..3 {
+            assert!(
+                (charged[p as usize] - executed[p as usize]).abs() < 1e-6,
+                "provider {p}: charged {} != executed {}",
+                charged[p as usize],
+                executed[p as usize]
+            );
+        }
     }
 
     #[test]

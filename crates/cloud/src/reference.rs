@@ -149,7 +149,9 @@ pub fn simulate(
     let mut seq = 0u64;
     let mut result = SimulationResult::default();
     let sample_interval_s = config.sample_interval_hours * 3600.0;
-    let mut next_sample_s = sample_interval_s;
+    // Integer tick grid, mirroring production: sample k lands at exactly
+    // k * interval (a running `+=` accumulator drifts over long horizons).
+    let mut next_sample_tick = 1u64;
     let mut pending_memo: HashMap<u64, usize> = HashMap::new();
     let mut arrival_idx = 0usize;
 
@@ -171,15 +173,21 @@ pub fn simulate(
             (Some(a), Some(e)) => a.min(e),
         };
 
-        while next_sample_s <= now_s {
-            for (m, state) in machines.iter().enumerate() {
-                result.queue_samples.push(QueueSample {
-                    time_s: next_sample_s,
-                    machine: m,
-                    pending: state.queue.len() + usize::from(state.executing.is_some()),
-                });
+        if sample_interval_s > 0.0 {
+            loop {
+                let sample_s = next_sample_tick as f64 * sample_interval_s;
+                if sample_s > now_s {
+                    break;
+                }
+                for (m, state) in machines.iter().enumerate() {
+                    result.queue_samples.push(QueueSample {
+                        time_s: sample_s,
+                        machine: m,
+                        pending: state.queue.len() + usize::from(state.executing.is_some()),
+                    });
+                }
+                next_sample_tick += 1;
             }
-            next_sample_s += sample_interval_s;
         }
 
         // Arrivals win ties, exactly as in production.

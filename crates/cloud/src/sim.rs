@@ -15,7 +15,44 @@
 
 use qcs_machine::Fleet;
 
-use crate::{Discipline, JobOutcome, JobRecord, JobSpec, OutagePlan, QueueSample};
+use crate::{
+    Discipline, JobOutcome, JobRecord, JobSpec, OutagePlan, QueueSample, StreamingAggregates,
+};
+
+/// Where terminal [`JobRecord`]s go.
+///
+/// The default ([`Exact`](RecordSink::Exact)) accumulates every kept
+/// record in [`SimulationResult::records`] — the bit-exact path every
+/// existing analysis and the audit oracle run on. The
+/// [`Streaming`](RecordSink::Streaming) sink instead folds each record
+/// into [`StreamingAggregates`] at its terminal event and discards it,
+/// bounding memory for million-job campaigns (records, and therefore
+/// [`LiveCloud::drain_new_records`](crate::LiveCloud::drain_new_records),
+/// stay empty; aggregates and queue samples are unaffected).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RecordSink {
+    /// Keep records in memory (current behavior; the audit oracle).
+    #[default]
+    Exact,
+    /// Fold records into constant-memory sketches and drop them.
+    Streaming {
+        /// Raw points retained per violin reservoir.
+        reservoir_capacity: u32,
+        /// Seed for the reservoirs' replacement decisions.
+        reservoir_seed: u64,
+    },
+}
+
+impl RecordSink {
+    /// A streaming sink with a 512-point reservoir per metric.
+    #[must_use]
+    pub fn streaming(seed: u64) -> Self {
+        RecordSink::Streaming {
+            reservoir_capacity: 512,
+            reservoir_seed: seed,
+        }
+    }
+}
 
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,6 +78,9 @@ pub struct CloudConfig {
     /// fair-share conservation, aggregate consistency, and queue-sample
     /// sanity. The report lands in [`SimulationResult::audit`].
     pub audit: bool,
+    /// Terminal-record destination: exact in-memory accumulation
+    /// (default) or constant-memory streaming fold.
+    pub record_sink: RecordSink,
 }
 
 impl Default for CloudConfig {
@@ -54,6 +94,7 @@ impl Default for CloudConfig {
             sample_interval_hours: 6.0,
             background_record_divisor: 1,
             audit: false,
+            record_sink: RecordSink::Exact,
         }
     }
 }
@@ -76,22 +117,24 @@ pub struct SimulationResult {
     pub daily_executions: Vec<u64>,
     /// The invariant-audit report, when [`CloudConfig::audit`] was set.
     pub audit: Option<crate::AuditReport>,
+    /// Constant-memory aggregates, when
+    /// [`CloudConfig::record_sink`] was [`RecordSink::Streaming`].
+    pub streaming: Option<StreamingAggregates>,
 }
 
 impl SimulationResult {
     /// Records belonging to the instrumented study subset.
-    #[must_use]
-    pub fn study_records(&self) -> Vec<&JobRecord> {
-        self.records.iter().filter(|r| r.is_study).collect()
+    ///
+    /// Borrows lazily — callers that only count or fold pay no
+    /// allocation (the old `Vec<&JobRecord>` return resurfaced as an
+    /// O(machines × records) rescan cost inside per-machine study loops).
+    pub fn study_records(&self) -> impl Iterator<Item = &JobRecord> + '_ {
+        self.records.iter().filter(|r| r.is_study)
     }
 
-    /// Records for one machine.
-    #[must_use]
-    pub fn records_for_machine(&self, machine: usize) -> Vec<&JobRecord> {
-        self.records
-            .iter()
-            .filter(|r| r.machine == machine)
-            .collect()
+    /// Records for one machine, lazily.
+    pub fn records_for_machine(&self, machine: usize) -> impl Iterator<Item = &JobRecord> + '_ {
+        self.records.iter().filter(move |r| r.machine == machine)
     }
 
     /// Fraction of jobs with each outcome: `(completed, errored,
@@ -125,16 +168,42 @@ impl SimulationResult {
     /// week-long average).
     #[must_use]
     pub fn mean_pending(&self, machine: usize, from_s: f64, to_s: f64) -> f64 {
-        let samples: Vec<usize> = self
+        let (sum, count) = self
             .queue_samples
             .iter()
             .filter(|s| s.machine == machine && s.time_s >= from_s && s.time_s < to_s)
-            .map(|s| s.pending)
-            .collect();
-        if samples.is_empty() {
+            .fold((0usize, 0usize), |(sum, count), s| {
+                (sum + s.pending, count + 1)
+            });
+        if count == 0 {
             return 0.0;
         }
-        samples.iter().sum::<usize>() as f64 / samples.len() as f64
+        sum as f64 / count as f64
+    }
+
+    /// [`mean_pending`](Self::mean_pending) for every machine in a single
+    /// pass over the samples — per-machine callers looping over
+    /// `mean_pending` rescan the whole sample vec once per machine.
+    #[must_use]
+    pub fn mean_pending_by_machine(&self, num_machines: usize, from_s: f64, to_s: f64) -> Vec<f64> {
+        let mut sums = vec![0usize; num_machines];
+        let mut counts = vec![0usize; num_machines];
+        for s in &self.queue_samples {
+            if s.machine < num_machines && s.time_s >= from_s && s.time_s < to_s {
+                sums[s.machine] += s.pending;
+                counts[s.machine] += 1;
+            }
+        }
+        sums.iter()
+            .zip(&counts)
+            .map(|(&sum, &count)| {
+                if count == 0 {
+                    0.0
+                } else {
+                    sum as f64 / count as f64
+                }
+            })
+            .collect()
     }
 
     /// Fraction of executed (non-cancelled) recorded jobs that crossed a
@@ -142,15 +211,17 @@ impl SimulationResult {
     /// (Fig 12a).
     #[must_use]
     pub fn calibration_crossover_fraction(&self) -> f64 {
-        let executed: Vec<&JobRecord> = self
+        let (crossed, executed) = self
             .records
             .iter()
             .filter(|r| r.outcome != JobOutcome::Cancelled)
-            .collect();
-        if executed.is_empty() {
+            .fold((0usize, 0usize), |(crossed, executed), r| {
+                (crossed + usize::from(r.crossed_calibration), executed + 1)
+            });
+        if executed == 0 {
             return 0.0;
         }
-        executed.iter().filter(|r| r.crossed_calibration).count() as f64 / executed.len() as f64
+        crossed as f64 / executed as f64
     }
 }
 
@@ -389,9 +460,9 @@ mod tests {
     fn study_filter() {
         let jobs = vec![job(0, 1, 0.0), job(1, 1, 1.0)];
         let result = sim().run(jobs);
-        assert_eq!(result.study_records().len(), 1);
-        assert_eq!(result.records_for_machine(1).len(), 2);
-        assert!(result.records_for_machine(5).is_empty());
+        assert_eq!(result.study_records().count(), 1);
+        assert_eq!(result.records_for_machine(1).count(), 2);
+        assert_eq!(result.records_for_machine(5).count(), 0);
     }
 
     #[test]

@@ -33,6 +33,11 @@
 //!   reconnect, [`request_with_retry`](GatewayClient::request_with_retry))
 //!   plus a [`LoadGenerator`] that replays `qcs-workload` traces at a
 //!   wall-clock compression factor.
+//! - [`fleet`] — the scale-out layer: [`ShardMap`] partitioning,
+//!   [`GatewayFleet`] (N TCP gateways) / [`FleetSim`] (the same sharding
+//!   in-process, simulation-time-driven), [`FleetClient`] routing, and
+//!   periodic cross-shard fair-share reconciliation preserving the
+//!   charged-seconds conservation law.
 //!
 //! # Examples
 //!
@@ -68,6 +73,7 @@
 pub mod client;
 pub mod error;
 pub mod fault;
+pub mod fleet;
 pub mod metrics;
 pub mod protocol;
 pub mod ratelimit;
@@ -77,6 +83,7 @@ pub mod server;
 pub use client::{GatewayClient, LoadGenerator, ReplayReport, DEFAULT_READ_TIMEOUT};
 pub use error::{ErrorCode, GatewayError, ProtocolError};
 pub use fault::{FaultKind, FaultPlan};
+pub use fleet::{check_conservation, FleetClient, FleetSim, GatewayFleet, ShardMap};
 pub use metrics::GatewayMetrics;
 pub use protocol::{Request, Response};
 pub use ratelimit::TokenBucket;

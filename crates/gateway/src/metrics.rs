@@ -8,6 +8,10 @@ use crate::retry::RetryStats;
 /// Monotonic counters over the gateway's lifetime. All counts are jobs
 /// unless noted; `submitted = accepted + rejected_rate +
 /// rejected_backpressure + rejected_invalid`.
+///
+/// All increments saturate at `u64::MAX` instead of wrapping: a pinned
+/// counter is an obviously-wrong reading, a wrapped one silently corrupts
+/// the `submitted = accepted + rejected_*` ledger on long campaigns.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GatewayMetrics {
     /// `SUBMIT` requests received.
@@ -55,12 +59,13 @@ impl GatewayMetrics {
             JobOutcome::Errored => 1,
             JobOutcome::Cancelled => 2,
         };
-        self.finished[slot] += 1;
+        self.finished[slot] = self.finished[slot].saturating_add(1);
     }
 
     /// Record one injected fault.
     pub fn note_fault(&mut self, kind: FaultKind) {
-        self.faults_injected[kind.index()] += 1;
+        let slot = kind.index();
+        self.faults_injected[slot] = self.faults_injected[slot].saturating_add(1);
     }
 
     /// Total faults injected across all modes.
@@ -81,8 +86,8 @@ impl GatewayMetrics {
     /// Fold a client's [`RetryStats`] into the gateway-side counters
     /// (used by tests and by operators who co-locate load generators).
     pub fn absorb_client(&mut self, stats: RetryStats) {
-        self.client_retries += stats.retries;
-        self.client_giveups += stats.giveups;
+        self.client_retries = self.client_retries.saturating_add(stats.retries);
+        self.client_giveups = self.client_giveups.saturating_add(stats.giveups);
     }
 
     /// Render as ordered `key=value` pairs for the `METRICS` response.
@@ -150,5 +155,25 @@ mod tests {
         });
         assert_eq!(metrics.client_retries, 4);
         assert_eq!(metrics.client_giveups, 1);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let mut metrics = GatewayMetrics {
+            finished: [u64::MAX, 0, 0],
+            client_retries: u64::MAX,
+            ..GatewayMetrics::default()
+        };
+        metrics.faults_injected[FaultKind::PanicHandler.index()] = u64::MAX;
+        metrics.observe_finished(JobOutcome::Completed);
+        metrics.note_fault(FaultKind::PanicHandler);
+        metrics.absorb_client(RetryStats {
+            retries: u64::MAX,
+            giveups: 2,
+        });
+        assert_eq!(metrics.finished[0], u64::MAX, "pinned, not wrapped");
+        assert_eq!(metrics.injected_panics(), u64::MAX);
+        assert_eq!(metrics.client_retries, u64::MAX);
+        assert_eq!(metrics.client_giveups, 2);
     }
 }

@@ -123,13 +123,19 @@ struct State {
 }
 
 impl State {
-    /// Advance the simulator to the clock's "now" and fold any newly
-    /// terminal records into the metrics.
+    /// Advance the simulator to the clock's "now" and refresh the
+    /// finished counters.
     fn advance(&mut self, now_s: f64) {
         self.cloud.step_until(now_s);
-        for record in self.cloud.drain_new_records() {
-            self.metrics.observe_finished(record.outcome);
-        }
+        self.reconcile_finished();
+    }
+
+    /// Mirror the simulator's outcome tallies into the metrics. Counting
+    /// drained records would read zero under `RecordSink::Streaming`
+    /// (terminal records fold into sketches instead of materializing);
+    /// the tallies are sink-independent.
+    fn reconcile_finished(&mut self) {
+        self.metrics.finished = self.cloud.outcome_counts();
     }
 
     fn resolve_machine(&self, token: &str) -> Option<usize> {
@@ -152,34 +158,35 @@ impl State {
                 mean_width,
                 patience_s,
             } => {
-                self.metrics.submitted += 1;
+                self.metrics.submitted = self.metrics.submitted.saturating_add(1);
                 let Some(machine_idx) = self.resolve_machine(machine) else {
-                    self.metrics.rejected_invalid += 1;
+                    self.metrics.rejected_invalid = self.metrics.rejected_invalid.saturating_add(1);
                     return Response::err(
                         ErrorCode::UnknownMachine,
                         format!("unknown machine {machine:?}"),
                     );
                 };
                 if *provider as usize >= self.buckets.len() {
-                    self.metrics.rejected_invalid += 1;
+                    self.metrics.rejected_invalid = self.metrics.rejected_invalid.saturating_add(1);
                     return Response::err(
                         ErrorCode::UnknownProvider,
                         format!("unknown provider {provider}"),
                     );
                 }
                 if *circuits == 0 || *shots == 0 {
-                    self.metrics.rejected_invalid += 1;
+                    self.metrics.rejected_invalid = self.metrics.rejected_invalid.saturating_add(1);
                     return Response::err(
                         ErrorCode::EmptyBatch,
                         "circuits and shots must be >= 1",
                     );
                 }
                 if !self.buckets[*provider as usize].try_take(self.cloud.now_s()) {
-                    self.metrics.rejected_rate += 1;
+                    self.metrics.rejected_rate = self.metrics.rejected_rate.saturating_add(1);
                     return Response::Busy(format!("rate limit: provider {provider}"));
                 }
                 if self.cloud.queue_depth(machine_idx) >= self.max_pending {
-                    self.metrics.rejected_backpressure += 1;
+                    self.metrics.rejected_backpressure =
+                        self.metrics.rejected_backpressure.saturating_add(1);
                     return Response::Busy(format!(
                         "queue full: machine {} at {} pending",
                         machine, self.max_pending
@@ -202,11 +209,11 @@ impl State {
                 match self.cloud.submit(spec) {
                     Ok(()) => {
                         self.next_id += 1;
-                        self.metrics.accepted += 1;
+                        self.metrics.accepted = self.metrics.accepted.saturating_add(1);
                         Response::Ok(id)
                     }
                     Err(err) => {
-                        self.metrics.rejected_invalid += 1;
+                        self.metrics.rejected_invalid = self.metrics.rejected_invalid.saturating_add(1);
                         Response::err(ErrorCode::Rejected, err.to_string())
                     }
                 }
@@ -220,12 +227,12 @@ impl State {
             },
             Request::Cancel(id) => {
                 if self.cloud.cancel(*id) {
-                    self.metrics.cancelled_via_api += 1;
-                    // The cancellation record (if any) lands in metrics on
-                    // the next advance; count it now for this drain pass.
-                    for record in self.cloud.drain_new_records() {
-                        self.metrics.observe_finished(record.outcome);
-                    }
+                    self.metrics.cancelled_via_api =
+                        self.metrics.cancelled_via_api.saturating_add(1);
+                    // Pick the cancellation outcome (if the job had already
+                    // entered service) up immediately, not on the next
+                    // advance.
+                    self.reconcile_finished();
                     Response::Ok(*id)
                 } else {
                     Response::err(
@@ -383,7 +390,7 @@ impl Gateway {
                     let Ok(stream) = stream else { continue };
                     {
                         let mut state = lock(&accept_state);
-                        state.metrics.connections += 1;
+                        state.metrics.connections = state.metrics.connections.saturating_add(1);
                     }
                     let state = Arc::clone(&accept_state);
                     let clock = Arc::clone(&accept_clock);
@@ -422,6 +429,38 @@ impl Gateway {
     #[must_use]
     pub fn sim_now_s(&self) -> f64 {
         self.clock.now_s()
+    }
+
+    /// Per-provider lifetime charged seconds (undecayed) summed over this
+    /// shard's machines — the shard-local half of the cross-shard
+    /// conservation law. Zeros after `shutdown_and_drain` has taken the
+    /// state.
+    #[must_use]
+    pub fn charged_seconds_by_provider(&self) -> Vec<f64> {
+        self.state
+            .as_ref()
+            .map(|state| lock(state).cloud.charged_seconds_by_provider())
+            .unwrap_or_default()
+    }
+
+    /// Per-provider seconds executed on this shard's machines so far (see
+    /// [`LiveCloud::executed_seconds_by_provider`]).
+    #[must_use]
+    pub fn executed_seconds_by_provider(&self) -> Vec<f64> {
+        self.state
+            .as_ref()
+            .map(|state| lock(state).cloud.executed_seconds_by_provider())
+            .unwrap_or_default()
+    }
+
+    /// Install cross-shard fair-share usage observed on *other* shards
+    /// (see [`LiveCloud::inject_external_usage`]): the provider's queues
+    /// here start ordering against its fleet-wide footprint, while this
+    /// shard's undecayed `charged_raw` ledger stays untouched.
+    pub fn inject_external_usage(&self, provider: u32, seconds: f64) {
+        if let Some(state) = &self.state {
+            lock(state).cloud.inject_external_usage(provider, seconds);
+        }
     }
 
     /// Connection-handler panics contained by the worker pool so far.
@@ -471,9 +510,8 @@ impl Gateway {
             ..
         } = state.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
         cloud.run_to_completion();
-        for record in cloud.drain_new_records() {
-            metrics.observe_finished(record.outcome);
-        }
+        // Sink-independent final tally (see `State::reconcile_finished`).
+        metrics.finished = cloud.outcome_counts();
         (cloud.into_result(), metrics)
     }
 }
@@ -603,11 +641,16 @@ fn handle_connection(
             LineRead::Line(raw) => raw,
             LineRead::Eof | LineRead::Failed => return,
             LineRead::Idle => {
-                lock(state).metrics.reaped_idle += 1;
+                let mut guard = lock(state);
+                guard.metrics.reaped_idle = guard.metrics.reaped_idle.saturating_add(1);
+                drop(guard);
                 return;
             }
             LineRead::TooLong => {
-                lock(state).metrics.protocol_errors += 1;
+                {
+                let mut guard = lock(state);
+                guard.metrics.protocol_errors = guard.metrics.protocol_errors.saturating_add(1);
+            }
                 let response = Response::err(
                     ErrorCode::LineTooLong,
                     format!("line exceeds {} bytes", limits.max_line_bytes),
@@ -619,7 +662,10 @@ fn handle_connection(
             }
         };
         let Ok(line) = String::from_utf8(raw) else {
-            lock(state).metrics.protocol_errors += 1;
+            {
+                let mut guard = lock(state);
+                guard.metrics.protocol_errors = guard.metrics.protocol_errors.saturating_add(1);
+            }
             let response = Response::err(ErrorCode::NotUtf8, "request line is not valid UTF-8");
             if write_response(&mut writer, &response, None, plan).is_err() {
                 return;
@@ -648,7 +694,10 @@ fn handle_connection(
             Ok(Request::Quit) => (Response::Bye, true),
             Ok(request) => (lock(state).respond(&request, now_s), false),
             Err(error) => {
-                lock(state).metrics.protocol_errors += 1;
+                {
+                let mut guard = lock(state);
+                guard.metrics.protocol_errors = guard.metrics.protocol_errors.saturating_add(1);
+            }
                 (Response::Err(error), false)
             }
         };

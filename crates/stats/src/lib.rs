@@ -25,6 +25,7 @@ mod correlation;
 mod descriptive;
 mod regression;
 mod split;
+mod streaming;
 mod violin;
 
 pub use correlation::{pearson, spearman};
@@ -34,4 +35,5 @@ pub use descriptive::{
 };
 pub use regression::{linear_fit, ProductModel};
 pub use split::train_test_split;
+pub use streaming::{P2Quantile, ReservoirSample, StreamingMoments, StreamingSummary};
 pub use violin::ViolinSummary;

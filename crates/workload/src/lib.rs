@@ -23,6 +23,8 @@
 #![warn(clippy::all)]
 
 mod generator;
+pub mod population;
 pub mod sampler;
 
 pub use generator::{family_name, generate, StudyCircuit, Workload, WorkloadConfig};
+pub use population::{PopulationConfig, PopulationTrace};

@@ -97,6 +97,28 @@ pub fn width<R: Rng + ?Sized>(rng: &mut R, machine_qubits: usize) -> usize {
     w.clamp(1, machine_qubits)
 }
 
+/// Sample an exponential inter-arrival gap with the given mean (seconds,
+/// or any unit). Returns `0.0` for a non-positive mean.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// A Zipf(1)-activity rank in `[1, n]`, O(1) per draw.
+///
+/// Uses the continuous inverse-CDF approximation `rank = ⌊n^U⌋` (density
+/// ∝ 1/rank): exact enough for activity skew over millions of users,
+/// where the cumulative-weights walk in [`zipf_provider`] would cost O(n)
+/// per sample.
+pub fn zipf_rank<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    assert!(n >= 1, "need at least one rank");
+    let u: f64 = rng.gen_range(0.0..1.0);
+    ((n as f64).powf(u).floor() as u64).clamp(1, n)
+}
+
 /// A Zipf-distributed provider id in `[1, num_providers)` (provider 0 is
 /// reserved for the study group).
 pub fn zipf_provider<R: Rng + ?Sized>(rng: &mut R, num_providers: usize) -> u32 {
@@ -192,6 +214,30 @@ mod tests {
         let thirties = samples.iter().filter(|&&p| p == 30).count();
         assert!(ones > 10 * thirties.max(1) / 2, "ones {ones} thirties {thirties}");
         assert!(samples.iter().all(|&p| (1..40).contains(&p)));
+    }
+
+    #[test]
+    fn exponential_mean_and_edge() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut rng, 3.0)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 3.0).abs() < 0.15, "mean {mean}");
+        assert_eq!(exponential(&mut rng, 0.0), 0.0);
+    }
+
+    #[test]
+    fn zipf_rank_is_skewed_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 3_000_000u64;
+        let samples: Vec<u64> = (0..20_000).map(|_| zipf_rank(&mut rng, n)).collect();
+        assert!(samples.iter().all(|&r| (1..=n).contains(&r)));
+        let head = samples.iter().filter(|&&r| r <= 10).count();
+        let mid = samples.iter().filter(|&&r| (1_000..=1_010).contains(&r)).count();
+        // Density ∝ 1/rank: the first ten ranks outweigh any ten-rank
+        // window further out by orders of magnitude.
+        assert!(head > 20 * mid.max(1), "head {head} mid {mid}");
+        assert_eq!(zipf_rank(&mut rng, 1), 1);
     }
 
     #[test]

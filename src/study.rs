@@ -164,14 +164,23 @@ impl Study {
         &self.study_circuits
     }
 
-    /// Study job records that actually executed (completed or errored).
-    #[must_use]
-    pub fn executed_study_records(&self) -> Vec<&JobRecord> {
+    /// Study job records that actually executed (completed or errored),
+    /// lazily — figure methods fold or collect as needed instead of
+    /// re-materializing a `Vec<&JobRecord>` per call.
+    pub fn executed_study_records(&self) -> impl Iterator<Item = &JobRecord> + '_ {
         self.result
             .records
             .iter()
             .filter(|r| r.is_study && r.outcome != JobOutcome::Cancelled)
-            .collect()
+    }
+
+    /// Constant-memory aggregates, when the study's cloud config used
+    /// [`qcs_cloud::RecordSink::Streaming`]. Record-based figure methods
+    /// return empty series in that mode; these sketches are the
+    /// bounded-memory substitute.
+    #[must_use]
+    pub fn streaming_aggregates(&self) -> Option<&qcs_cloud::StreamingAggregates> {
+        self.result.streaming.as_ref()
     }
 
     // --- Fig 2 ----------------------------------------------------------
@@ -219,7 +228,6 @@ impl Study {
     pub fn queue_times_sorted_min(&self) -> Vec<f64> {
         let mut v: Vec<f64> = self
             .executed_study_records()
-            .iter()
             .map(|r| r.queue_time_s() / 60.0)
             .collect();
         v.sort_by(f64::total_cmp);
@@ -246,8 +254,7 @@ impl Study {
     pub fn queue_exec_ratios_sorted(&self) -> Vec<f64> {
         let mut v: Vec<f64> = self
             .executed_study_records()
-            .iter()
-            .filter_map(|r| r.queue_exec_ratio())
+            .filter_map(JobRecord::queue_exec_ratio)
             .collect();
         v.sort_by(f64::total_cmp);
         v
@@ -288,15 +295,24 @@ impl Study {
             .map(|r| r.submit_s)
             .fold(0.0f64, f64::max);
         let from = (end - 7.0 * 86_400.0).max(0.0);
-        let machines: Vec<_> = self.fleet.iter().collect();
-        qcs_exec::parallel_map(&self.exec, &machines, |idx, m| {
-            (
-                m.name().to_string(),
-                m.num_qubits(),
-                m.access().is_public(),
-                self.result.mean_pending(idx, from, end + 1.0),
-            )
-        })
+        // One pass over the queue samples for every machine at once —
+        // per-machine `mean_pending` calls would rescan the whole sample
+        // series fleet-len times.
+        let pending = self
+            .result
+            .mean_pending_by_machine(self.fleet.len(), from, end + 1.0);
+        self.fleet
+            .iter()
+            .zip(pending)
+            .map(|(m, mean)| {
+                (
+                    m.name().to_string(),
+                    m.num_qubits(),
+                    m.access().is_public(),
+                    mean,
+                )
+            })
+            .collect()
     }
 
     // --- Fig 10 ---------------------------------------------------------
@@ -330,7 +346,7 @@ impl Study {
             (101, 899, "101-899"),
             (900, 900, "900"),
         ];
-        let records = self.executed_study_records();
+        let records: Vec<&JobRecord> = self.executed_study_records().collect();
         BUCKETS
             .iter()
             .map(|&(lo, hi, label)| {

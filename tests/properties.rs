@@ -517,3 +517,155 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(110))]
+
+    #[test]
+    fn streaming_sink_matches_exact_oracle(
+        jobs in arb_trace(),
+        seed in 0u64..10_000,
+        step_gaps in proptest::collection::vec(1.0f64..2_000.0, 1..10),
+        drain_mask in 0u16..1024,
+    ) {
+        // The streaming fold must agree with the exact in-memory oracle
+        // no matter how the live run is stepped or how often callers
+        // drain records mid-flight: count and mean bit-identical (the
+        // fold runs in the same terminal-event order the exact path
+        // stores records), CoV within float-rearrangement tolerance,
+        // quantile sketches within their documented envelope.
+        use qcs::cloud::{LiveCloud, RecordSink};
+        use qcs::cloud::JobOutcome;
+        let fleet = Fleet::ibm_like();
+        let exact_config = CloudConfig { seed, audit: true, ..CloudConfig::default() };
+        let exact = Simulation::new(fleet.clone(), exact_config).run(jobs.clone());
+
+        let streaming_config = CloudConfig {
+            record_sink: RecordSink::streaming(seed),
+            ..exact_config
+        };
+        let mut live = LiveCloud::new(fleet, streaming_config);
+        let mut pending = jobs.into_iter().peekable();
+        let mut t = 0.0;
+        for (i, gap) in step_gaps.iter().enumerate() {
+            t += gap;
+            while pending.peek().is_some_and(|j| j.submit_s <= t) {
+                live.submit(pending.next().expect("peeked")).expect("valid trace job");
+            }
+            live.step_until(t);
+            if drain_mask & (1 << i) != 0 {
+                // Arbitrary drain schedule: always empty under streaming,
+                // and must not perturb the aggregates.
+                prop_assert!(live.drain_new_records().is_empty());
+            }
+        }
+        for job in pending {
+            live.submit(job).expect("valid trace job");
+        }
+        live.run_to_completion();
+        let result = live.into_result();
+
+        // Sink-independent aggregates are bit-identical.
+        prop_assert_eq!(result.total_jobs, exact.total_jobs);
+        prop_assert_eq!(result.outcome_counts, exact.outcome_counts);
+        prop_assert_eq!(&result.daily_executions, &exact.daily_executions);
+        prop_assert_eq!(&result.queue_samples, &exact.queue_samples);
+        prop_assert!(result.records.is_empty(), "streaming keeps no records");
+
+        let agg = result.streaming.as_ref().expect("streaming sink");
+        prop_assert_eq!(agg.folded(), exact.total_jobs);
+        prop_assert_eq!(agg.cancelled(), exact.outcome_counts[2]);
+
+        // Exact queue times in terminal-event order: the fold order.
+        let queue_times: Vec<f64> = exact
+            .records
+            .iter()
+            .filter(|r| r.outcome != JobOutcome::Cancelled)
+            .map(|r| r.queue_time_s())
+            .collect();
+        let moments = agg.queue_time().moments();
+        prop_assert_eq!(moments.count(), queue_times.len() as u64);
+        if queue_times.is_empty() {
+            prop_assert_eq!(agg.queue_time_p99(), None);
+        } else {
+            // Count and mean: bit-identical.
+            prop_assert_eq!(moments.mean(), stats::mean(&queue_times));
+            // CoV: Welford vs two-pass, identical up to float
+            // rearrangement.
+            let exact_cov = stats::coefficient_of_variation(&queue_times);
+            prop_assert!(
+                (moments.coefficient_of_variation() - exact_cov).abs()
+                    <= 1e-9 * exact_cov.abs().max(1.0),
+                "cov {} vs {}", moments.coefficient_of_variation(), exact_cov
+            );
+            // Quantiles: exact (sorted-prefix) at n <= 5, bounded by the
+            // observed range beyond.
+            let min = queue_times.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = queue_times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let p99 = agg.queue_time_p99().expect("non-empty");
+            if queue_times.len() <= 5 {
+                prop_assert_eq!(Some(p99), stats::quantile(&queue_times, 0.99));
+            } else {
+                prop_assert!((min..=max).contains(&p99), "p99 {p99} outside [{min}, {max}]");
+                let exact_median = stats::median(&queue_times);
+                let summary = agg.queue_time().to_summary();
+                prop_assert!(
+                    (summary.median - exact_median).abs() <= 0.35 * (max - min) + 1e-9,
+                    "median {} vs {} over range [{min}, {max}]", summary.median, exact_median
+                );
+            }
+        }
+
+        // Conservation: charged fair-share seconds == executed seconds
+        // from the streaming ledger, per provider.
+        let exec_by_provider = agg.executed_seconds_by_provider();
+        let mut charged = vec![0.0f64; exec_by_provider.len()];
+        for r in &exact.records {
+            if r.outcome != JobOutcome::Cancelled {
+                charged[r.provider as usize] += r.exec_time_s();
+            }
+        }
+        for (p, (&c, &e)) in charged.iter().zip(exec_by_provider).enumerate() {
+            prop_assert!(
+                (c - e).abs() <= 1e-6 * e.abs().max(1.0),
+                "provider {p}: exact {c} vs streamed {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_moments_merge_any_partition(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        cuts in proptest::collection::vec(0usize..200, 0..6),
+    ) {
+        // Folding a stream in chunks (any drain schedule) and merging the
+        // per-chunk moments must agree with the exact oracle: count
+        // exact, mean/variance within float-rearrangement tolerance.
+        use qcs::stats::StreamingMoments;
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| c % values.len()).collect();
+        bounds.push(0);
+        bounds.push(values.len());
+        bounds.sort_unstable();
+        let mut merged = StreamingMoments::new();
+        for pair in bounds.windows(2) {
+            let mut chunk = StreamingMoments::new();
+            for &v in &values[pair[0]..pair[1]] {
+                chunk.push(v);
+            }
+            merged.merge(&chunk);
+        }
+        prop_assert_eq!(merged.count(), values.len() as u64);
+        let exact_mean = stats::mean(&values);
+        prop_assert!(
+            (merged.mean() - exact_mean).abs() <= 1e-9 * exact_mean.abs().max(1.0),
+            "mean {} vs {}", merged.mean(), exact_mean
+        );
+        let exact_var = stats::variance(&values);
+        prop_assert!(
+            (merged.variance() - exact_var).abs() <= 1e-6 * exact_var.abs().max(1.0),
+            "variance {} vs {}", merged.variance(), exact_var
+        );
+        prop_assert_eq!(merged.min(), values.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(merged.max(), values.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+}
