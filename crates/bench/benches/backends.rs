@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the multi-backend simulator engines, each on
+//! its native domain: the stabilizer tableau on machine-wide Clifford
+//! POS circuits (30q and the fleet-maximum 65q — both far beyond the
+//! dense amplitude array), the sparse statevector on a 30q GHZ-like
+//! two-amplitude state, and the dense SIMD path on the 16q QFT it still
+//! owns. `backends_pos/stabilizer_30q` is the bench-smoke CI point: a
+//! 30-qubit Clifford run must stay cheap enough that routing wide
+//! Cliffords away from the dense engine is always a win.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qcs_calibration::{CalibrationSnapshot, NoiseProfile};
+use qcs_sim::{
+    clifford_pos_circuit, qft_pos_circuit, BackendChoice, BackendKind, NoisySimulator,
+};
+use qcs_topology::families;
+
+fn snapshot(width: usize) -> CalibrationSnapshot {
+    NoiseProfile::with_seed(7).snapshot(&families::complete(width), 0)
+}
+
+fn simulator(backend: BackendKind) -> NoisySimulator {
+    let sim = NoisySimulator {
+        trajectories: 4,
+        seed: 7,
+        ..NoisySimulator::default()
+    };
+    sim.with_threads(1)
+        .with_backend(BackendChoice::Force(backend))
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backends_pos");
+
+    // Stabilizer tableau: the whole-machine Clifford GHZ-echo benchmark
+    // at widths the dense engine cannot represent (2^30 and 2^65 amps).
+    for width in [30usize, 65] {
+        let circuit = clifford_pos_circuit(width);
+        let snap = snapshot(width);
+        let sim = simulator(BackendKind::Stabilizer);
+        group.bench_function(format!("stabilizer_{width}q").as_str(), |b| {
+            b.iter(|| sim.run(&circuit, &snap, 1024).unwrap());
+        });
+    }
+
+    // Sparse statevector: a 30q GHZ-like circuit holds 2 of 2^30
+    // amplitudes; the map-keyed engine runs it in microseconds.
+    {
+        let width = 30;
+        let mut circuit = qcs_circuit::Circuit::new(width);
+        circuit.h(0);
+        for q in 1..width {
+            circuit.cx(q - 1, q);
+        }
+        circuit.t(width - 1); // non-Clifford tail: this is sparse's domain
+        circuit.measure_all();
+        let snap = snapshot(width);
+        let sim = simulator(BackendKind::Sparse);
+        group.bench_function("sparse_30q_ghz", |b| {
+            b.iter(|| sim.run(&circuit, &snap, 1024).unwrap());
+        });
+    }
+
+    // Dense SIMD path: the 16q QFT POS benchmark it keeps owning (QFT
+    // branches everywhere, so neither special-purpose engine applies).
+    {
+        let width = 16;
+        let circuit = qft_pos_circuit(width);
+        let snap = snapshot(width);
+        let sim = simulator(BackendKind::Dense);
+        group.bench_function("dense_16q_qft", |b| {
+            b.iter(|| sim.run(&circuit, &snap, 1024).unwrap());
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

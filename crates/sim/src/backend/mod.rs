@@ -1,0 +1,568 @@
+//! Multi-backend simulation: per-circuit engine selection.
+//!
+//! The noisy simulator has three execution engines behind one trait:
+//!
+//! - **dense** ([`DenseBackend`]): the SIMD statevector hot path
+//!   (fused kernels, skip-ahead, prefix checkpoints) — exact for every
+//!   circuit, memory `2^n`, capped at [`crate::DENSE_MAX_QUBITS`].
+//! - **stabilizer** ([`StabilizerBackend`]): an Aaronson–Gottesman
+//!   tableau — Clifford circuits only, `O(n²)` memory, so the paper's
+//!   65-qubit Manhattan is as cheap as a 5-qubit machine.
+//! - **sparse** ([`SparseBackend`]): a map-keyed statevector — any
+//!   gate set, memory proportional to the state's support, profitable
+//!   when few gates branch the computational basis.
+//!
+//! [`BackendDispatcher`] inspects each circuit once ([`CircuitProfile`])
+//! and routes it ([`BackendDispatcher::plan`]); [`NoisySimulator::run`]
+//! delegates here unconditionally, so callers keep a single entry point.
+//! Routing preserves the repo's bit-identity contract: circuits the
+//! dense engine can hold always take the dense path, so every
+//! pre-existing result is unchanged, and the wider-only alternatives are
+//! property-tested against the dense oracle on their overlapping
+//! domains (see DESIGN.md §4i for the per-backend equivalence
+//! statements). A fourth *hybrid* route evolves a circuit's leading
+//! Clifford segment on the tableau and hands its exact support to the
+//! sparse engine — covering wide circuits whose prefix branches heavily
+//! but whose non-Clifford tail (e.g. a few T gates) stays narrow.
+//!
+//! [`NoisySimulator::run`]: crate::NoisySimulator::run
+
+mod clifford;
+pub(crate) mod sparse;
+pub(crate) mod stabilizer;
+
+use qcs_calibration::CalibrationSnapshot;
+use qcs_circuit::{Circuit, Gate};
+
+use crate::{Counts, NoisySimulator, SimError, DENSE_MAX_QUBITS};
+
+pub use sparse::{sparse_amplitudes, SPARSE_MAX_AMPS, SPARSE_MAX_QUBITS};
+pub use stabilizer::STABILIZER_MAX_QUBITS;
+
+/// Widest classical register any backend records: one `u64` outcome word
+/// in [`Counts`]. A register limit, not a state limit — a 65-qubit
+/// machine simulates fine, but at most 64 of its qubits can land in one
+/// outcome word (see [`crate::clifford_pos_circuit`]).
+pub const MAX_CLBITS: usize = 64;
+
+/// Largest `log2(support)` the dispatcher will route to the sparse
+/// backend: up to `2^20` simultaneously nonzero amplitudes (16 MiB of
+/// map payload), comfortably under [`SPARSE_MAX_AMPS`].
+pub const SPARSE_MAX_BRANCH_LOG2: usize = 20;
+
+/// The three execution engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Dense SIMD statevector (the original engine).
+    Dense,
+    /// Aaronson–Gottesman stabilizer tableau.
+    Stabilizer,
+    /// Map-keyed sparse statevector.
+    Sparse,
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BackendKind::Dense => "dense",
+            BackendKind::Stabilizer => "stabilizer",
+            BackendKind::Sparse => "sparse",
+        })
+    }
+}
+
+/// Backend selection policy of a [`NoisySimulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// Route each circuit through [`BackendDispatcher::plan`].
+    #[default]
+    Auto,
+    /// Pin one engine; [`NoisySimulator::run`] errors
+    /// ([`SimError::NoBackend`]) when that engine cannot faithfully
+    /// execute the circuit.
+    ///
+    /// [`NoisySimulator::run`]: crate::NoisySimulator::run
+    Force(BackendKind),
+}
+
+/// What the dispatcher learns from one pass over a circuit's
+/// instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitProfile {
+    /// Qubit count.
+    pub width: usize,
+    /// Every instruction is Clifford (at the gate-angle level; see the
+    /// module docs of the stabilizer backend).
+    pub clifford: bool,
+    /// Contains a mid-circuit reset (dense-only: its projective draw
+    /// depends on the evolving state).
+    pub has_reset: bool,
+    /// `min(width, branching instruction count)` over the whole
+    /// circuit — `log2` of an upper bound on the reachable support.
+    pub branch_log2: usize,
+    /// Leading instructions that are all Clifford (the hybrid handoff
+    /// prefix).
+    pub clifford_prefix: usize,
+    /// [`CircuitProfile::branch_log2`] over the instructions after the
+    /// Clifford prefix only.
+    pub tail_branch_log2: usize,
+}
+
+impl CircuitProfile {
+    /// Profile `circuit` in one pass.
+    #[must_use]
+    pub fn of(circuit: &Circuit) -> Self {
+        let width = circuit.num_qubits();
+        let mut scratch = Vec::new();
+        let mut clifford = true;
+        let mut has_reset = false;
+        let mut branch_count = 0usize;
+        let mut tail_branch_count = 0usize;
+        let mut clifford_prefix = 0usize;
+        let mut in_prefix = true;
+        for (i, inst) in circuit.instructions().iter().enumerate() {
+            if inst.gate == Gate::Reset {
+                has_reset = true;
+            }
+            scratch.clear();
+            let is_clifford = clifford::push_clifford_ops(inst, &mut scratch);
+            let branches = if is_clifford {
+                scratch
+                    .iter()
+                    .any(|op| matches!(op, clifford::CliffordOp::H(_)))
+            } else {
+                clifford::branches(inst, &mut scratch)
+            };
+            if !is_clifford {
+                clifford = false;
+                if in_prefix {
+                    clifford_prefix = i;
+                    in_prefix = false;
+                }
+            }
+            if branches {
+                branch_count += 1;
+                if !in_prefix {
+                    tail_branch_count += 1;
+                }
+            }
+        }
+        if in_prefix {
+            clifford_prefix = circuit.instructions().len();
+        }
+        CircuitProfile {
+            width,
+            clifford,
+            has_reset,
+            branch_log2: branch_count.min(width),
+            clifford_prefix,
+            tail_branch_log2: tail_branch_count.min(width),
+        }
+    }
+}
+
+/// A resolved execution route for one circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendPlan {
+    /// Dense statevector.
+    Dense,
+    /// Stabilizer tableau (whole circuit).
+    Stabilizer,
+    /// Sparse statevector (whole circuit).
+    Sparse,
+    /// Hybrid: the first `prefix` instructions on the tableau, the tail
+    /// on the sparse engine seeded with the tableau's exact support.
+    CliffordPrefix {
+        /// Instructions evolved on the tableau before the handoff.
+        prefix: usize,
+    },
+}
+
+impl BackendPlan {
+    /// The engine that samples the shots (the hybrid route finishes on
+    /// the sparse engine).
+    #[must_use]
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            BackendPlan::Dense => BackendKind::Dense,
+            BackendPlan::Stabilizer => BackendKind::Stabilizer,
+            BackendPlan::Sparse | BackendPlan::CliffordPrefix { .. } => BackendKind::Sparse,
+        }
+    }
+}
+
+/// One simulation engine: eligibility predicate plus execution, the
+/// interface [`BackendDispatcher`] routes through.
+pub trait SimBackend {
+    /// Which engine this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Whether this engine can faithfully execute a circuit with
+    /// `profile` under `sim`'s configuration (noise model flags).
+    fn supports(&self, sim: &NoisySimulator, profile: &CircuitProfile) -> bool;
+
+    /// Execute the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the circuit exceeds this engine's
+    /// limits (callers should check [`SimBackend::supports`] first).
+    fn run(
+        &self,
+        sim: &NoisySimulator,
+        circuit: &Circuit,
+        snapshot: &CalibrationSnapshot,
+        shots: u32,
+    ) -> Result<Counts, SimError>;
+}
+
+/// The dense SIMD statevector engine (see [`crate::NoisySimulator`]'s
+/// module docs for its optimization inventory).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DenseBackend;
+
+impl SimBackend for DenseBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Dense
+    }
+
+    fn supports(&self, _sim: &NoisySimulator, profile: &CircuitProfile) -> bool {
+        profile.width <= DENSE_MAX_QUBITS
+    }
+
+    fn run(
+        &self,
+        sim: &NoisySimulator,
+        circuit: &Circuit,
+        snapshot: &CalibrationSnapshot,
+        shots: u32,
+    ) -> Result<Counts, SimError> {
+        sim.run_dense(circuit, snapshot, shots)
+    }
+}
+
+/// The stabilizer tableau engine (see [`stabilizer`]'s module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StabilizerBackend;
+
+impl SimBackend for StabilizerBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Stabilizer
+    }
+
+    fn supports(&self, sim: &NoisySimulator, profile: &CircuitProfile) -> bool {
+        profile.clifford
+            && !profile.has_reset
+            && !sim.decoherence
+            && profile.width <= STABILIZER_MAX_QUBITS
+    }
+
+    fn run(
+        &self,
+        sim: &NoisySimulator,
+        circuit: &Circuit,
+        snapshot: &CalibrationSnapshot,
+        shots: u32,
+    ) -> Result<Counts, SimError> {
+        stabilizer::run(sim, circuit, snapshot, shots)
+    }
+}
+
+/// The sparse statevector engine (see [`sparse`]'s module docs). As a
+/// forced backend it always runs the whole circuit sparsely; the hybrid
+/// Clifford-prefix route exists only under [`BackendChoice::Auto`],
+/// because its materialized amplitudes are distribution-faithful rather
+/// than bit-identical.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SparseBackend;
+
+impl SimBackend for SparseBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sparse
+    }
+
+    fn supports(&self, sim: &NoisySimulator, profile: &CircuitProfile) -> bool {
+        !profile.has_reset
+            && !sim.decoherence
+            && profile.width <= SPARSE_MAX_QUBITS
+            && profile.branch_log2 <= SPARSE_MAX_BRANCH_LOG2
+    }
+
+    fn run(
+        &self,
+        sim: &NoisySimulator,
+        circuit: &Circuit,
+        snapshot: &CalibrationSnapshot,
+        shots: u32,
+    ) -> Result<Counts, SimError> {
+        sparse::run(sim, circuit, snapshot, shots, 0)
+    }
+}
+
+/// Routes each circuit to an engine (see the module docs for the
+/// policy).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BackendDispatcher;
+
+impl BackendDispatcher {
+    /// Resolve the route [`NoisySimulator::run`] will take for
+    /// `circuit` under `sim`'s [`BackendChoice`], without running
+    /// anything.
+    ///
+    /// Under [`BackendChoice::Auto`]: dense whenever the circuit fits
+    /// ([`crate::DENSE_MAX_QUBITS`]) — the bit-for-bit original path —
+    /// then, for wider circuits, stabilizer / sparse / Clifford-prefix
+    /// hybrid in that order of preference. Under
+    /// [`BackendChoice::Force`], the pinned engine or an error.
+    ///
+    /// [`NoisySimulator::run`]: crate::NoisySimulator::run
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NoBackend`] when no engine (or the forced engine)
+    /// can faithfully execute the circuit.
+    pub fn plan(sim: &NoisySimulator, circuit: &Circuit) -> Result<BackendPlan, SimError> {
+        let profile = CircuitProfile::of(circuit);
+        let width = profile.width;
+        match sim.backend {
+            BackendChoice::Force(BackendKind::Dense) => {
+                if DenseBackend.supports(sim, &profile) {
+                    Ok(BackendPlan::Dense)
+                } else {
+                    Err(SimError::TooManyQubits { requested: width })
+                }
+            }
+            BackendChoice::Force(BackendKind::Stabilizer) => {
+                if StabilizerBackend.supports(sim, &profile) {
+                    Ok(BackendPlan::Stabilizer)
+                } else {
+                    Err(SimError::NoBackend {
+                        width,
+                        reason: "stabilizer backend needs a reset-free Clifford circuit \
+                                 (≤ 127 qubits) without decoherence",
+                    })
+                }
+            }
+            BackendChoice::Force(BackendKind::Sparse) => {
+                if SparseBackend.supports(sim, &profile) {
+                    Ok(BackendPlan::Sparse)
+                } else {
+                    Err(SimError::NoBackend {
+                        width,
+                        reason: "sparse backend needs a reset-free circuit (≤ 64 qubits) \
+                                 with a bounded branching count and no decoherence",
+                    })
+                }
+            }
+            BackendChoice::Auto => {
+                if DenseBackend.supports(sim, &profile) {
+                    return Ok(BackendPlan::Dense);
+                }
+                if sim.decoherence {
+                    return Err(SimError::NoBackend {
+                        width,
+                        reason: "decoherence requires the dense backend \
+                                 (amplitude-damping draws depend on the state)",
+                    });
+                }
+                if profile.has_reset {
+                    return Err(SimError::NoBackend {
+                        width,
+                        reason: "mid-circuit reset requires the dense backend \
+                                 (its projective draw depends on the state)",
+                    });
+                }
+                if StabilizerBackend.supports(sim, &profile) {
+                    return Ok(BackendPlan::Stabilizer);
+                }
+                if SparseBackend.supports(sim, &profile) {
+                    return Ok(BackendPlan::Sparse);
+                }
+                if width <= SPARSE_MAX_QUBITS
+                    && profile.clifford_prefix > 0
+                    && profile.tail_branch_log2 <= SPARSE_MAX_BRANCH_LOG2
+                {
+                    return Ok(BackendPlan::CliffordPrefix {
+                        prefix: profile.clifford_prefix,
+                    });
+                }
+                Err(SimError::NoBackend {
+                    width,
+                    reason: "wider than every engine's domain: not Clifford (stabilizer), \
+                             branches too much (sparse), no narrow-tailed Clifford prefix \
+                             (hybrid)",
+                })
+            }
+        }
+    }
+
+    /// Plan and execute — the body of [`NoisySimulator::run`].
+    ///
+    /// [`NoisySimulator::run`]: crate::NoisySimulator::run
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] from planning or from the selected engine.
+    pub fn execute(
+        sim: &NoisySimulator,
+        circuit: &Circuit,
+        snapshot: &CalibrationSnapshot,
+        shots: u32,
+    ) -> Result<Counts, SimError> {
+        match Self::plan(sim, circuit)? {
+            BackendPlan::Dense => DenseBackend.run(sim, circuit, snapshot, shots),
+            BackendPlan::Stabilizer => StabilizerBackend.run(sim, circuit, snapshot, shots),
+            BackendPlan::Sparse => SparseBackend.run(sim, circuit, snapshot, shots),
+            BackendPlan::CliffordPrefix { prefix } => {
+                sparse::run(sim, circuit, snapshot, shots, prefix)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clifford_pos_circuit;
+
+    fn auto_sim() -> NoisySimulator {
+        NoisySimulator::with_seed(1)
+    }
+
+    #[test]
+    fn narrow_circuits_stay_dense() {
+        // The bit-identity contract: anything the dense engine can hold
+        // routes dense, even when it is pure Clifford.
+        let c = clifford_pos_circuit(5);
+        assert_eq!(
+            BackendDispatcher::plan(&auto_sim(), &c).unwrap(),
+            BackendPlan::Dense
+        );
+    }
+
+    #[test]
+    fn wide_clifford_routes_to_stabilizer() {
+        let c = clifford_pos_circuit(65);
+        assert_eq!(
+            BackendDispatcher::plan(&auto_sim(), &c).unwrap(),
+            BackendPlan::Stabilizer
+        );
+        assert_eq!(
+            auto_sim().planned_backend(&c).unwrap(),
+            BackendKind::Stabilizer
+        );
+    }
+
+    #[test]
+    fn wide_low_branching_routes_to_sparse() {
+        let mut c = Circuit::new(30);
+        c.h(0);
+        for q in 1..30 {
+            c.cx(q - 1, q);
+        }
+        c.t(7); // non-Clifford, diagonal: no extra branching
+        c.measure_all();
+        let profile = CircuitProfile::of(&c);
+        assert!(!profile.clifford);
+        assert_eq!(profile.branch_log2, 1);
+        assert_eq!(
+            BackendDispatcher::plan(&auto_sim(), &c).unwrap(),
+            BackendPlan::Sparse
+        );
+    }
+
+    #[test]
+    fn heavy_prefix_narrow_tail_routes_to_hybrid() {
+        // 30 H's branch too much for plain sparse, but they are all in
+        // the Clifford prefix; the tail is one T and one Ry.
+        let mut c = Circuit::new(30);
+        for q in 0..30 {
+            c.h(q);
+        }
+        for q in 0..30 {
+            c.h(q);
+        }
+        c.t(0).ry(0.3, 1);
+        c.measure_all();
+        let plan = BackendDispatcher::plan(&auto_sim(), &c).unwrap();
+        assert_eq!(plan, BackendPlan::CliffordPrefix { prefix: 60 });
+        assert_eq!(plan.kind(), BackendKind::Sparse);
+    }
+
+    #[test]
+    fn wide_branchy_non_clifford_has_no_backend() {
+        let mut c = Circuit::new(30);
+        for q in 0..30 {
+            c.ry(0.3, q);
+        }
+        c.measure_all();
+        let err = BackendDispatcher::plan(&auto_sim(), &c).unwrap_err();
+        assert!(matches!(err, SimError::NoBackend { width: 30, .. }), "{err}");
+    }
+
+    #[test]
+    fn decoherence_blocks_wide_backends() {
+        let c = clifford_pos_circuit(65);
+        let sim = auto_sim().with_decoherence();
+        assert!(matches!(
+            BackendDispatcher::plan(&sim, &c),
+            Err(SimError::NoBackend { .. })
+        ));
+    }
+
+    #[test]
+    fn forced_backends_validate_eligibility() {
+        let narrow = clifford_pos_circuit(5);
+        let wide = clifford_pos_circuit(65);
+        let sim = auto_sim();
+        // Dense refuses what it cannot hold.
+        assert!(matches!(
+            BackendDispatcher::plan(&sim.with_backend(BackendChoice::Force(BackendKind::Dense)), &wide),
+            Err(SimError::TooManyQubits { requested: 65 })
+        ));
+        // Stabilizer accepts narrow Clifford circuits when forced.
+        assert_eq!(
+            BackendDispatcher::plan(
+                &sim.with_backend(BackendChoice::Force(BackendKind::Stabilizer)),
+                &narrow
+            )
+            .unwrap(),
+            BackendPlan::Stabilizer
+        );
+        // Stabilizer refuses non-Clifford circuits.
+        let mut t_circ = Circuit::new(2);
+        t_circ.h(0).t(0).measure_all();
+        assert!(matches!(
+            BackendDispatcher::plan(
+                &sim.with_backend(BackendChoice::Force(BackendKind::Stabilizer)),
+                &t_circ
+            ),
+            Err(SimError::NoBackend { .. })
+        ));
+        // Sparse refuses circuits wider than its keys.
+        assert!(matches!(
+            BackendDispatcher::plan(
+                &sim.with_backend(BackendChoice::Force(BackendKind::Sparse)),
+                &clifford_pos_circuit(70)
+            ),
+            Err(SimError::NoBackend { .. })
+        ));
+    }
+
+    #[test]
+    fn profile_of_reset_circuit() {
+        let mut c = Circuit::with_clbits(3, 3);
+        c.h(0).apply(Gate::Reset, &[1]).measure_all();
+        let p = CircuitProfile::of(&c);
+        assert!(p.has_reset);
+        assert!(!p.clifford);
+        assert_eq!(p.clifford_prefix, 1);
+    }
+
+    #[test]
+    fn backend_kind_labels() {
+        assert_eq!(BackendKind::Dense.to_string(), "dense");
+        assert_eq!(BackendKind::Stabilizer.to_string(), "stabilizer");
+        assert_eq!(BackendKind::Sparse.to_string(), "sparse");
+    }
+}

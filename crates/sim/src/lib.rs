@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod backend;
 mod complex;
 mod counts;
 mod equivalence;
@@ -31,13 +32,18 @@ mod kernels;
 mod noisy;
 mod statevector;
 
+pub use backend::{
+    sparse_amplitudes, BackendChoice, BackendDispatcher, BackendKind, BackendPlan,
+    CircuitProfile, SimBackend, MAX_CLBITS, SPARSE_MAX_AMPS, SPARSE_MAX_QUBITS,
+    STABILIZER_MAX_QUBITS,
+};
 pub use complex::Complex;
 pub use equivalence::equivalent_unitaries;
 pub use counts::Counts;
 pub use fusion::CompiledCircuit;
 pub use kernels::{norm_from_probs, probability_one_from_probs, SimdPolicy, SvExec, LANES};
 pub use noisy::{
-    clbit_distribution, measurement_map, probability_of_success, qft_pos_circuit,
-    used_clbit_width, NoisySimulator,
+    clbit_distribution, clifford_pos_circuit, measurement_map, probability_of_success,
+    qft_pos_circuit, used_clbit_width, NoisySimulator, DENSE_DISTRIBUTION_MAX_WIDTH,
 };
-pub use statevector::{CdfSampler, SimError, Statevector, MAX_QUBITS};
+pub use statevector::{CdfSampler, SimError, Statevector, DENSE_MAX_QUBITS};

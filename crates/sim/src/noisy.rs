@@ -49,6 +49,7 @@ use qcs_exec::{BufferPool, ExecConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
+use crate::backend::BackendChoice;
 use crate::fusion::{self, Kernel};
 use crate::{CdfSampler, Complex, Counts, SimError, Statevector, SvExec};
 
@@ -80,6 +81,12 @@ pub struct NoisySimulator {
     /// while a many-trajectory run keeps the outer fan-out. Counts are
     /// bit-identical at every setting (see [`SvExec`]).
     pub sv: SvExec,
+    /// Simulation backend selection: [`BackendChoice::Auto`] (default)
+    /// routes each circuit through [`crate::backend::BackendDispatcher`]
+    /// (dense when it fits, stabilizer for wide Clifford circuits, sparse
+    /// for wide low-branching circuits); `Force(kind)` pins one engine
+    /// and errors if it cannot faithfully run the circuit.
+    pub backend: BackendChoice,
 }
 
 impl Default for NoisySimulator {
@@ -90,21 +97,24 @@ impl Default for NoisySimulator {
             decoherence: false,
             threads: 0,
             sv: SvExec::auto(),
+            backend: BackendChoice::Auto,
         }
     }
 }
 
 /// One pre-decoded instruction of the trajectory loop: the statevector
 /// kernel plus everything the noise model needs, computed once per run.
-struct TrajStep {
-    kernel: Kernel,
+/// Shared with the alternative backends in [`crate::backend`], which walk
+/// the same step stream with the same draw discipline.
+pub(crate) struct TrajStep {
+    pub(crate) kernel: Kernel,
     /// Operand qubits, for Pauli injection and decoherence.
-    qubits: Vec<Qubit>,
+    pub(crate) qubits: Vec<Qubit>,
     /// Whether the noise model applies to this step at all (unitary,
     /// non-identity, non-directive).
     eligible: bool,
     /// Calibrated gate error probability (0 when ineligible).
-    error_prob: f64,
+    pub(crate) error_prob: f64,
     /// Nominal duration for decoherence (0 when decoherence is off).
     duration_ns: f64,
 }
@@ -128,7 +138,7 @@ impl Scratch {
 /// A measurement-map entry with the readout error pre-scaled by
 /// [`uniform_threshold`] and the lookup hoisted out of the shot loop:
 /// `(qubit, clbit, flip_threshold)`.
-type ReadoutEntry = (usize, usize, u64);
+pub(crate) type ReadoutEntry = (usize, usize, u64);
 
 /// The scale of the 53-bit uniform draw: `gen_range(0.0..1.0)` returns
 /// exactly `k * 2^-53` for `k = next_u64() >> 11`.
@@ -140,7 +150,7 @@ const UNIFORM_SCALE: f64 = (1u64 << 53) as f64;
 /// f64 product (power-of-two scaling), so this threshold resolves every
 /// draw bit-identically to the float comparison while the shot loop
 /// skips the int-to-float conversion.
-fn uniform_threshold(p: f64) -> u64 {
+pub(crate) fn uniform_threshold(p: f64) -> u64 {
     (p * UNIFORM_SCALE).ceil() as u64
 }
 
@@ -335,6 +345,14 @@ impl NoisySimulator {
         self
     }
 
+    /// Set the backend selection policy (see [`BackendChoice`]); returns
+    /// the modified simulator for chaining.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Resolve the statevector policy for this run: explicit `sv.threads`
     /// is honored verbatim; auto (`0`) resolves to the work-aware team
     /// size for this state width and kernel count, capped by `budget` —
@@ -381,6 +399,32 @@ impl NoisySimulator {
             snapshot.num_qubits() >= circuit.num_qubits(),
             "snapshot narrower than circuit"
         );
+        crate::backend::BackendDispatcher::execute(self, circuit, snapshot, shots)
+    }
+
+    /// The backend this simulator's [`BackendChoice`] resolves to for
+    /// `circuit` — what [`NoisySimulator::run`] will execute on — without
+    /// running anything. Experiments use this to label results per
+    /// machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when no backend can faithfully execute the
+    /// circuit under this configuration.
+    pub fn planned_backend(&self, circuit: &Circuit) -> Result<crate::BackendKind, SimError> {
+        crate::backend::BackendDispatcher::plan(self, circuit).map(|p| p.kind())
+    }
+
+    /// The dense-statevector execution path (the engine behind
+    /// [`NoisySimulator::run`] whenever the circuit fits
+    /// [`crate::DENSE_MAX_QUBITS`]): fused kernels, trajectory
+    /// skip-ahead, prefix checkpoints, pooled buffers, integer shot loop.
+    pub(crate) fn run_dense(
+        &self,
+        circuit: &Circuit,
+        snapshot: &CalibrationSnapshot,
+        shots: u32,
+    ) -> Result<Counts, SimError> {
         let readout = self.readout_entries(circuit, snapshot);
         let width = used_clbit_width_of_entries(&readout);
         let num_qubits = circuit.num_qubits();
@@ -584,7 +628,7 @@ impl NoisySimulator {
     }
 
     /// Decode one instruction into its trajectory step.
-    fn decode_step(&self, inst: &Instruction, snapshot: &CalibrationSnapshot) -> TrajStep {
+    pub(crate) fn decode_step(&self, inst: &Instruction, snapshot: &CalibrationSnapshot) -> TrajStep {
         let eligible =
             inst.gate.is_unitary() && !inst.gate.is_directive() && inst.gate != Gate::Id;
         TrajStep {
@@ -669,7 +713,7 @@ impl NoisySimulator {
     /// The measurement map with readout errors attached (pre-scaled to
     /// integer flip thresholds), hoisting the per-shot snapshot lookup
     /// and float comparison out of the loop.
-    fn readout_entries(
+    pub(crate) fn readout_entries(
         &self,
         circuit: &Circuit,
         snapshot: &CalibrationSnapshot,
@@ -684,6 +728,14 @@ impl NoisySimulator {
 /// Widest classical register accumulated in a dense array instead of the
 /// hash map (`2^16` slots, 512 KiB — beyond that fall back to hashing).
 const DENSE_COUNTS_MAX_WIDTH: usize = 16;
+
+/// Widest classical register [`clbit_distribution`] materializes as a
+/// dense `2^width` probability array. A classical-register limit on that
+/// function's output size, distinct from the dense backend's
+/// [`crate::DENSE_MAX_QUBITS`] state cap (the values coincide today, but
+/// one is about amplitude memory and the other about distribution-array
+/// memory).
+pub const DENSE_DISTRIBUTION_MAX_WIDTH: usize = 24;
 
 /// The shot loop shared by both trajectory kinds: sample a basis state,
 /// push it through the readout-error channel, record the clbit word.
@@ -738,7 +790,7 @@ fn one_shot(sampler: &ShotSampler, rng: &mut StdRng, readout: &[ReadoutEntry]) -
 
 /// Merge per-trajectory partial counts in trajectory order; the first
 /// error (by trajectory index) wins, matching a sequential loop.
-fn merge_partials(
+pub(crate) fn merge_partials(
     partials: Vec<Result<Counts, SimError>>,
     width: usize,
 ) -> Result<Counts, SimError> {
@@ -833,7 +885,7 @@ fn inject_pauli(
 /// bits per qubit, at least one nonzero): one `gen_range` draw, split out
 /// of [`inject_pauli`] so the skip-ahead dry walk can consume it at the
 /// reference stream position and apply it later.
-fn draw_pauli_word(rng: &mut StdRng, k: usize) -> usize {
+pub(crate) fn draw_pauli_word(rng: &mut StdRng, k: usize) -> usize {
     // For k qubits there are 4^k - 1 non-identity words.
     let choices = 4usize.pow(k as u32) - 1;
     rng.gen_range(1..=choices)
@@ -879,7 +931,7 @@ pub fn used_clbit_width(measure_map: &[(usize, usize)]) -> usize {
 }
 
 /// [`used_clbit_width`] over readout-annotated entries.
-fn used_clbit_width_of_entries(entries: &[ReadoutEntry]) -> usize {
+pub(crate) fn used_clbit_width_of_entries(entries: &[ReadoutEntry]) -> usize {
     entries.iter().map(|&(_, c, _)| c + 1).max().unwrap_or(1)
 }
 
@@ -891,13 +943,17 @@ fn used_clbit_width_of_entries(entries: &[ReadoutEntry]) -> usize {
 /// # Errors
 ///
 /// Returns [`SimError`] for oversized or unsupported circuits, including
-/// measurement maps spanning more clbits than [`crate::MAX_QUBITS`].
+/// measurement maps spanning more clbits than
+/// [`DENSE_DISTRIBUTION_MAX_WIDTH`].
 pub fn clbit_distribution(circuit: &Circuit) -> Result<Vec<f64>, SimError> {
     let state = Statevector::from_circuit(circuit)?;
     let map = measurement_map(circuit);
     let width = used_clbit_width(&map);
-    if width > crate::MAX_QUBITS {
-        return Err(SimError::TooManyQubits { requested: width });
+    // This is a classical-register limit on the size of the returned
+    // dense `2^width` distribution array — deliberately its own constant,
+    // not the dense backend's qubit cap, even though the values coincide.
+    if width > DENSE_DISTRIBUTION_MAX_WIDTH {
+        return Err(SimError::TooManyClbits { requested: width });
     }
     let mut probs = Vec::new();
     state.probabilities_into(&mut probs);
@@ -932,6 +988,40 @@ pub fn qft_pos_circuit(n: usize) -> Circuit {
     c.extend_from(&inverse)
         .expect("inverse QFT fits the same register");
     c.measure_all();
+    c
+}
+
+/// Build the Clifford fidelity benchmark for full-fleet POS runs (Fig 7
+/// on machines beyond the dense backend): a GHZ "echo" — entangle the
+/// whole register into a GHZ state through a CX chain, flip every qubit
+/// (the GHZ state is an exact fixed point of `X⊗…⊗X`, and the layer
+/// keeps the transpiler's peephole pass from cancelling the echo while
+/// charging every qubit's single-qubit error), then un-compute — so the
+/// ideal outcome is deterministically the all-zeros word, every gate is
+/// Clifford (the stabilizer backend runs it at any width), and the CX
+/// count scales with machine size like the paper's benchmark families.
+/// Measures the first `min(n, 64)` qubits: one outcome word is 64 bits
+/// (see [`crate::backend::MAX_CLBITS`]), which the 65q Manhattan would
+/// otherwise overflow.
+#[must_use]
+pub fn clifford_pos_circuit(n: usize) -> Circuit {
+    assert!(n > 0, "circuit needs at least one qubit");
+    let measured = n.min(crate::backend::MAX_CLBITS);
+    let mut c = Circuit::with_clbits(n, measured).named(format!("clifford_pos_{n}"));
+    c.h(0);
+    for q in 1..n {
+        c.cx(q - 1, q);
+    }
+    for q in 0..n {
+        c.x(q);
+    }
+    for q in (1..n).rev() {
+        c.cx(q - 1, q);
+    }
+    c.h(0);
+    for q in 0..measured {
+        c.measure(q, q);
+    }
     c
 }
 

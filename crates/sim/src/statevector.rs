@@ -5,15 +5,25 @@ use rand::Rng;
 
 use crate::Complex;
 
-/// Maximum supported register width (memory: `16 bytes * 2^n`).
-pub const MAX_QUBITS: usize = 24;
+/// Maximum register width of the *dense* statevector backend (memory:
+/// `16 bytes * 2^n`). This is a dense-backend-local limit: the stabilizer
+/// and sparse backends in [`crate::backend`] run far wider circuits.
+pub const DENSE_MAX_QUBITS: usize = 24;
 
 /// Errors from the simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
-    /// The circuit is wider than [`MAX_QUBITS`].
+    /// The circuit is wider than the dense backend's
+    /// [`DENSE_MAX_QUBITS`] limit.
     TooManyQubits {
         /// Requested width.
+        requested: usize,
+    },
+    /// The measurement map spans more classical bits than fit one
+    /// outcome word (see [`crate::backend::MAX_CLBITS`]) — a classical
+    /// register limit, independent of any backend's qubit cap.
+    TooManyClbits {
+        /// Requested classical width.
         requested: usize,
     },
     /// The circuit contains an operation the statevector engine cannot
@@ -23,15 +33,33 @@ pub enum SimError {
         /// Gate name.
         gate: &'static str,
     },
+    /// No simulation backend can faithfully execute the circuit under
+    /// the requested configuration (see [`crate::backend`] for what each
+    /// backend supports).
+    NoBackend {
+        /// Circuit width.
+        width: usize,
+        /// Why every backend was ruled out.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::TooManyQubits { requested } => {
-                write!(f, "{requested} qubits exceed simulator limit of {MAX_QUBITS}")
+                write!(
+                    f,
+                    "{requested} qubits exceed dense-backend limit of {DENSE_MAX_QUBITS}"
+                )
+            }
+            SimError::TooManyClbits { requested } => {
+                write!(f, "{requested} clbits exceed one outcome word")
             }
             SimError::Unsupported { gate } => write!(f, "unsupported operation: {gate}"),
+            SimError::NoBackend { width, reason } => {
+                write!(f, "no backend for {width}-qubit circuit: {reason}")
+            }
         }
     }
 }
@@ -66,9 +94,9 @@ impl Statevector {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::TooManyQubits`] beyond [`MAX_QUBITS`].
+    /// Returns [`SimError::TooManyQubits`] beyond [`DENSE_MAX_QUBITS`].
     pub fn zero(num_qubits: usize) -> Result<Self, SimError> {
-        if num_qubits > MAX_QUBITS {
+        if num_qubits > DENSE_MAX_QUBITS {
             return Err(SimError::TooManyQubits {
                 requested: num_qubits,
             });
@@ -86,9 +114,9 @@ impl Statevector {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::TooManyQubits`] beyond [`MAX_QUBITS`].
+    /// Returns [`SimError::TooManyQubits`] beyond [`DENSE_MAX_QUBITS`].
     pub fn zero_in(num_qubits: usize, mut buf: Vec<Complex>) -> Result<Self, SimError> {
-        if num_qubits > MAX_QUBITS {
+        if num_qubits > DENSE_MAX_QUBITS {
             return Err(SimError::TooManyQubits {
                 requested: num_qubits,
             });
@@ -108,7 +136,7 @@ impl Statevector {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::TooManyQubits`] beyond [`MAX_QUBITS`].
+    /// Returns [`SimError::TooManyQubits`] beyond [`DENSE_MAX_QUBITS`].
     ///
     /// # Panics
     ///
@@ -118,7 +146,7 @@ impl Statevector {
         mut buf: Vec<Complex>,
         amps: &[Complex],
     ) -> Result<Self, SimError> {
-        if num_qubits > MAX_QUBITS {
+        if num_qubits > DENSE_MAX_QUBITS {
             return Err(SimError::TooManyQubits {
                 requested: num_qubits,
             });

@@ -7,7 +7,7 @@ use std::time::Duration;
 use qcs_circuit::library;
 use qcs_exec::ExecConfig;
 use qcs_machine::{Fleet, Machine};
-use qcs_sim::{probability_of_success, qft_pos_circuit, NoisySimulator};
+use qcs_sim::{clifford_pos_circuit, probability_of_success, qft_pos_circuit, NoisySimulator};
 use qcs_topology::{bisection_bandwidth, families};
 use qcs_transpiler::{
     layout::noise_aware_layout, transpile, Layout, Target, TranspileCache, TranspileError,
@@ -132,6 +132,9 @@ pub struct FidelityRow {
     pub machine: String,
     /// Machine qubits.
     pub qubits: usize,
+    /// Simulation backend that executed the benchmark ("dense",
+    /// "stabilizer", or "sparse" — see [`qcs_sim::BackendKind`]).
+    pub backend: String,
     /// Measured probability of success of the 4q QFT benchmark.
     pub pos: f64,
     /// CX-depth of the compiled circuit.
@@ -224,22 +227,122 @@ pub fn fidelity_vs_cx_with(
         let region_snapshot = target.snapshot().restricted(&region);
         // Decoherence on: Fig 7 models real-hardware fidelity, where
         // readout-window T1 decay matters.
-        let counts = NoisySimulator::with_seed(seed)
+        let sim = NoisySimulator::with_seed(seed)
             .with_decoherence()
-            .with_threads(sim_threads)
+            .with_threads(sim_threads);
+        // Explicit per-machine backend selection, recorded in the row:
+        // the dispatcher (not a hard width assert) decides how each
+        // machine's benchmark executes.
+        let backend = sim
+            .planned_backend(&compact)
+            .unwrap_or_else(|e| panic!("{name}: no backend for compacted benchmark: {e}"));
+        let counts = sim
             .run(&compact, &region_snapshot, shots)
-            .expect("compacted circuits fit the simulator");
+            .unwrap_or_else(|e| panic!("{name}: planned {backend} backend failed: {e}"));
         let (cx_depth, cx_total, cx_depth_err, cx_total_err) =
             result.cx_fidelity_indicators(&target);
         Ok(FidelityRow {
             machine: name.to_string(),
             qubits: machine.num_qubits(),
+            backend: backend.to_string(),
             pos: probability_of_success(&counts, 0),
             cx_depth,
             cx_total,
             cx_depth_err,
             cx_total_err,
         })
+    })
+}
+
+/// One machine row of the untruncated-fleet Fig 7 variant
+/// ([`fleet_fidelity`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetFidelityRow {
+    /// Machine name.
+    pub machine: String,
+    /// Machine qubits — also the benchmark width.
+    pub qubits: usize,
+    /// Simulation backend that executed the benchmark.
+    pub backend: String,
+    /// Measured probability of success of the machine-wide Clifford
+    /// benchmark.
+    pub pos: f64,
+    /// CX-total of the compiled circuit.
+    pub cx_total: usize,
+}
+
+/// Result of [`fleet_fidelity`]: one row per simulated machine, plus the
+/// number of machines that had to be skipped because no backend could
+/// execute their benchmark. With the multi-backend dispatcher the
+/// expected count is **zero** — the stabilizer engine covers every
+/// machine in the fleet up to 127 qubits — and the tests assert it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetFidelity {
+    /// Per-machine rows, in fleet iteration order.
+    pub rows: Vec<FleetFidelityRow>,
+    /// Machines with no eligible backend (expected 0).
+    pub skipped: usize,
+}
+
+/// Fig 7, untruncated: run a *machine-wide* fidelity benchmark on every
+/// machine of the fleet — including the 65-qubit Manhattan that the dense
+/// statevector can never hold. The benchmark is the Clifford GHZ echo
+/// ([`clifford_pos_circuit`]) at each machine's full width, compiled
+/// noise-aware for its topology; per-machine backend selection happens in
+/// the simulator's dispatcher (wide machines land on the stabilizer
+/// tableau), and the chosen backend is recorded per row.
+///
+/// Decoherence is off in this variant: the wide backends model gate and
+/// readout errors natively, while duration-scaled T1/T2 needs dense
+/// amplitudes (see [`qcs_sim::BackendDispatcher`]).
+///
+/// # Errors
+///
+/// Returns [`TranspileError`] if a machine's compilation fails.
+///
+/// # Panics
+///
+/// Panics if a planned backend fails to execute (planning is checked
+/// first; machines with no eligible backend are counted in
+/// [`FleetFidelity::skipped`] instead of panicking).
+pub fn fleet_fidelity(
+    fleet: &Fleet,
+    t_hours: f64,
+    shots: u32,
+    seed: u64,
+) -> Result<FleetFidelity, TranspileError> {
+    let exec = ExecConfig::from_env();
+    let machines: Vec<&Machine> = fleet.iter().collect();
+    // The machine fan-out owns the pool; stabilizer trajectories are
+    // cheap enough that the inner loop never needs workers of its own.
+    let rows = qcs_exec::try_parallel_map(&exec, &machines, |_, &machine| {
+        let circuit = clifford_pos_circuit(machine.num_qubits());
+        let target = Target::from_machine(machine, t_hours);
+        let result = transpile(&circuit, &target, TranspileOptions::full())?;
+        let (compact, region) = result.circuit.compacted();
+        let region_snapshot = target.snapshot().restricted(&region);
+        let sim = NoisySimulator::with_seed(seed).with_threads(1);
+        let Ok(backend) = sim.planned_backend(&compact) else {
+            return Ok(None);
+        };
+        let counts = sim
+            .run(&compact, &region_snapshot, shots)
+            .unwrap_or_else(|e| {
+                panic!("{}: planned {backend} backend failed: {e}", machine.name())
+            });
+        let (_, cx_total, _, _) = result.cx_fidelity_indicators(&target);
+        Ok(Some(FleetFidelityRow {
+            machine: machine.name().to_string(),
+            qubits: machine.num_qubits(),
+            backend: backend.to_string(),
+            pos: probability_of_success(&counts, 0),
+            cx_total,
+        }))
+    })?;
+    let skipped = rows.iter().filter(|r| r.is_none()).count();
+    Ok(FleetFidelity {
+        rows: rows.into_iter().flatten().collect(),
+        skipped,
     })
 }
 
@@ -446,6 +549,60 @@ mod tests {
         let max = rows.iter().map(|r| r.pos).fold(0.0f64, f64::max);
         let min = rows.iter().map(|r| r.pos).fold(1.0f64, f64::min);
         assert!(max - min > 0.02, "POS spread too small: {min}..{max}");
+    }
+
+    #[test]
+    fn fleet_fidelity_covers_every_machine_unskipped() {
+        // The acceptance gate of the multi-backend dispatcher: the
+        // machine-wide benchmark must execute on ALL 25 fleet machines —
+        // no more silent truncation to what the dense engine can hold —
+        // including the 65q Manhattan, and nothing may be skipped.
+        let fleet = Fleet::ibm_like();
+        let out = fleet_fidelity(&fleet, 12.0, 256, 3).unwrap();
+        assert_eq!(out.skipped, 0, "machines skipped: {:?}", out);
+        assert_eq!(out.rows.len(), fleet.iter().count());
+        assert_eq!(out.rows.len(), 25);
+        let manhattan = out
+            .rows
+            .iter()
+            .find(|r| r.machine == "manhattan")
+            .expect("manhattan row");
+        assert_eq!(manhattan.qubits, 65);
+        assert_eq!(
+            manhattan.backend, "stabilizer",
+            "65q exceeds dense; must route to the tableau"
+        );
+        for r in &out.rows {
+            assert!(
+                (0.0..=1.0).contains(&r.pos),
+                "{}: pos {}",
+                r.machine,
+                r.pos
+            );
+            assert!(
+                r.cx_total > 0 || r.qubits == 1,
+                "{}: multi-qubit GHZ echo has CX gates",
+                r.machine
+            );
+            let expected = if r.qubits <= qcs_sim::DENSE_MAX_QUBITS {
+                "dense"
+            } else {
+                "stabilizer"
+            };
+            assert_eq!(r.backend, expected, "{} ({}q)", r.machine, r.qubits);
+        }
+        // Fidelity varies with machine size/quality, as in the paper.
+        let max = out.rows.iter().map(|r| r.pos).fold(0.0f64, f64::max);
+        let min = out.rows.iter().map(|r| r.pos).fold(1.0f64, f64::min);
+        assert!(max - min > 0.02, "POS spread too small: {min}..{max}");
+    }
+
+    #[test]
+    fn fidelity_rows_record_their_backend() {
+        let fleet = Fleet::ibm_like();
+        let rows = fidelity_vs_cx(&fleet, &["casablanca"], 4, 12.0, 256, 3).unwrap();
+        // The 4q benchmark compacts into the dense engine's domain.
+        assert_eq!(rows[0].backend, "dense");
     }
 
     #[test]
