@@ -106,6 +106,16 @@ awk -v s="$be_stab" -v bs="$base_stab" 'BEGIN {
   printf "bench-smoke: stabilizer 30q POS %.0f ns within 20x baseline %.0f ns\n", s, bs
 }'
 
+# Ingestion gate: the ARLIS-style CSV fixture must parse with derived
+# backlogs, survive the study's causality audit, train the queue model,
+# and feed the online predictor end to end.
+cargo test -q --test ingest_study
+
+# Online-vs-batch gate: the incremental predictor's warm-started refits
+# must converge to the batch fit (prediction-equivalent, not
+# coefficient-equal — the product model is scale-degenerate).
+cargo test -q -p qcs-predictor online
+
 cargo clippy --all-targets -- -D warnings
 
 # The simulation and transpilation hot paths carry the bit-reproducibility
@@ -121,5 +131,9 @@ cargo clippy -p qcs-workload --all-targets --no-deps -- -D warnings
 # expect in non-test gateway code (--no-deps keeps the deny flags from
 # leaking into dependency crates).
 cargo clippy -p qcs-gateway --no-deps -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
+# The online predictor sits on the same serving path (fed by the record
+# tap, queried per PREDICT request): hold it to the same bar.
+cargo clippy -p qcs-predictor --no-deps -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 echo "ci.sh: all checks passed"

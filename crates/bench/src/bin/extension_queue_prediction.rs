@@ -11,7 +11,7 @@ fn main() {
     let split = records.len() / 2;
     let (train, test) = records.split_at(split);
 
-    let model = QueueWaitModel::fit(train, study.fleet().len());
+    let model = QueueWaitModel::fit(train, study.fleet().len()).expect("completed jobs in trace");
     let report = evaluate_queue_prediction(&model, test);
 
     println!("Queue-wait prediction (backlog x learned service rate)");

@@ -46,7 +46,7 @@ pub use audit::{AuditReport, AuditViolation, Auditor};
 pub use discipline::{Discipline, JobQueue};
 pub use fairshare::FairShareQueue;
 pub use job::{JobOutcome, JobRecord, JobSpec, QueueSample};
-pub use live::{JobStatus, LiveCloud, SubmitError};
+pub use live::{JobStatus, LiveCloud, RecordTapFn, SubmitError};
 pub use outage::OutagePlan;
 pub use sim::{CloudConfig, RecordSink, Simulation, SimulationResult};
 pub use streaming::StreamingAggregates;

@@ -235,7 +235,15 @@ pub struct LiveCloud {
     now_s: f64,
     drain_cursor: usize,
     statuses: Option<HashMap<u64, JobStatus>>,
+    /// Observer invoked for every terminal record, before any sink can
+    /// sample or fold it away — the hook online consumers (the gateway's
+    /// queue-time predictor) learn from, independent of `RecordSink`.
+    tap: Option<RecordTapFn>,
 }
+
+/// A terminal-record observer installed with
+/// [`LiveCloud::with_record_tap`] / [`LiveCloud::set_record_tap`].
+pub type RecordTapFn = Box<dyn FnMut(&JobRecord) + Send>;
 
 impl fmt::Debug for LiveCloud {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -286,10 +294,28 @@ impl LiveCloud {
             now_s: 0.0,
             drain_cursor: 0,
             statuses: None,
+            tap: None,
             outages: OutagePlan::none(n_machines),
             fleet,
             config,
         }
+    }
+
+    /// Install a terminal-record tap: `tap` runs for **every** terminal
+    /// record (completed, errored, cancelled) the moment it is produced,
+    /// before background sampling or the streaming sink can drop it. This
+    /// is how online consumers — e.g. the gateway's queue-time predictor
+    /// — learn from the record stream without materializing it.
+    #[must_use]
+    pub fn with_record_tap(mut self, tap: RecordTapFn) -> Self {
+        self.tap = Some(tap);
+        self
+    }
+
+    /// Install or replace the terminal-record tap after construction.
+    /// See [`with_record_tap`](LiveCloud::with_record_tap).
+    pub fn set_record_tap(&mut self, tap: RecordTapFn) {
+        self.tap = Some(tap);
     }
 
     /// Attach a maintenance/outage plan (see
@@ -761,6 +787,9 @@ impl LiveCloud {
         if let Some(a) = self.auditor.as_mut() {
             a.observe(&record);
         }
+        if let Some(tap) = self.tap.as_mut() {
+            tap(&record);
+        }
         self.result.total_jobs += 1;
         let slot = match record.outcome {
             JobOutcome::Completed => 0,
@@ -934,6 +963,44 @@ mod tests {
         cloud.submit(job(0, 1, 0.0)).unwrap();
         cloud.step_until(0.0);
         assert_eq!(cloud.status(0), None);
+    }
+
+    #[test]
+    fn record_tap_sees_every_terminal_record_under_any_sink() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        for sink in [
+            RecordSink::Exact,
+            RecordSink::Streaming {
+                reservoir_capacity: 16,
+                reservoir_seed: 1,
+            },
+        ] {
+            let config = CloudConfig {
+                record_sink: sink,
+                ..CloudConfig::default()
+            };
+            let seen = Arc::new(AtomicU64::new(0));
+            let tap_seen = Arc::clone(&seen);
+            let mut cloud = LiveCloud::new(Fleet::ibm_like(), config)
+                .with_record_tap(Box::new(move |record: &JobRecord| {
+                    assert!(record.end_s >= record.submit_s);
+                    tap_seen.fetch_add(1, Ordering::SeqCst);
+                }));
+            for i in 0..20 {
+                cloud.submit(job(i, (i % 3) as usize, i as f64)).unwrap();
+            }
+            // Cancel one while queued: the tap must see cancellations too.
+            cloud.step_until(19.0);
+            assert!(cloud.cancel(19), "job 19 should be queued and cancellable");
+            cloud.run_to_completion();
+            assert_eq!(cloud.total_jobs(), 20);
+            assert_eq!(
+                seen.load(Ordering::SeqCst),
+                20,
+                "tap missed records under {sink:?}"
+            );
+        }
     }
 
     #[test]

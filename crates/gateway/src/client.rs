@@ -192,6 +192,44 @@ impl GatewayClient {
         }
     }
 
+    /// `PREDICT <machine> <circuits> <shots>`: the gateway's online
+    /// queue-wait estimate for a hypothetical submission.
+    ///
+    /// # Errors
+    ///
+    /// See [`status`](GatewayClient::status); `ERR NOT_READY` (no
+    /// completed job observed yet) arrives as
+    /// [`GatewayError::Protocol`]-free `Response::Err` and is surfaced as
+    /// [`GatewayError::Unexpected`] by this typed helper — use
+    /// [`request`](GatewayClient::request) directly to branch on the code.
+    pub fn predict(
+        &mut self,
+        machine: &str,
+        circuits: u32,
+        shots: u32,
+    ) -> Result<PredictEstimate, GatewayError> {
+        match self.request(&Request::Predict {
+            machine: machine.to_string(),
+            circuits,
+            shots,
+        })? {
+            Response::Predict {
+                machine,
+                wait_s,
+                lo_s,
+                hi_s,
+                run_s,
+            } => Ok(PredictEstimate {
+                machine,
+                wait_s,
+                lo_s,
+                hi_s,
+                run_s,
+            }),
+            other => Err(GatewayError::Unexpected(other)),
+        }
+    }
+
     /// `METRICS`: the gateway counters as `(key, value)` pairs.
     ///
     /// # Errors
@@ -215,6 +253,23 @@ impl GatewayClient {
             other => Err(GatewayError::Unexpected(other)),
         }
     }
+}
+
+/// A `PREDICT` reply unpacked by [`GatewayClient::predict`]: the resolved
+/// machine name plus the gateway's wait estimate (point, 10–90% band) and
+/// expected execution time, all in simulated seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictEstimate {
+    /// Canonical machine name (as resolved by the gateway).
+    pub machine: String,
+    /// Point estimate of queue wait, seconds.
+    pub wait_s: f64,
+    /// 10th-percentile band edge, seconds.
+    pub lo_s: f64,
+    /// 90th-percentile band edge, seconds.
+    pub hi_s: f64,
+    /// Expected execution time of the batch, seconds.
+    pub run_s: f64,
 }
 
 fn open(

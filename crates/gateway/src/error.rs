@@ -54,11 +54,14 @@ pub enum ErrorCode {
     NotCancellable,
     /// The simulator refused an otherwise well-formed submission.
     Rejected,
+    /// `PREDICT` before the online predictor has observed any completed
+    /// job — there is no data to estimate from yet.
+    NotReady,
 }
 
 impl ErrorCode {
     /// Every code, for table generation and exhaustive tests.
-    pub const ALL: [ErrorCode; 12] = [
+    pub const ALL: [ErrorCode; 13] = [
         ErrorCode::Empty,
         ErrorCode::UnknownVerb,
         ErrorCode::BadArity,
@@ -71,6 +74,7 @@ impl ErrorCode {
         ErrorCode::EmptyBatch,
         ErrorCode::NotCancellable,
         ErrorCode::Rejected,
+        ErrorCode::NotReady,
     ];
 
     /// The wire token (e.g. `UNKNOWN_MACHINE`).
@@ -89,6 +93,7 @@ impl ErrorCode {
             ErrorCode::EmptyBatch => "EMPTY_BATCH",
             ErrorCode::NotCancellable => "NOT_CANCELLABLE",
             ErrorCode::Rejected => "REJECTED",
+            ErrorCode::NotReady => "NOT_READY",
         }
     }
 }

@@ -23,10 +23,13 @@
 //! holding per shard, and summing over shards gives the fleet-level law
 //! that [`check_conservation`] verifies.
 
+use std::sync::{Arc, Mutex};
+
 use qcs_cloud::{CloudConfig, JobSpec, LiveCloud, SimulationResult, SubmitError};
 use qcs_machine::Fleet;
+use qcs_predictor::{OnlinePredictor, PredictError, WaitEstimate};
 
-use crate::client::GatewayClient;
+use crate::client::{GatewayClient, PredictEstimate};
 use crate::error::GatewayError;
 use crate::metrics::GatewayMetrics;
 use crate::protocol::Response;
@@ -192,8 +195,21 @@ fn exchange_deltas(
 #[derive(Debug)]
 pub struct FleetSim {
     shards: Vec<LiveCloud>,
+    /// One online predictor per shard, fed by that shard's record tap
+    /// (same wiring as the TCP [`Gateway`], minus the socket).
+    predictors: Vec<Arc<Mutex<OnlinePredictor>>>,
     map: ShardMap,
     last_charged: Vec<Vec<f64>>,
+}
+
+fn lock_predictor<'a>(
+    predictor: &'a Arc<Mutex<OnlinePredictor>>,
+) -> std::sync::MutexGuard<'a, OnlinePredictor> {
+    // Poison recovery: the predictor's folds leave it consistent between
+    // calls, so a panicked holder doesn't invalidate it.
+    predictor
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl FleetSim {
@@ -207,17 +223,63 @@ impl FleetSim {
     #[must_use]
     pub fn new(fleet: &Fleet, config: CloudConfig, num_shards: usize) -> FleetSim {
         let map = ShardMap::new(fleet.len(), num_shards);
-        let shards: Vec<LiveCloud> = map
-            .partition(fleet)
-            .into_iter()
-            .map(|shard_fleet| LiveCloud::new(shard_fleet, config))
-            .collect();
+        let mut shards = Vec::with_capacity(num_shards);
+        let mut predictors = Vec::with_capacity(num_shards);
+        for shard_fleet in map.partition(fleet) {
+            let qubits: Vec<usize> = shard_fleet
+                .machines()
+                .iter()
+                .map(|m| m.num_qubits())
+                .collect();
+            let predictor = Arc::new(Mutex::new(OnlinePredictor::new(qubits)));
+            let tap = Arc::clone(&predictor);
+            let mut cloud = LiveCloud::new(shard_fleet, config);
+            cloud.set_record_tap(Box::new(move |record| {
+                lock_predictor(&tap).observe(record);
+            }));
+            shards.push(cloud);
+            predictors.push(predictor);
+        }
         let last_charged = vec![vec![0.0; config.num_providers]; num_shards];
         FleetSim {
             shards,
+            predictors,
             map,
             last_charged,
         }
+    }
+
+    /// Queue-wait estimate for a hypothetical submission addressed by
+    /// *global* machine index, answered by the owning shard's online
+    /// predictor against that shard's current backlog.
+    ///
+    /// # Errors
+    ///
+    /// [`PredictError::NotReady`] until the owning shard has completed at
+    /// least one job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global machine index is out of range.
+    pub fn predict(
+        &self,
+        global_machine: usize,
+        circuits: u32,
+        shots: u32,
+    ) -> Result<WaitEstimate, PredictError> {
+        let (shard, local) = self.map.locate(global_machine);
+        let pending = self.shards[shard].queue_depth(local);
+        lock_predictor(&self.predictors[shard]).predict(local, circuits, shots, pending)
+    }
+
+    /// Terminal records folded into the online predictors, summed over
+    /// shards. Under any sink this equals the fleet's terminal-job count.
+    #[must_use]
+    pub fn predictor_observed(&self) -> u64 {
+        self.predictors
+            .iter()
+            .map(|p| lock_predictor(p).observed())
+            .sum()
     }
 
     /// The machine-to-shard assignment.
@@ -506,6 +568,29 @@ impl FleetClient {
         Ok((shard, self.clients[shard].submit_spec(&routed)?))
     }
 
+    /// `PREDICT` for a *global* machine index, routed to the owning
+    /// shard's gateway; returns the shard index alongside the estimate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shard client's transport error; `ERR NOT_READY`
+    /// surfaces as [`GatewayError::Unexpected`] (see
+    /// [`GatewayClient::predict`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global machine index is out of range.
+    pub fn predict(
+        &mut self,
+        global_machine: usize,
+        circuits: u32,
+        shots: u32,
+    ) -> Result<(usize, PredictEstimate), GatewayError> {
+        let (shard, local) = self.map.locate(global_machine);
+        let estimate = self.clients[shard].predict(&local.to_string(), circuits, shots)?;
+        Ok((shard, estimate))
+    }
+
     /// Mutable access to one shard's client (for `STATUS` / `CANCEL` /
     /// `METRICS` against a known shard).
     #[must_use]
@@ -616,6 +701,44 @@ mod tests {
             .map(|r| r.streaming.as_ref().unwrap().folded())
             .sum();
         assert_eq!(folded, 60);
+    }
+
+    #[test]
+    fn fleet_sim_predicts_per_shard_after_completions() {
+        let fleet = Fleet::ibm_like();
+        let config = CloudConfig {
+            error_rate: 0.0,
+            ..CloudConfig::default()
+        };
+        let mut sim = FleetSim::new(&fleet, config, 2);
+        // Cold start: no shard has completed anything.
+        assert_eq!(sim.predict(0, 10, 1024), Err(PredictError::NotReady));
+        assert_eq!(sim.predictor_observed(), 0);
+        for id in 0..20 {
+            sim.submit(JobSpec {
+                id,
+                provider: (id % 3) as u32,
+                machine: id as usize % fleet.len(),
+                circuits: 8,
+                shots: 1024,
+                mean_depth: 20.0,
+                mean_width: 3.0,
+                submit_s: id as f64,
+                is_study: false,
+                patience_s: f64::INFINITY,
+            })
+            .unwrap();
+        }
+        sim.run_to_completion();
+        assert_eq!(sim.predictor_observed(), 20, "tap fed every terminal record");
+        for global in 0..fleet.len() {
+            let estimate = sim
+                .predict(global, 10, 1024)
+                .expect("both shards have completions");
+            assert!(estimate.wait_s >= 0.0 && estimate.wait_s.is_finite());
+            assert!(estimate.wait_lo_s <= estimate.wait_hi_s);
+            assert!(estimate.run_s > 0.0 && estimate.run_s.is_finite());
+        }
     }
 
     #[test]

@@ -49,6 +49,9 @@ pub struct GatewayMetrics {
     /// Client-side requests abandoned with their retry budget exhausted,
     /// reported back via [`absorb_client`](GatewayMetrics::absorb_client).
     pub client_giveups: u64,
+    /// `PREDICT` requests answered with an estimate (`ERR NOT_READY` and
+    /// invalid-machine rejections do not count).
+    pub predictions_served: u64,
 }
 
 impl GatewayMetrics {
@@ -111,6 +114,7 @@ impl GatewayMetrics {
             ("injected_panics", self.injected_panics()),
             ("client_retries", self.client_retries),
             ("client_giveups", self.client_giveups),
+            ("predictions_served", self.predictions_served),
         ]
         .into_iter()
         .map(|(k, v)| (k.to_string(), v.to_string()))
@@ -138,7 +142,9 @@ mod tests {
         assert_eq!(completed.1, "1");
         let cancelled = pairs.iter().find(|(k, _)| k == "cancelled").unwrap();
         assert_eq!(cancelled.1, "1");
-        assert_eq!(pairs.len(), 16);
+        assert_eq!(pairs.len(), 17);
+        let served = pairs.iter().find(|(k, _)| k == "predictions_served").unwrap();
+        assert_eq!(served.1, "0");
     }
 
     #[test]

@@ -3,11 +3,12 @@
 //! Grammar (one request per line, one response line per request):
 //!
 //! ```text
-//! request  = submit | status | cancel | queue | metrics | quit
+//! request  = submit | status | cancel | queue | predict | metrics | quit
 //! submit   = "SUBMIT" provider machine circuits shots mean_depth mean_width [patience_s]
 //! status   = "STATUS" id
 //! cancel   = "CANCEL" id
 //! queue    = "QUEUE" machine          ; machine = fleet index or name
+//! predict  = "PREDICT" machine circuits shots
 //! metrics  = "METRICS"
 //! quit     = "QUIT"
 //!
@@ -17,6 +18,7 @@
 //!          | "STATUS" id state       ; state ∈ queued running completed
 //!          |                         ;         errored cancelled unknown
 //!          | "QUEUE" machine depth
+//!          | "PREDICT" machine wait_s lo_s hi_s run_s
 //!          | "METRICS" k=v k=v ...
 //!          | "BYE"
 //! ```
@@ -61,6 +63,16 @@ pub enum Request {
     Cancel(u64),
     /// Current depth (queued + executing) of one machine's queue.
     Queue(String),
+    /// Queue-time + runtime estimate for a prospective job on a machine
+    /// (index or name) with the current backlog.
+    Predict {
+        /// Target machine: index or name.
+        machine: String,
+        /// Circuits in the prospective batch.
+        circuits: u32,
+        /// Shots per circuit.
+        shots: u32,
+    },
     /// Snapshot of the gateway counters.
     Metrics,
     /// Close the connection.
@@ -121,6 +133,19 @@ impl Request {
                     })?
                     .to_string(),
             )),
+            "PREDICT" => {
+                if tokens.len() != 4 {
+                    return Err(ProtocolError::new(
+                        ErrorCode::BadArity,
+                        format!("PREDICT takes 3 fields, got {}", tokens.len() - 1),
+                    ));
+                }
+                Ok(Request::Predict {
+                    machine: tokens[1].to_string(),
+                    circuits: field(&tokens, 2, "circuits")?,
+                    shots: field(&tokens, 3, "shots")?,
+                })
+            }
             "METRICS" => Ok(Request::Metrics),
             "QUIT" => Ok(Request::Quit),
             other => Err(ProtocolError::new(
@@ -163,6 +188,11 @@ impl fmt::Display for Request {
             Request::Status(id) => write!(f, "STATUS {id}"),
             Request::Cancel(id) => write!(f, "CANCEL {id}"),
             Request::Queue(machine) => write!(f, "QUEUE {machine}"),
+            Request::Predict {
+                machine,
+                circuits,
+                shots,
+            } => write!(f, "PREDICT {machine} {circuits} {shots}"),
             Request::Metrics => f.write_str("METRICS"),
             Request::Quit => f.write_str("QUIT"),
         }
@@ -195,6 +225,21 @@ pub enum Response {
         machine: String,
         /// Jobs pending (queued + executing).
         depth: usize,
+    },
+    /// A queue-time + runtime estimate. All durations in seconds; the
+    /// `f64` Display form round-trips exactly (Rust prints the shortest
+    /// decimal that parses back to the same bits).
+    Predict {
+        /// Machine name as resolved by the server.
+        machine: String,
+        /// Point estimate of the queue wait, seconds.
+        wait_s: f64,
+        /// 10th-percentile wait, seconds.
+        lo_s: f64,
+        /// 90th-percentile wait, seconds.
+        hi_s: f64,
+        /// Expected execution time, seconds.
+        run_s: f64,
     },
     /// Gateway counter snapshot as `key=value` pairs.
     Metrics(Vec<(String, String)>),
@@ -251,6 +296,18 @@ impl Response {
                     .to_string(),
                 depth: field(&tokens, 1, "depth")?,
             }),
+            "PREDICT" => Ok(Response::Predict {
+                machine: tokens
+                    .first()
+                    .ok_or_else(|| {
+                        ProtocolError::new(ErrorCode::MissingField, "missing field <machine>")
+                    })?
+                    .to_string(),
+                wait_s: field(&tokens, 1, "wait_s")?,
+                lo_s: field(&tokens, 2, "lo_s")?,
+                hi_s: field(&tokens, 3, "hi_s")?,
+                run_s: field(&tokens, 4, "run_s")?,
+            }),
             "METRICS" => {
                 let mut pairs = Vec::new();
                 for token in &tokens {
@@ -289,6 +346,13 @@ impl fmt::Display for Response {
             Response::Err(error) => write!(f, "ERR {error}"),
             Response::Status { id, state } => write!(f, "STATUS {id} {state}"),
             Response::Queue { machine, depth } => write!(f, "QUEUE {machine} {depth}"),
+            Response::Predict {
+                machine,
+                wait_s,
+                lo_s,
+                hi_s,
+                run_s,
+            } => write!(f, "PREDICT {machine} {wait_s} {lo_s} {hi_s} {run_s}"),
             Response::Metrics(pairs) => {
                 f.write_str("METRICS")?;
                 for (k, v) in pairs {
@@ -347,6 +411,43 @@ mod tests {
             Request::parse("QUEUE").unwrap_err().code,
             ErrorCode::MissingField
         );
+    }
+
+    #[test]
+    fn predict_request_roundtrip_and_arity() {
+        for line in ["PREDICT casablanca 20 1024", "PREDICT 2 1 8192"] {
+            let req = Request::parse(line).unwrap();
+            assert_eq!(req.to_string(), line);
+            assert_eq!(Request::parse(&req.to_string()).unwrap(), req);
+        }
+        assert_eq!(
+            Request::parse("PREDICT 0 1").unwrap_err().code,
+            ErrorCode::BadArity
+        );
+        assert_eq!(
+            Request::parse("PREDICT 0 1 2 3").unwrap_err().code,
+            ErrorCode::BadArity
+        );
+        assert_eq!(
+            Request::parse("PREDICT 0 x 1024").unwrap_err().code,
+            ErrorCode::BadField
+        );
+    }
+
+    #[test]
+    fn predict_response_roundtrips_f64_exactly() {
+        // Rust's shortest-roundtrip f64 Display makes parse(format(x))
+        // bit-exact even for awkward values.
+        let response = Response::Predict {
+            machine: "toronto".to_string(),
+            wait_s: 1234.567_890_123,
+            lo_s: 0.1,
+            hi_s: 1e9 + 0.25,
+            run_s: 3.0000000000000004,
+        };
+        assert_eq!(Response::parse(&response.to_string()).unwrap(), response);
+        assert!(Response::parse("PREDICT toronto 1 2").is_err());
+        assert!(Response::parse("PREDICT toronto 1 2 nope 4").is_err());
     }
 
     #[test]

@@ -39,6 +39,7 @@ use std::time::{Duration, Instant};
 use qcs_cloud::{CloudConfig, JobSpec, LiveCloud, SimulationResult};
 use qcs_exec::WorkerPool;
 use qcs_machine::Fleet;
+use qcs_predictor::{OnlinePredictor, PredictError};
 
 use qcs_transpiler::TranspileCache;
 
@@ -120,6 +121,12 @@ struct State {
     metrics: GatewayMetrics,
     max_pending: usize,
     transpile_cache: Arc<TranspileCache>,
+    /// The online queue-wait predictor. Behind its own mutex (not just
+    /// the state lock) because the [`LiveCloud`] record tap — which runs
+    /// while the state lock is held — needs a handle independent of
+    /// `State`. Lock order is always state → predictor, so the pair
+    /// cannot deadlock.
+    online: Arc<Mutex<OnlinePredictor>>,
 }
 
 impl State {
@@ -251,6 +258,46 @@ impl State {
                     format!("unknown machine {machine:?}"),
                 ),
             },
+            Request::Predict {
+                machine,
+                circuits,
+                shots,
+            } => {
+                let Some(machine_idx) = self.resolve_machine(machine) else {
+                    return Response::err(
+                        ErrorCode::UnknownMachine,
+                        format!("unknown machine {machine:?}"),
+                    );
+                };
+                if *circuits == 0 || *shots == 0 {
+                    return Response::err(
+                        ErrorCode::EmptyBatch,
+                        "circuits and shots must be >= 1",
+                    );
+                }
+                let pending = self.cloud.queue_depth(machine_idx);
+                let estimate =
+                    lock_online(&self.online).predict(machine_idx, *circuits, *shots, pending);
+                match estimate {
+                    Ok(est) => {
+                        self.metrics.predictions_served =
+                            self.metrics.predictions_served.saturating_add(1);
+                        Response::Predict {
+                            machine: self.cloud.fleet().machines()[machine_idx]
+                                .name()
+                                .to_string(),
+                            wait_s: est.wait_s,
+                            lo_s: est.wait_lo_s,
+                            hi_s: est.wait_hi_s,
+                            run_s: est.run_s,
+                        }
+                    }
+                    Err(PredictError::NotReady) => Response::err(
+                        ErrorCode::NotReady,
+                        "no completed jobs observed yet",
+                    ),
+                }
+            }
             Request::Metrics => {
                 let mut pairs = self.metrics.pairs();
                 let cache = self.transpile_cache.stats();
@@ -260,6 +307,21 @@ impl State {
                     cache.misses.to_string(),
                 ));
                 pairs.push(("sim_time_s".to_string(), format!("{:.3}", self.cloud.now_s())));
+                {
+                    let online = lock_online(&self.online);
+                    pairs.push((
+                        "predictor_observed".to_string(),
+                        online.observed().to_string(),
+                    ));
+                    pairs.push((
+                        "predictor_mae_min".to_string(),
+                        format!("{:.3}", online.median_abs_error_min()),
+                    ));
+                    pairs.push((
+                        "predictor_band_coverage".to_string(),
+                        format!("{:.3}", online.band_coverage()),
+                    ));
+                }
                 Response::Metrics(pairs)
             }
             Request::Quit => Response::Bye,
@@ -349,10 +411,21 @@ impl Gateway {
     ) -> std::io::Result<Gateway> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
+        let machine_qubits: Vec<usize> =
+            fleet.machines().iter().map(|m| m.num_qubits()).collect();
+        let online = Arc::new(Mutex::new(OnlinePredictor::new(machine_qubits)));
         let mut cloud = LiveCloud::new(fleet, cloud_config).with_status_tracking();
         if let Some(outages) = faults.outages.clone() {
             cloud = cloud.with_outages(outages);
         }
+        // Every terminal record — under any RecordSink — feeds the online
+        // predictor. The tap fires inside cloud.step_until(), i.e. while
+        // the state lock is held; the predictor mutex is always taken
+        // second (here and in `respond`), so the order is acyclic.
+        let tap_online = Arc::clone(&online);
+        cloud.set_record_tap(Box::new(move |record| {
+            lock_online(&tap_online).observe(record);
+        }));
         let state = Arc::new(Mutex::new(State {
             cloud,
             next_id: 0,
@@ -362,6 +435,7 @@ impl Gateway {
             metrics: GatewayMetrics::default(),
             max_pending: config.max_pending_per_machine,
             transpile_cache: Arc::clone(&cache),
+            online,
         }));
         let clock = Arc::new(SimClock {
             started: Instant::now(),
@@ -527,6 +601,14 @@ fn lock<'a>(state: &'a Arc<Mutex<State>>) -> std::sync::MutexGuard<'a, State> {
     // a simulator plus counters, both left in a consistent snapshot by
     // every early return, so recover rather than cascade.
     state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn lock_online<'a>(
+    online: &'a Arc<Mutex<OnlinePredictor>>,
+) -> std::sync::MutexGuard<'a, OnlinePredictor> {
+    // Same poison-recovery rationale as `lock`: the predictor's updates
+    // are single-record folds that leave it consistent between calls.
+    online.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// One attempt to read a request line under the connection limits.
@@ -900,6 +982,99 @@ mod tests {
         assert_eq!(get(&warm, "transpile_cache_misses"), "1");
         client.quit().unwrap();
         let (_, _) = gateway.shutdown_and_drain();
+    }
+
+    #[test]
+    fn predict_on_the_wire_rejects_before_any_completion() {
+        let gateway = frozen(GatewayConfig::default());
+        let mut client = crate::GatewayClient::connect(gateway.addr()).unwrap();
+        // Frozen clock: nothing ever completes, so PREDICT is a typed ERR.
+        match roundtrip(&mut client, "PREDICT 1 10 1024") {
+            Response::Err(error) => assert_eq!(error.code, ErrorCode::NotReady),
+            other => panic!("expected ERR NOT_READY, got {other}"),
+        }
+        match roundtrip(&mut client, "PREDICT no-such-machine 10 1024") {
+            Response::Err(error) => assert_eq!(error.code, ErrorCode::UnknownMachine),
+            other => panic!("expected ERR, got {other}"),
+        }
+        match roundtrip(&mut client, "PREDICT 1 0 1024") {
+            Response::Err(error) => assert_eq!(error.code, ErrorCode::EmptyBatch),
+            other => panic!("expected ERR, got {other}"),
+        }
+        client.quit().unwrap();
+        let (_, metrics) = gateway.shutdown_and_drain();
+        assert_eq!(metrics.predictions_served, 0, "rejections never count");
+    }
+
+    /// Drives `State::respond` directly with a synthetic clock so the
+    /// served-estimate path is deterministic (no wall-clock compression).
+    #[test]
+    fn predict_serves_estimates_after_completions() {
+        let fleet = Fleet::ibm_like();
+        let cloud_config = CloudConfig::default();
+        let machine_qubits: Vec<usize> =
+            fleet.machines().iter().map(|m| m.num_qubits()).collect();
+        let online = Arc::new(Mutex::new(OnlinePredictor::new(machine_qubits)));
+        let tap = Arc::clone(&online);
+        let mut cloud = LiveCloud::new(fleet, cloud_config).with_status_tracking();
+        cloud.set_record_tap(Box::new(move |record| lock_online(&tap).observe(record)));
+        let mut state = State {
+            cloud,
+            next_id: 0,
+            buckets: (0..cloud_config.num_providers)
+                .map(|_| TokenBucket::new(64.0, 1.0))
+                .collect(),
+            metrics: GatewayMetrics::default(),
+            max_pending: 256,
+            transpile_cache: Arc::new(TranspileCache::new()),
+            online,
+        };
+        let predict = Request::parse("PREDICT 1 10 1024").expect("parses");
+        match state.respond(&predict, 0.0) {
+            Response::Err(error) => assert_eq!(error.code, ErrorCode::NotReady),
+            other => panic!("expected ERR NOT_READY, got {other}"),
+        }
+        let submit = Request::parse("SUBMIT 0 1 10 1024 20 3").expect("parses");
+        for _ in 0..5 {
+            assert!(matches!(state.respond(&submit, 0.0), Response::Ok(_)));
+        }
+        // Advance far enough that every submitted job has completed and
+        // the tap has fed the predictor.
+        match state.respond(&predict, 1e7) {
+            Response::Predict {
+                machine,
+                wait_s,
+                lo_s,
+                hi_s,
+                run_s,
+            } => {
+                assert_eq!(machine, Fleet::ibm_like().machines()[1].name());
+                assert!(wait_s >= 0.0 && wait_s.is_finite());
+                assert!(lo_s <= hi_s, "band inverted: [{lo_s}, {hi_s}]");
+                assert!(run_s > 0.0 && run_s.is_finite());
+            }
+            other => panic!("expected PREDICT, got {other}"),
+        }
+        assert_eq!(state.metrics.predictions_served, 1);
+        match state.respond(&Request::Metrics, 1e7) {
+            Response::Metrics(pairs) => {
+                let get = |k: &str| {
+                    pairs
+                        .iter()
+                        .find(|(key, _)| key == k)
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or_else(|| panic!("METRICS reply missing {k}"))
+                };
+                assert_eq!(get("predictions_served"), "1");
+                let observed: u64 = get("predictor_observed").parse().expect("u64");
+                assert!(observed >= 5, "tap fed {observed} records");
+                let mae: f64 = get("predictor_mae_min").parse().expect("f64");
+                assert!(mae.is_finite() && mae >= 0.0);
+                let coverage: f64 = get("predictor_band_coverage").parse().expect("f64");
+                assert!((0.0..=1.0).contains(&coverage));
+            }
+            other => panic!("expected METRICS, got {other}"),
+        }
     }
 
     #[test]

@@ -20,11 +20,19 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+// The online predictor sits on the gateway's serving path: like the
+// gateway itself, non-test code must map bad input to typed errors
+// instead of panicking.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod features;
+mod online;
 mod predictor;
 mod queue;
 
 pub use features::{memory_slots, JobFeatures, FEATURE_NAMES};
+pub use online::{
+    OnlinePredictor, PredictError, WaitEstimate, ONLINE_REFIT_EVERY, ONLINE_WINDOW,
+};
 pub use predictor::{run_prediction_study, MachineEvaluation, PredictionStudy, RuntimePredictor};
-pub use queue::{evaluate_queue_prediction, QueuePredictionReport, QueueWaitModel};
+pub use queue::{evaluate_queue_prediction, QueueFitError, QueuePredictionReport, QueueWaitModel};

@@ -1,0 +1,565 @@
+//! Online queue-time prediction: the streaming counterpart of the batch
+//! Figs 15–16 pipeline.
+//!
+//! [`OnlinePredictor`] folds terminal [`JobRecord`]s one at a time — as
+//! the gateway's `LiveCloud` emits them — and keeps three things current:
+//!
+//! - an incremental **queue-wait model** (per-machine running mean
+//!   service times with a fleet-mean fallback, plus a 10–90 % band of
+//!   `actual/predicted` wait ratios tracked by P² quantile estimators),
+//! - an online **runtime model**: the paper's `Π(aᵢ + bᵢxᵢ)` product
+//!   model refit by mini-batch Gauss–Newton over a bounded window of
+//!   recent jobs, warm-started from the previous coefficients
+//!   ([`ProductModel::fit_from`]) so each refit is a handful of damped
+//!   steps instead of a cold Levenberg–Marquardt descent,
+//! - **prequential accuracy counters**: every record is scored against
+//!   the model *as it stood before folding that record* (the classic
+//!   test-then-train protocol), giving an honest rolling median absolute
+//!   error and band-coverage rate with no held-out split.
+//!
+//! Memory is O(window + machines): nothing materializes the record
+//! stream, so the predictor rides the same streaming path as the
+//! `RecordSink` aggregates.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use qcs_cloud::{JobOutcome, JobRecord};
+use qcs_stats::{P2Quantile, ProductModel};
+
+use crate::JobFeatures;
+
+/// Bounded window of recent `(features, runtime)` rows the runtime model
+/// refits over.
+pub const ONLINE_WINDOW: usize = 512;
+/// Completed jobs between runtime-model refits once the model exists.
+pub const ONLINE_REFIT_EVERY: usize = 64;
+/// Completed jobs required before the first runtime-model fit.
+const MIN_FIT: usize = 16;
+/// LM iterations for a warm-started refit (mini-batch Gauss–Newton).
+const WARM_ITERATIONS: usize = 40;
+/// LM iterations for the cold first fit.
+const COLD_ITERATIONS: usize = 200;
+
+/// Why [`OnlinePredictor::predict`] could not produce an estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictError {
+    /// No completed job has been observed yet — there is nothing to
+    /// estimate service times from.
+    NotReady,
+}
+
+impl fmt::Display for PredictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictError::NotReady => {
+                write!(f, "no completed jobs observed yet; prediction not ready")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+/// A queue-time estimate: point wait, 10–90 % band, and expected runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaitEstimate {
+    /// Point estimate of the queue wait, seconds.
+    pub wait_s: f64,
+    /// 10th-percentile wait (lower band edge), seconds.
+    pub wait_lo_s: f64,
+    /// 90th-percentile wait (upper band edge), seconds.
+    pub wait_hi_s: f64,
+    /// Expected execution time of the job itself, seconds.
+    pub run_s: f64,
+}
+
+/// The online predictor: fold records with [`observe`](Self::observe),
+/// query with [`predict`](Self::predict), read accuracy counters any
+/// time.
+#[derive(Debug)]
+pub struct OnlinePredictor {
+    /// Qubit count per machine index, for runtime-feature extraction.
+    machine_qubits: Vec<usize>,
+
+    // Incremental queue-wait model.
+    service_sum_s: Vec<f64>,
+    service_count: Vec<u64>,
+    fleet_sum_s: f64,
+    fleet_count: u64,
+    band_lo: P2Quantile,
+    band_hi: P2Quantile,
+
+    // Online runtime model over a bounded window.
+    window: VecDeque<(Vec<f64>, f64)>,
+    since_refit: usize,
+    model: Option<ProductModel>,
+    scale: Vec<f64>,
+    active: Vec<bool>,
+
+    // Running feature means, to fill in depth/width at predict time
+    // (the PREDICT verb only carries machine/circuits/shots).
+    depth_sum: f64,
+    width_sum: f64,
+    feature_count: u64,
+
+    // Prequential (test-then-train) accuracy.
+    observed: u64,
+    scored: u64,
+    in_band: u64,
+    abs_err_min: P2Quantile,
+}
+
+impl OnlinePredictor {
+    /// An empty predictor for a fleet whose machine `i` has
+    /// `machine_qubits[i]` qubits. Machines past the table (external
+    /// traces) contribute 0-qubit feature rows instead of panicking.
+    #[must_use]
+    pub fn new(machine_qubits: Vec<usize>) -> Self {
+        let machines = machine_qubits.len();
+        OnlinePredictor {
+            machine_qubits,
+            service_sum_s: vec![0.0; machines],
+            service_count: vec![0; machines],
+            fleet_sum_s: 0.0,
+            fleet_count: 0,
+            band_lo: P2Quantile::new(0.10),
+            band_hi: P2Quantile::new(0.90),
+            window: VecDeque::with_capacity(ONLINE_WINDOW),
+            since_refit: 0,
+            model: None,
+            scale: Vec::new(),
+            active: Vec::new(),
+            depth_sum: 0.0,
+            width_sum: 0.0,
+            feature_count: 0,
+            observed: 0,
+            scored: 0,
+            in_band: 0,
+            abs_err_min: P2Quantile::new(0.5),
+        }
+    }
+
+    /// Has at least one completed job been folded? Until then
+    /// [`predict`](Self::predict) returns [`PredictError::NotReady`].
+    #[must_use]
+    pub fn ready(&self) -> bool {
+        self.fleet_count > 0
+    }
+
+    /// Terminal records folded so far (all outcomes).
+    #[must_use]
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Records that were prequentially scored (completed, waited, and
+    /// arrived after the model was ready).
+    #[must_use]
+    pub fn scored(&self) -> u64 {
+        self.scored
+    }
+
+    /// Rolling median absolute wait error in minutes (prequential);
+    /// `0.0` before anything has been scored.
+    #[must_use]
+    pub fn median_abs_error_min(&self) -> f64 {
+        self.abs_err_min.estimate().unwrap_or(0.0)
+    }
+
+    /// Fraction of scored waits that fell inside the 10–90 % band at
+    /// scoring time; `0.0` before anything has been scored.
+    #[must_use]
+    pub fn band_coverage(&self) -> f64 {
+        if self.scored == 0 {
+            0.0
+        } else {
+            self.in_band as f64 / self.scored as f64
+        }
+    }
+
+    /// Fold one terminal record. Scores the *current* model first
+    /// (test-then-train), then updates the queue means, band, feature
+    /// means, and runtime window — refitting the runtime model every
+    /// [`ONLINE_REFIT_EVERY`] completions.
+    pub fn observe(&mut self, record: &JobRecord) {
+        self.observed += 1;
+        if record.outcome != JobOutcome::Completed {
+            return;
+        }
+
+        // Test before train: score the pre-update model on this record.
+        let waited = record.pending_at_submit > 0 && record.queue_time_s() > 0.0;
+        if self.ready() && waited {
+            let predicted = self.predict_wait_s(record.machine, record.pending_at_submit);
+            let actual = record.queue_time_s();
+            let err_min = (predicted - actual).abs() / 60.0;
+            if err_min.is_finite() {
+                self.scored += 1;
+                self.abs_err_min.push(err_min);
+                let (lo, hi) = self.band_s(predicted);
+                if (lo..=hi).contains(&actual) {
+                    self.in_band += 1;
+                }
+            }
+        }
+
+        // Queue model update.
+        let exec = record.exec_time_s();
+        if record.machine >= self.service_sum_s.len() {
+            self.service_sum_s.resize(record.machine + 1, 0.0);
+            self.service_count.resize(record.machine + 1, 0);
+        }
+        self.service_sum_s[record.machine] += exec;
+        self.service_count[record.machine] += 1;
+        self.fleet_sum_s += exec;
+        self.fleet_count += 1;
+        if waited {
+            let predicted = self.predict_wait_s(record.machine, record.pending_at_submit);
+            let ratio = record.queue_time_s() / predicted.max(1e-9);
+            if ratio.is_finite() {
+                self.band_lo.push(ratio);
+                self.band_hi.push(ratio);
+            }
+        }
+
+        // Feature means for predict-time fill-in.
+        if record.mean_depth.is_finite() && record.mean_width.is_finite() {
+            self.depth_sum += record.mean_depth;
+            self.width_sum += record.mean_width;
+            self.feature_count += 1;
+        }
+
+        // Runtime window + periodic mini-batch refit.
+        let qubits = self.machine_qubits.get(record.machine).copied().unwrap_or(0);
+        let row = JobFeatures::from_record(record, qubits).to_vec();
+        if row.iter().all(|x| x.is_finite()) && exec.is_finite() {
+            if self.window.len() == ONLINE_WINDOW {
+                self.window.pop_front();
+            }
+            self.window.push_back((row, exec));
+            self.since_refit += 1;
+            let due = match self.model {
+                None => self.window.len() >= MIN_FIT,
+                Some(_) => self.since_refit >= ONLINE_REFIT_EVERY,
+            };
+            if due {
+                self.refit();
+            }
+        }
+    }
+
+    /// Estimate wait and runtime for a prospective job: `pending` jobs
+    /// ahead on `machine`, a batch of `circuits` circuits at `shots`
+    /// shots each. Depth/width are filled from the running means of the
+    /// observed stream.
+    ///
+    /// # Errors
+    ///
+    /// [`PredictError::NotReady`] until one completed job has been
+    /// observed.
+    pub fn predict(
+        &self,
+        machine: usize,
+        circuits: u32,
+        shots: u32,
+        pending: usize,
+    ) -> Result<WaitEstimate, PredictError> {
+        if !self.ready() {
+            return Err(PredictError::NotReady);
+        }
+        let wait_s = self.predict_wait_s(machine, pending);
+        let (wait_lo_s, wait_hi_s) = self.band_s(wait_s);
+        let run_s = self
+            .predict_run_s(machine, circuits, shots)
+            .unwrap_or_else(|| self.mean_service_s(machine));
+        Ok(WaitEstimate {
+            wait_s,
+            wait_lo_s,
+            wait_hi_s,
+            run_s,
+        })
+    }
+
+    /// Point wait estimate: backlog × learned mean service time.
+    #[must_use]
+    pub fn predict_wait_s(&self, machine: usize, pending: usize) -> f64 {
+        pending as f64 * self.mean_service_s(machine)
+    }
+
+    /// Running mean service time of `machine`, seconds; the fleet mean
+    /// for machines with no data (or outside the table).
+    #[must_use]
+    pub fn mean_service_s(&self, machine: usize) -> f64 {
+        let fleet = if self.fleet_count == 0 {
+            0.0
+        } else {
+            self.fleet_sum_s / self.fleet_count as f64
+        };
+        match (
+            self.service_sum_s.get(machine),
+            self.service_count.get(machine),
+        ) {
+            (Some(&sum), Some(&count)) if count > 0 => sum / count as f64,
+            _ => fleet,
+        }
+    }
+
+    /// The current 10–90 % band around a point wait, seconds.
+    fn band_s(&self, wait_s: f64) -> (f64, f64) {
+        let lo_q = self.band_lo.estimate().unwrap_or(1.0).max(1e-3);
+        let hi_q = self.band_hi.estimate().unwrap_or(1.0).max(1e-3);
+        let (lo_q, hi_q) = if lo_q <= hi_q { (lo_q, hi_q) } else { (hi_q, lo_q) };
+        (wait_s * lo_q, wait_s * hi_q)
+    }
+
+    /// Runtime estimate from the online product model, if fitted.
+    fn predict_run_s(&self, machine: usize, circuits: u32, shots: u32) -> Option<f64> {
+        let model = self.model.as_ref()?;
+        if self.feature_count == 0 {
+            return None;
+        }
+        let depth = self.depth_sum / self.feature_count as f64;
+        let width = self.width_sum / self.feature_count as f64;
+        let qubits = self.machine_qubits.get(machine).copied().unwrap_or(0);
+        let features = JobFeatures {
+            batch_size: f64::from(circuits),
+            shots: f64::from(shots),
+            depth,
+            width,
+            total_gates: depth * width * 0.6,
+            machine_qubits: qubits as f64,
+            memory_slots: crate::memory_slots(circuits, shots, width),
+        };
+        let raw = features.to_vec();
+        let normalized: Vec<f64> = raw
+            .iter()
+            .zip(self.scale.iter().zip(&self.active))
+            .map(|(&x, (&s, &alive))| if alive { x / s } else { 0.0 })
+            .collect();
+        let run = model.predict(&normalized);
+        run.is_finite().then(|| run.max(0.0))
+    }
+
+    /// Refit the product model over the window: recompute normalization,
+    /// rescale the previous slopes to the new scales (the model sees
+    /// `x/s`, so keeping `a + b'·x/s' == a + b·x/s` needs `b' = b·s'/s`),
+    /// and take a few damped Gauss–Newton steps from there.
+    fn refit(&mut self) {
+        self.since_refit = 0;
+        let rows: Vec<Vec<f64>> = self.window.iter().map(|(r, _)| r.clone()).collect();
+        let targets: Vec<f64> = self.window.iter().map(|(_, y)| *y).collect();
+        let k = match rows.first() {
+            Some(r) => r.len(),
+            None => return,
+        };
+        let mut new_scale = vec![0.0f64; k];
+        for row in &rows {
+            for (s, &x) in new_scale.iter_mut().zip(row) {
+                *s = s.max(x.abs());
+            }
+        }
+        let new_active: Vec<bool> = new_scale.iter().map(|&s| s > 0.0).collect();
+        for s in &mut new_scale {
+            if *s == 0.0 {
+                *s = 1.0;
+            }
+        }
+        let normalized: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|row| row.iter().zip(&new_scale).map(|(&x, &s)| x / s).collect())
+            .collect();
+
+        let fitted = match self.model.take() {
+            Some(prev) if prev.num_features() == k && !self.scale.is_empty() => {
+                let b: Vec<f64> = prev
+                    .b
+                    .iter()
+                    .zip(new_scale.iter().zip(&self.scale))
+                    .map(|(&b, (&s_new, &s_old))| b * (s_new / s_old.max(1e-12)))
+                    .collect();
+                let init = ProductModel { a: prev.a, b };
+                ProductModel::fit_from(&init, &normalized, &targets, WARM_ITERATIONS)
+            }
+            _ => ProductModel::fit(&normalized, &targets, COLD_ITERATIONS),
+        };
+        self.model = Some(fitted);
+        self.scale = new_scale;
+        self.active = new_active;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RuntimePredictor;
+    use proptest::prelude::*;
+
+    /// The same machine-overhead + batch/shots runtime law the batch
+    /// predictor tests use, plus queue waits proportional to backlog.
+    fn synthetic_stream(n: usize, seed: u64) -> Vec<JobRecord> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        (0..n)
+            .map(|i| {
+                let machine = (next() % 3) as usize;
+                let qubits = [5.0, 27.0, 65.0][machine];
+                let circuits = (next() % 200 + 1) as u32;
+                let shots = [1024u32, 4096, 8192][(next() % 3) as usize];
+                let depth = (next() % 40 + 5) as f64;
+                let width = (next() % 5 + 1) as f64;
+                let pending = (next() % 6) as usize;
+                let exec = 3.0
+                    + 0.1 * qubits
+                    + f64::from(circuits)
+                        * (0.02 + f64::from(shots) * (200.0 + 1.5 * qubits + depth * 0.3) * 1e-6);
+                let wait = pending as f64 * 120.0;
+                JobRecord {
+                    id: i as u64,
+                    provider: 0,
+                    machine,
+                    circuits,
+                    shots,
+                    mean_width: width,
+                    mean_depth: depth,
+                    is_study: true,
+                    submit_s: 0.0,
+                    start_s: wait,
+                    end_s: wait + exec,
+                    outcome: JobOutcome::Completed,
+                    pending_at_submit: pending,
+                    crossed_calibration: false,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn not_ready_until_first_completion() {
+        let mut online = OnlinePredictor::new(vec![5, 27, 65]);
+        assert_eq!(
+            online.predict(0, 10, 1024, 3).unwrap_err(),
+            PredictError::NotReady
+        );
+        let mut cancelled = synthetic_stream(1, 1).remove(0);
+        cancelled.outcome = JobOutcome::Cancelled;
+        online.observe(&cancelled);
+        assert!(!online.ready(), "cancelled jobs must not make it ready");
+        assert_eq!(online.observed(), 1);
+        let completed = synthetic_stream(1, 2).remove(0);
+        online.observe(&completed);
+        assert!(online.ready());
+        let estimate = online.predict(0, 10, 1024, 3).expect("ready");
+        assert!(estimate.wait_s >= 0.0);
+        assert!(estimate.wait_lo_s <= estimate.wait_hi_s);
+        assert!(estimate.run_s >= 0.0);
+    }
+
+    #[test]
+    fn wait_estimates_track_backlog_times_service() {
+        let mut online = OnlinePredictor::new(vec![5, 27, 65]);
+        for r in synthetic_stream(300, 3) {
+            online.observe(&r);
+        }
+        // Mean service on each machine is deterministic for the law above;
+        // the wait prediction must be pending-linear in it.
+        let one = online.predict_wait_s(0, 1);
+        let five = online.predict_wait_s(0, 5);
+        assert!(one > 0.0);
+        assert!((five - 5.0 * one).abs() < 1e-9);
+        // Out-of-table machine falls back to the fleet mean, no panic.
+        let fleet = online.predict_wait_s(99, 1);
+        assert!(fleet > 0.0);
+    }
+
+    #[test]
+    fn prequential_counters_update_and_stay_finite() {
+        let mut online = OnlinePredictor::new(vec![5, 27, 65]);
+        for r in synthetic_stream(400, 4) {
+            online.observe(&r);
+        }
+        assert_eq!(online.observed(), 400);
+        assert!(online.scored() > 100, "scored {}", online.scored());
+        assert!(online.median_abs_error_min().is_finite());
+        let coverage = online.band_coverage();
+        assert!((0.0..=1.0).contains(&coverage), "coverage {coverage}");
+        // Waits in the stream are a constant 120 s per pending job while
+        // learned service means differ per machine, so errors are small
+        // but nonzero and the band adapts around the observed ratios.
+        assert!(coverage > 0.5, "coverage {coverage}");
+    }
+
+    #[test]
+    fn window_stays_bounded() {
+        let mut online = OnlinePredictor::new(vec![5, 27, 65]);
+        for r in synthetic_stream(2 * ONLINE_WINDOW + 37, 5) {
+            online.observe(&r);
+        }
+        assert!(online.window.len() <= ONLINE_WINDOW);
+        assert!(online.model.is_some());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The online-vs-batch convergence property: on a stationary
+        /// stream, the warm-started mini-batch Gauss–Newton coefficients
+        /// must predict within 15 % of the batch Levenberg–Marquardt fit
+        /// on the same law. (The product model's coefficients are only
+        /// identifiable up to per-factor rescaling, so the comparison is
+        /// on predictions, not raw a/b vectors.)
+        #[test]
+        fn online_fit_converges_to_batch_fit(seed in 0u64..1000) {
+            let records = synthetic_stream(600, seed);
+            let qubits = vec![5usize, 27, 65];
+
+            let mut online = OnlinePredictor::new(qubits.clone());
+            for r in &records {
+                online.observe(r);
+            }
+
+            // Batch fit over the online model's window (the stream is
+            // stationary, so this is the same law either way).
+            let tail = &records[records.len() - ONLINE_WINDOW..];
+            let rows: Vec<Vec<f64>> = tail
+                .iter()
+                .map(|r| JobFeatures::from_record(r, qubits[r.machine]).to_vec())
+                .collect();
+            let runtimes: Vec<f64> = tail.iter().map(|r| r.exec_time_s()).collect();
+            let batch = RuntimePredictor::fit(&rows, &runtimes);
+
+            for r in records.iter().step_by(37) {
+                let batch_pred =
+                    batch.predict(&JobFeatures::from_record(r, qubits[r.machine]).to_vec());
+                let online_pred = online
+                    .predict_run_s(r.machine, r.circuits, r.shots)
+                    .expect("model fitted");
+                // predict_run_s fills depth/width from running means, so
+                // compare against the batch model on the same fill-in.
+                let depth = online.depth_sum / online.feature_count as f64;
+                let width = online.width_sum / online.feature_count as f64;
+                let filled = JobFeatures {
+                    batch_size: f64::from(r.circuits),
+                    shots: f64::from(r.shots),
+                    depth,
+                    width,
+                    total_gates: depth * width * 0.6,
+                    machine_qubits: qubits[r.machine] as f64,
+                    memory_slots: crate::memory_slots(r.circuits, r.shots, width),
+                };
+                let batch_filled = batch.predict(&filled.to_vec());
+                let rel = (online_pred - batch_filled).abs() / batch_filled.abs().max(1e-6);
+                prop_assert!(
+                    rel < 0.15,
+                    "online {online_pred} vs batch {batch_filled} (rel {rel}, raw batch {batch_pred})"
+                );
+            }
+        }
+    }
+}

@@ -11,11 +11,19 @@ use crate::JobFeatures;
 pub struct RuntimePredictor {
     model: ProductModel,
     scale: Vec<f64>,
+    /// Per-feature: did training ever see a nonzero value? Inactive
+    /// features carry no information in the fit (their slope is
+    /// unconstrained), so predict-time values for them are clamped to
+    /// zero instead of entering the model unnormalized through the
+    /// placeholder scale of 1.0.
+    active: Vec<bool>,
 }
 
 impl RuntimePredictor {
     /// Fit the paper's model `t = prod_i (a_i + b_i x_i)` on feature rows
-    /// and runtimes. Features are max-normalized before fitting.
+    /// and runtimes. Features are max-normalized before fitting; a
+    /// feature that is all-zero in training is marked inactive and
+    /// ignored at predict time (see [`RuntimePredictor::predict`]).
     ///
     /// # Panics
     ///
@@ -31,6 +39,7 @@ impl RuntimePredictor {
                 *s = s.max(x.abs());
             }
         }
+        let active: Vec<bool> = scale.iter().map(|&s| s > 0.0).collect();
         for s in &mut scale {
             if *s == 0.0 {
                 *s = 1.0;
@@ -41,10 +50,19 @@ impl RuntimePredictor {
             .map(|row| row.iter().zip(&scale).map(|(&x, &s)| x / s).collect())
             .collect();
         let model = ProductModel::fit(&normalized, runtimes, 400);
-        RuntimePredictor { model, scale }
+        RuntimePredictor {
+            model,
+            scale,
+            active,
+        }
     }
 
     /// Predict a runtime (seconds) from a raw feature vector.
+    ///
+    /// Features that were all-zero in training are clamped to zero here:
+    /// the fit never constrained their slope, so letting a nonzero value
+    /// through (divided by the placeholder scale of 1.0) would multiply
+    /// the prediction by an arbitrary unfitted factor.
     ///
     /// # Panics
     ///
@@ -54,8 +72,8 @@ impl RuntimePredictor {
         assert_eq!(features.len(), self.scale.len(), "feature count mismatch");
         let normalized: Vec<f64> = features
             .iter()
-            .zip(&self.scale)
-            .map(|(&x, &s)| x / s)
+            .zip(self.scale.iter().zip(&self.active))
+            .map(|(&x, (&s, &alive))| if alive { x / s } else { 0.0 })
             .collect();
         self.model.predict(&normalized)
     }
@@ -116,7 +134,12 @@ pub fn run_prediction_study(
 
     let rows: Vec<Vec<f64>> = executed
         .iter()
-        .map(|r| JobFeatures::from_record(r, machine_qubits[r.machine]).to_vec())
+        .map(|r| {
+            // External traces may name machines past the qubit table;
+            // 0 qubits keeps the row well-formed instead of panicking.
+            let qubits = machine_qubits.get(r.machine).copied().unwrap_or(0);
+            JobFeatures::from_record(r, qubits).to_vec()
+        })
         .collect();
     let runtimes: Vec<f64> = executed.iter().map(|r| r.exec_time_s()).collect();
 
@@ -292,5 +315,37 @@ mod tests {
     fn predict_arity_checked() {
         let p = RuntimePredictor::fit(&[vec![1.0], vec![2.0]], &[1.0, 2.0]);
         let _ = p.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn all_zero_training_feature_is_inert_at_predict_time() {
+        // Feature 1 is identically zero in training: the fit learns
+        // nothing about it, so a nonzero predict-time value must not
+        // change the prediction (it used to enter unnormalized through
+        // the placeholder scale of 1.0).
+        let rows: Vec<Vec<f64>> = (1..=20).map(|i| vec![f64::from(i), 0.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 + 3.0 * r[0]).collect();
+        let p = RuntimePredictor::fit(&rows, &y);
+        let base = p.predict(&[5.0, 0.0]);
+        let spiked = p.predict(&[5.0, 1e9]);
+        assert!(
+            (base - spiked).abs() < 1e-9,
+            "inactive feature moved prediction: {base} vs {spiked}"
+        );
+        assert!((base - 17.0).abs() < 1e-3, "base {base}");
+    }
+
+    #[test]
+    fn machine_index_past_qubit_table_does_not_panic() {
+        // A record naming machine 9 with a 3-entry qubit table used to
+        // index out of bounds; now it contributes a 0-qubit row.
+        let mut records = synthetic_records(100, 9);
+        records.push(JobRecord {
+            machine: 9,
+            ..records[0].clone()
+        });
+        let refs: Vec<&JobRecord> = records.iter().collect();
+        let study = run_prediction_study(&refs, &[5, 27, 65], 0.7, 1, 5);
+        assert!(study.overall_correlation.is_finite());
     }
 }

@@ -7,14 +7,40 @@
 //! job — pending jobs x expected service — is predictable too, and under
 //! work-conserving scheduling the wait tracks the backlog.
 
+use std::fmt;
+
 use qcs_cloud::{JobOutcome, JobRecord};
 use qcs_stats::{pearson, quantile};
+
+/// Why a [`QueueWaitModel::fit`] could not produce a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueFitError {
+    /// The record set contained no completed jobs — there is nothing to
+    /// learn service times from.
+    NoCompletedJobs,
+}
+
+impl fmt::Display for QueueFitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueFitError::NoCompletedJobs => {
+                write!(f, "no completed jobs to fit a queue-wait model on")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueueFitError {}
 
 /// A backlog-based queue-wait estimator with empirical confidence bands.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueueWaitModel {
     /// Learned mean service time per machine, seconds.
     mean_service_s: Vec<f64>,
+    /// Fleet-wide mean service time, seconds — the fallback for machines
+    /// the training set never saw (including indices past the end, which
+    /// external traces routinely produce).
+    fleet_mean_s: f64,
     /// Multiplicative confidence band `(p10, p90)` of `actual/predicted`,
     /// learned on the training set.
     band: (f64, f64),
@@ -25,19 +51,31 @@ impl QueueWaitModel {
     /// completed jobs, plus the empirical error band of the backlog
     /// estimate. Machines with no data fall back to the fleet mean.
     ///
-    /// # Panics
+    /// The machine table grows to cover every machine index present in
+    /// the records, even past `num_machines` — external traces carry
+    /// indices our fleet descriptor never promised.
     ///
-    /// Panics if no completed jobs are provided.
-    #[must_use]
-    pub fn fit(records: &[&JobRecord], num_machines: usize) -> Self {
+    /// # Errors
+    ///
+    /// [`QueueFitError::NoCompletedJobs`] if no completed jobs are
+    /// provided.
+    pub fn fit(records: &[&JobRecord], num_machines: usize) -> Result<Self, QueueFitError> {
         let completed: Vec<&&JobRecord> = records
             .iter()
             .filter(|r| r.outcome == JobOutcome::Completed)
             .collect();
-        assert!(!completed.is_empty(), "no completed jobs to fit on");
+        if completed.is_empty() {
+            return Err(QueueFitError::NoCompletedJobs);
+        }
 
-        let mut sums = vec![0.0f64; num_machines];
-        let mut counts = vec![0usize; num_machines];
+        let machines = completed
+            .iter()
+            .map(|r| r.machine + 1)
+            .max()
+            .unwrap_or(0)
+            .max(num_machines);
+        let mut sums = vec![0.0f64; machines];
+        let mut counts = vec![0usize; machines];
         for r in &completed {
             sums[r.machine] += r.exec_time_s();
             counts[r.machine] += 1;
@@ -68,21 +106,19 @@ impl QueueWaitModel {
                 quantile(&ratios, 0.90).unwrap_or(1.0).max(1e-3),
             )
         };
-        QueueWaitModel {
+        Ok(QueueWaitModel {
             mean_service_s,
+            fleet_mean_s: fleet_mean,
             band,
-        }
+        })
     }
 
     /// Point estimate of the wait for a job submitted to `machine` with
-    /// `pending` jobs ahead of it, seconds.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `machine` is out of range.
+    /// `pending` jobs ahead of it, seconds. Machines the model never saw
+    /// (index past the learned table) use the fleet mean — no panic.
     #[must_use]
     pub fn predict_wait_s(&self, machine: usize, pending: usize) -> f64 {
-        pending as f64 * self.mean_service_s[machine]
+        pending as f64 * self.mean_service_s(machine)
     }
 
     /// The 10–90 % confidence interval around a point estimate, seconds
@@ -93,10 +129,14 @@ impl QueueWaitModel {
         (point * self.band.0, point * self.band.1)
     }
 
-    /// Learned mean service time of a machine, seconds.
+    /// Learned mean service time of a machine, seconds; the fleet mean
+    /// for machines outside the learned table.
     #[must_use]
     pub fn mean_service_s(&self, machine: usize) -> f64 {
-        self.mean_service_s[machine]
+        self.mean_service_s
+            .get(machine)
+            .copied()
+            .unwrap_or(self.fleet_mean_s)
     }
 }
 
@@ -117,6 +157,8 @@ pub struct QueuePredictionReport {
 ///
 /// Only completed jobs that actually waited behind someone are scored —
 /// zero-wait jobs are trivially predictable and would inflate the metrics.
+/// An empty scored set has defined zero-job semantics: every metric is
+/// `0.0` (never NaN), so reports aggregate and serialize cleanly.
 #[must_use]
 pub fn evaluate_queue_prediction(
     model: &QueueWaitModel,
@@ -152,7 +194,7 @@ pub fn evaluate_queue_prediction(
     QueuePredictionReport {
         jobs: scored.len(),
         correlation: pearson(&predicted, &actual),
-        median_abs_error_min: quantile(&abs_err, 0.5).unwrap_or(f64::NAN),
+        median_abs_error_min: quantile(&abs_err, 0.5).unwrap_or(0.0),
         band_coverage: if scored.is_empty() {
             0.0
         } else {
@@ -195,7 +237,7 @@ mod tests {
     fn fits_mean_service() {
         let records = ideal_records(50);
         let refs: Vec<&JobRecord> = records.iter().collect();
-        let model = QueueWaitModel::fit(&refs, 3);
+        let model = QueueWaitModel::fit(&refs, 3).expect("fit");
         assert!((model.mean_service_s(0) - 100.0).abs() < 1e-9);
         assert!((model.mean_service_s(1) - 100.0).abs() < 1e-9);
         // Machine 2 has no data: falls back to fleet mean.
@@ -206,7 +248,7 @@ mod tests {
     fn perfect_backlog_predicts_perfectly() {
         let records = ideal_records(60);
         let refs: Vec<&JobRecord> = records.iter().collect();
-        let model = QueueWaitModel::fit(&refs, 2);
+        let model = QueueWaitModel::fit(&refs, 2).expect("fit");
         let report = evaluate_queue_prediction(&model, &refs);
         assert!(report.jobs > 0);
         assert!(report.correlation > 0.999, "corr {}", report.correlation);
@@ -218,7 +260,7 @@ mod tests {
     fn confidence_band_orders() {
         let records = ideal_records(30);
         let refs: Vec<&JobRecord> = records.iter().collect();
-        let model = QueueWaitModel::fit(&refs, 2);
+        let model = QueueWaitModel::fit(&refs, 2).expect("fit");
         let (lo, hi) = model.confidence_interval_s(0, 5);
         assert!(lo <= hi);
         assert!(lo > 0.0);
@@ -241,7 +283,7 @@ mod tests {
             })
             .collect();
         let refs: Vec<&JobRecord> = records.iter().collect();
-        let model = QueueWaitModel::fit(&refs, 1);
+        let model = QueueWaitModel::fit(&refs, 1).expect("fit");
         let report = evaluate_queue_prediction(&model, &refs);
         assert!(report.correlation > 0.999);
         // The band was learned around the 2x ratio, so coverage is high.
@@ -249,8 +291,61 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no completed jobs")]
-    fn empty_fit_panics() {
-        let _ = QueueWaitModel::fit(&[], 1);
+    fn empty_fit_is_a_typed_error_not_a_panic() {
+        assert_eq!(
+            QueueWaitModel::fit(&[], 1).unwrap_err(),
+            QueueFitError::NoCompletedJobs
+        );
+        // Records present but none completed count as empty too.
+        let mut r = record(0, 0, 1, 100.0, 100.0);
+        r.outcome = JobOutcome::Cancelled;
+        assert_eq!(
+            QueueWaitModel::fit(&[&r], 1).unwrap_err(),
+            QueueFitError::NoCompletedJobs
+        );
+    }
+
+    #[test]
+    fn machine_index_past_num_machines_grows_the_table() {
+        // An external-trace shape: the caller promises 2 machines but a
+        // record names machine 7. Used to index out of bounds in fit().
+        let mut records = ideal_records(20);
+        records.push(record(99, 7, 3, 40.0, 120.0));
+        let refs: Vec<&JobRecord> = records.iter().collect();
+        let model = QueueWaitModel::fit(&refs, 2).expect("fit");
+        assert!((model.mean_service_s(7) - 40.0).abs() < 1e-9);
+        assert!((model.predict_wait_s(7, 3) - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prediction_past_learned_table_uses_fleet_mean() {
+        // Used to index out of bounds in predict_wait_s().
+        let records = ideal_records(20);
+        let refs: Vec<&JobRecord> = records.iter().collect();
+        let model = QueueWaitModel::fit(&refs, 2).expect("fit");
+        // Fleet mean service is 100 s, so machine 42 predicts from it.
+        assert!((model.mean_service_s(42) - 100.0).abs() < 1e-9);
+        assert!((model.predict_wait_s(42, 2) - 200.0).abs() < 1e-9);
+        let (lo, hi) = model.confidence_interval_s(42, 2);
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi);
+    }
+
+    #[test]
+    fn empty_scored_set_reports_zeros_not_nan() {
+        // A model fitted on real data, evaluated on records that all fail
+        // the scoring filter (zero wait): every metric must be 0.0.
+        let records = ideal_records(20);
+        let refs: Vec<&JobRecord> = records.iter().collect();
+        let model = QueueWaitModel::fit(&refs, 2).expect("fit");
+        let unscored: Vec<JobRecord> =
+            (0..5).map(|i| record(i, 0, 0, 100.0, 0.0)).collect();
+        let unscored_refs: Vec<&JobRecord> = unscored.iter().collect();
+        let report = evaluate_queue_prediction(&model, &unscored_refs);
+        assert_eq!(report.jobs, 0);
+        assert_eq!(report.correlation, 0.0);
+        assert_eq!(report.median_abs_error_min, 0.0);
+        assert_eq!(report.band_coverage, 0.0);
+        assert!(!report.correlation.is_nan());
+        assert!(!report.median_abs_error_min.is_nan());
     }
 }

@@ -74,18 +74,45 @@ impl ProductModel {
     /// Panics if inputs are empty, ragged, or lengths differ.
     #[must_use]
     pub fn fit(rows: &[Vec<f64>], targets: &[f64], max_iterations: usize) -> Self {
+        assert!(!rows.is_empty(), "empty training set");
+        let k = rows[0].len();
+        assert!(k > 0, "need at least one feature");
+        let mean_y = targets.iter().sum::<f64>() / targets.len().max(1) as f64;
+        let init_a = mean_y.abs().max(1e-6).powf(1.0 / k as f64);
+        let init = ProductModel {
+            a: vec![init_a; k],
+            b: vec![0.0; k],
+        };
+        Self::fit_from(&init, rows, targets, max_iterations)
+    }
+
+    /// Fit starting from an existing parameter set instead of the
+    /// mean-based initialization — the warm-start entry the online
+    /// mini-batch Gauss–Newton updater uses: a few LM iterations from the
+    /// previous coefficients are one damped Gauss–Newton step per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty, ragged, lengths differ, or `init`'s
+    /// feature count does not match the rows.
+    #[must_use]
+    pub fn fit_from(
+        init: &ProductModel,
+        rows: &[Vec<f64>],
+        targets: &[f64],
+        max_iterations: usize,
+    ) -> Self {
         assert_eq!(rows.len(), targets.len(), "row/target length mismatch");
         assert!(!rows.is_empty(), "empty training set");
         let k = rows[0].len();
         assert!(k > 0, "need at least one feature");
         assert!(rows.iter().all(|r| r.len() == k), "ragged feature rows");
+        assert_eq!(init.num_features(), k, "init feature count mismatch");
 
-        let mean_y = targets.iter().sum::<f64>() / targets.len() as f64;
-        let init = mean_y.abs().max(1e-6).powf(1.0 / k as f64);
         let mut params = vec![0.0; 2 * k];
         for i in 0..k {
-            params[2 * i] = init; // a_i
-            params[2 * i + 1] = 0.0; // b_i
+            params[2 * i] = init.a[i];
+            params[2 * i + 1] = init.b[i];
         }
 
         let mut lambda = 1e-3;
@@ -301,6 +328,40 @@ mod tests {
     #[should_panic(expected = "empty training set")]
     fn fit_empty_panics() {
         let _ = ProductModel::fit(&[], &[], 10);
+    }
+
+    #[test]
+    fn warm_start_refines_from_prior_fit() {
+        // y = (1 + 2x0)(3 + 0.5x1): a coarse cold fit, then fit_from on
+        // the same data must keep or improve the predictions, and a
+        // warm start from an already-good model must stay good with very
+        // few iterations.
+        let mut rng = StdRng::seed_from_u64(7);
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)])
+            .collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| (1.0 + 2.0 * r[0]) * (3.0 + 0.5 * r[1]))
+            .collect();
+        let cold = ProductModel::fit(&rows, &y, 400);
+        let warm = ProductModel::fit_from(&cold, &rows, &y, 5);
+        let max_rel = rows
+            .iter()
+            .zip(&y)
+            .map(|(r, &t)| ((warm.predict(r) - t) / t).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_rel < 0.01, "max relative error {max_rel}");
+    }
+
+    #[test]
+    #[should_panic(expected = "init feature count mismatch")]
+    fn warm_start_checks_feature_count() {
+        let init = ProductModel {
+            a: vec![1.0],
+            b: vec![0.0],
+        };
+        let _ = ProductModel::fit_from(&init, &[vec![1.0, 2.0]], &[3.0], 5);
     }
 
     #[test]

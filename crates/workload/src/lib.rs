@@ -23,8 +23,10 @@
 #![warn(clippy::all)]
 
 mod generator;
+pub mod ingest;
 pub mod population;
 pub mod sampler;
 
 pub use generator::{family_name, generate, StudyCircuit, Workload, WorkloadConfig};
+pub use ingest::{read_trace, IngestError, IngestedTrace, INGEST_HEADER};
 pub use population::{PopulationConfig, PopulationTrace};

@@ -452,6 +452,70 @@ impl Study {
     }
 }
 
+/// Analysis of an externally ingested job log (see
+/// [`qcs_workload::ingest`]): the audit and queue-prediction halves of
+/// the study pipeline, run over real records instead of simulated ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExternalTraceReport {
+    /// Records analyzed.
+    pub total_jobs: usize,
+    /// `[completed, errored, cancelled]` counts.
+    pub outcome_counts: [u64; 3],
+    /// Median queue time over completed jobs, minutes.
+    pub median_queue_min: f64,
+    /// Causality violations (`submit <= start <= end`, durations) found
+    /// by the study auditor. Ingestion validates per row, so anything
+    /// here indicates a bug in the adapter, not the log.
+    pub causality_violations: usize,
+    /// Queue-wait model evaluation on the held-out 30% tail (submission
+    /// order), when the training head contains at least one completed
+    /// job.
+    pub queue_prediction: Option<qcs_predictor::QueuePredictionReport>,
+}
+
+/// Run an ingested external trace through the study's audit and
+/// queue-prediction pipeline: causality checks over every record, then a
+/// [`qcs_predictor::QueueWaitModel`] fit on the first 70% (submission
+/// order) and evaluated on the rest.
+#[must_use]
+pub fn external_trace_report(trace: &qcs_workload::IngestedTrace) -> ExternalTraceReport {
+    let records = &trace.records;
+    let mut outcome_counts = [0u64; 3];
+    for r in records {
+        let slot = match r.outcome {
+            JobOutcome::Completed => 0,
+            JobOutcome::Errored => 1,
+            JobOutcome::Cancelled => 2,
+        };
+        outcome_counts[slot] += 1;
+    }
+    let mut queue_min: Vec<f64> = records
+        .iter()
+        .filter(|r| r.outcome == JobOutcome::Completed)
+        .map(|r| r.queue_time_s() / 60.0)
+        .collect();
+    queue_min.sort_by(f64::total_cmp);
+    let causality_violations = qcs_cloud::audit::check_causality(records).len();
+    let split = records.len() * 7 / 10;
+    let (train, test) = records.split_at(split);
+    let queue_prediction = qcs_predictor::QueueWaitModel::fit(
+        &train.iter().collect::<Vec<_>>(),
+        trace.machines.len(),
+    )
+    .ok()
+    .map(|model| {
+        qcs_predictor::evaluate_queue_prediction(&model, &test.iter().collect::<Vec<_>>())
+    });
+    ExternalTraceReport {
+        total_jobs: records.len(),
+        outcome_counts,
+        // Zero-job semantics, not NaN: an empty completed set reads as 0.
+        median_queue_min: qcs_stats::quantile(&queue_min, 0.5).unwrap_or(0.0),
+        causality_violations,
+        queue_prediction,
+    }
+}
+
 /// The study's trace, replayed through the incremental core: jobs are
 /// submitted one simulated day ahead of the clock, the clock is stepped a
 /// day at a time, and the backlog drains at the end. Produces output

@@ -148,7 +148,7 @@ fn all_fault_modes_under_concurrent_clients() {
                         accepted: 0,
                     };
                     for i in 0..REQUESTS {
-                        let line = match i % 3 {
+                        let line = match i % 4 {
                             0 => format!(
                                 "SUBMIT 0 {} {} {} 12 3",
                                 i % 3,
@@ -156,6 +156,10 @@ fn all_fault_modes_under_concurrent_clients() {
                                 100 + c * 100 + i
                             ),
                             1 => format!("STATUS {}", c * 1000 + i),
+                            // Frozen clock: nothing ever completes, so an
+                            // unfaulted PREDICT deterministically answers
+                            // ERR NOT_READY.
+                            2 => format!("PREDICT {} {} 1024", i % 3, 1 + (i % 9)),
                             _ => format!("QUEUE {}", i % 3),
                         };
                         // Frozen clock: the server decides at sim time 0.
@@ -203,6 +207,10 @@ fn all_fault_modes_under_concurrent_clients() {
                                         tally.accepted += 1;
                                     }
                                     "STATUS" => assert!(reply.starts_with("STATUS ")),
+                                    "PREDICT" => assert!(
+                                        reply.starts_with("ERR NOT_READY"),
+                                        "{line:?} -> {reply:?}"
+                                    ),
                                     _ => assert!(reply.starts_with("QUEUE ")),
                                 }
                             }
@@ -620,6 +628,99 @@ fn machine_outage_delays_only_the_dead_machines_jobs() {
     result.audit.expect("audit enabled").assert_clean();
 }
 
+/// Satellite: `PREDICT` under every fault mode with a *running* clock —
+/// jobs actually complete mid-run, the predictor trains live, and no
+/// request (faulted or not) panics a handler. The drain must audit clean
+/// and panic containment must stay exact.
+#[test]
+fn predict_under_faults_never_panics_and_drains_clean() {
+    quiet_injected_panics();
+    let plan = FaultPlan {
+        seed: 0xF0CA1,
+        drop_connection_permille: 80,
+        garble_request_permille: 80,
+        truncate_response_permille: 80,
+        partial_write_permille: 60,
+        panic_handler_permille: 60,
+        partial_write_stall: Duration::from_millis(2),
+        ..FaultPlan::none()
+    };
+    let cloud_config = CloudConfig {
+        audit: true,
+        ..CloudConfig::default()
+    };
+    let gateway = Gateway::start_with_faults(
+        Fleet::ibm_like(),
+        cloud_config,
+        GatewayConfig {
+            threads: 4,
+            // Running clock, heavily compressed: submissions from early in
+            // the loop complete while the loop is still going, so PREDICT
+            // exercises both the NOT_READY and the served paths.
+            time_compression: 50_000.0,
+            rate_capacity: 1e9,
+            rate_refill_per_s: 0.0,
+            max_pending_per_machine: 100_000,
+            ..GatewayConfig::default()
+        },
+        plan.clone(),
+    )
+    .expect("bind loopback");
+    let addr = gateway.addr();
+
+    let mut client = RawClient::connect(addr);
+    let mut expected_panics = 0usize;
+    let mut served_on_wire = 0u64;
+    for i in 0..120 {
+        let line = if i % 2 == 0 {
+            format!("SUBMIT 0 {} 5 256 12 3", i % 9)
+        } else {
+            format!("PREDICT {} 5 256", i % 9)
+        };
+        // Fault decisions are content-keyed, so they stay predictable
+        // even though the serving clock runs.
+        if plan.decide(&line, gateway.sim_now_s()) == Some(FaultKind::PanicHandler) {
+            expected_panics += 1;
+        }
+        match client.send(&line) {
+            Wire::Reply(reply) => {
+                if line.starts_with("PREDICT") && reply.starts_with("PREDICT ") {
+                    served_on_wire += 1;
+                }
+                assert!(
+                    reply.starts_with("OK ")
+                        || reply.starts_with("BUSY ")
+                        || reply.starts_with("ERR ")
+                        || reply.starts_with("PREDICT "),
+                    "unexpected reply {reply:?} for {line:?}"
+                );
+            }
+            Wire::Closed => client = RawClient::connect(addr),
+        }
+    }
+    drop(client);
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while gateway.handler_panics() < expected_panics && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(gateway.handler_panics(), expected_panics);
+
+    let (result, metrics) = gateway.shutdown_and_drain();
+    assert_eq!(metrics.injected_panics() as usize, expected_panics);
+    // Truncated replies may have been served but not observed client-side.
+    assert!(
+        metrics.predictions_served >= served_on_wire,
+        "served {} < observed {served_on_wire}",
+        metrics.predictions_served
+    );
+    assert!(
+        served_on_wire > 0,
+        "no PREDICT was ever served — compression too low for this loop"
+    );
+    result.audit.expect("audit enabled").assert_clean();
+}
+
 /// ErrorCode tokens on the wire match the table the README documents.
 #[test]
 fn err_code_table_is_stable() {
@@ -636,6 +737,7 @@ fn err_code_table_is_stable() {
         "EMPTY_BATCH",
         "NOT_CANCELLABLE",
         "REJECTED",
+        "NOT_READY",
     ];
     let actual: Vec<&str> = ErrorCode::ALL.iter().map(|c| c.as_token()).collect();
     assert_eq!(actual, expected);
