@@ -32,12 +32,36 @@ cargo test -q --test chaos_gateway
 # (count/mean bit-identical, sketches within documented tolerance).
 cargo test -q --test properties streaming
 
+# DES-structure equivalence gates: the indexed calendar must pop in the
+# binary heap's exact order, the winner-tree fair-share must match the
+# linear-scan oracle pop-for-pop, the optimized engine must be
+# bit-identical to the reference engine end to end, and scenario sweeps
+# must be invariant to worker thread count.
+cargo test -q -p qcs-cloud --test properties
+
 # Million-job bounded-memory gate: stream the full 10^6-job Zipf
 # population trace through the 4-shard FleetSim. The binary asserts zero
 # materialized records, a chunk-bounded arrival heap, fixed-capacity
 # reservoirs, a clean cross-shard charged-vs-executed conservation audit,
 # every job folded exactly once, and peak RSS under 512 MiB.
 cargo run --release -q -p qcs-bench --bin smoke_million_jobs
+
+# Cloud bench-smoke gate: the optimized DES engine (calendar event
+# queues + incremental fair-share + slab job storage) must stay within
+# 25% of the reference engine on the sharded 200k-job trace. Both
+# engines are timed best-of-3 with repetitions interleaved, so the
+# comparison is robust to shared-runner noise bursts; 25% headroom
+# absorbs the residual jitter (measured gap is ~4%), while a real
+# regression (the calendar degenerating to per-pop full scans) shows up
+# as 2x+.
+cloud_out=$(cargo run --release -q -p qcs-bench --bin bench_cloud | grep '^BENCH')
+des_ref=$(printf '%s\n' "$cloud_out" | grep '"id":"cloud_des/des_reference"' | sed 's/.*"mean_ns"://; s/,.*//')
+des_opt=$(printf '%s\n' "$cloud_out" | grep '"id":"cloud_des/des_optimized"' | sed 's/.*"mean_ns"://; s/,.*//')
+awk -v o="$des_opt" -v r="$des_ref" 'BEGIN {
+  if (o == "" || r == "") { print "bench-smoke: missing cloud bench output"; exit 1 }
+  if (o > r * 1.25) { printf "bench-smoke: optimized DES %.0f ns/job > reference %.0f ns/job (+25%%)\n", o, r; exit 1 }
+  printf "bench-smoke: optimized DES %.0f ns/job <= reference %.0f ns/job (+25%% headroom)\n", o, r
+}'
 
 # Bench-smoke gate: one short criterion run of the fusion bench; the
 # fused kernels must not be slower than per-instruction dispatch on the
@@ -135,5 +159,10 @@ cargo clippy -p qcs-gateway --no-deps -- -D warnings -D clippy::unwrap_used -D c
 # The online predictor sits on the same serving path (fed by the record
 # tap, queried per PREDICT request): hold it to the same bar.
 cargo clippy -p qcs-predictor --no-deps -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
+# The DES core is the gateway's backing store and runs on its serving
+# path (every SUBMIT steps the simulator under the state lock): no
+# unwrap/expect in non-test cloud code either.
+cargo clippy -p qcs-cloud --no-deps -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
 echo "ci.sh: all checks passed"

@@ -1,0 +1,407 @@
+//! An indexed calendar (bucket) priority queue for DES events.
+//!
+//! [`Calendar`] replaces the two `BinaryHeap`s in the live event loop. It
+//! orders entries by the pair `(time_s, seq)` — encoded as one `u128` key
+//! so a single integer compare replaces a float `partial_cmp` plus a
+//! sequence tie-break — and pops them in **exactly** the order a min-heap
+//! on the same pairs would produce. `tests` and the calendar proptest in
+//! `tests/properties.rs` pin that bit-identity over random `(time, seq)`
+//! streams, including duplicate times and out-of-order pushes.
+//!
+//! The structure is R. Brown's calendar queue: a ring of buckets, each
+//! covering `width_s` seconds of one "day"; an entry for day `d` lives in
+//! bucket `d mod nbuckets`. The minimum is found by scanning forward from
+//! the cursor day — under DES workloads the next event is almost always
+//! within a bucket or two, so a pop touches O(1) entries instead of
+//! sifting `log n` heap levels of payload. A full empty lap falls back to
+//! a direct scan (sparse regimes stay correct, just not sublinear), and
+//! the ring doubles and re-spreads itself whenever occupancy exceeds two
+//! entries per bucket, re-estimating the bucket width from the live
+//! entries' time span.
+
+/// Entries per bucket (on average) that trigger a grow-and-respread.
+const RESIZE_OCCUPANCY: usize = 2;
+/// Initial ring size; must be a power of two.
+const INITIAL_BUCKETS: usize = 16;
+
+/// Monotone key encoding: orders exactly like `(time_s, seq)` under
+/// `f64::total_cmp` on the time (the repo-wide sort convention). Shared
+/// with the reference binary-heap engine so both engines compare the
+/// *same* integers and cannot diverge on ordering.
+#[inline]
+pub(crate) fn key_of(time_s: f64, seq: u64) -> u128 {
+    ((time_key(time_s) as u128) << 64) | u128::from(seq)
+}
+
+/// Order-preserving bijection from non-NaN `f64` to `u64` (the standard
+/// sign-fold of the IEEE bit pattern, i.e. `total_cmp` order).
+#[inline]
+fn time_key(time_s: f64) -> u64 {
+    let bits = time_s.to_bits();
+    if bits >> 63 == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+/// Inverse of [`time_key`], for recovering an entry's time at pop.
+#[inline]
+pub(crate) fn key_time(key: u128) -> f64 {
+    let folded = (key >> 64) as u64;
+    let bits = if folded >> 63 == 1 {
+        folded & !(1 << 63)
+    } else {
+        !folded
+    };
+    f64::from_bits(bits)
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    key: u128,
+    /// `floor(time / width)` under the current width — recomputed on
+    /// resize. Entries are bucketed by `day % nbuckets`.
+    day: u64,
+    item: T,
+}
+
+/// A calendar (bucket) priority queue over `(time_s, seq)` keys.
+///
+/// Pop order is bit-identical to a binary min-heap over the same pairs;
+/// see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Calendar<T> {
+    /// Ring of buckets; `buckets.len()` is a power of two.
+    buckets: Vec<Vec<Entry<T>>>,
+    /// Seconds of simulated time each bucket covers per lap.
+    width_s: f64,
+    /// Total live entries.
+    len: usize,
+    /// Cursor day: always ≤ the day of every live entry, so the forward
+    /// scan in `locate_min` cannot pass the minimum.
+    day: u64,
+    /// Cached location `(bucket, slot)` of the current minimum, if known.
+    /// Maintained on push (a smaller key takes over the cache; appends
+    /// never move existing slots) and invalidated by every removal.
+    cached_min: Option<(usize, usize)>,
+}
+
+impl<T> Default for Calendar<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Calendar<T> {
+    /// An empty calendar.
+    #[must_use]
+    pub fn new() -> Self {
+        Calendar {
+            buckets: (0..INITIAL_BUCKETS).map(|_| Vec::new()).collect(),
+            width_s: 1.0,
+            len: 0,
+            day: 0,
+            cached_min: None,
+        }
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Day index of `time_s` under the current width. Negative times
+    /// saturate to day 0 and +∞ to `u64::MAX`; ordering within a bucket
+    /// is always by full key, so saturation only costs scan locality.
+    #[inline]
+    fn day_of(&self, time_s: f64) -> u64 {
+        (time_s / self.width_s) as u64
+    }
+
+    #[inline]
+    fn bucket_of(&self, day: u64) -> usize {
+        (day & (self.buckets.len() as u64 - 1)) as usize
+    }
+
+    /// Insert an entry. `seq` must be unique per calendar (the caller's
+    /// monotone event counter) so keys are total.
+    pub fn push(&mut self, time_s: f64, seq: u64, item: T) {
+        debug_assert!(!time_s.is_nan(), "event times must not be NaN");
+        if self.len + 1 > RESIZE_OCCUPANCY * self.buckets.len() {
+            self.grow();
+        }
+        let key = key_of(time_s, seq);
+        let day = self.day_of(time_s);
+        if self.len == 0 || day < self.day {
+            self.day = day;
+        }
+        let bucket = self.bucket_of(day);
+        self.buckets[bucket].push(Entry { key, day, item });
+        let slot = self.buckets[bucket].len() - 1;
+        match self.cached_min {
+            Some((cb, cs)) if self.buckets[cb][cs].key < key => {}
+            _ if self.len == 0 => self.cached_min = Some((bucket, slot)),
+            Some(_) => self.cached_min = Some((bucket, slot)),
+            None => {}
+        }
+        self.len += 1;
+    }
+
+    /// The minimum entry's time, without removing it.
+    pub fn peek_time(&mut self) -> Option<f64> {
+        let (bucket, slot) = self.locate_min()?;
+        Some(key_time(self.buckets[bucket][slot].key))
+    }
+
+    /// Remove and return the minimum entry as `(time_s, item)`.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        let (bucket, slot) = self.locate_min()?;
+        let entry = self.buckets[bucket].swap_remove(slot);
+        self.len -= 1;
+        self.day = entry.day;
+        self.cached_min = None;
+        self.maybe_shrink();
+        Some((key_time(entry.key), entry.item))
+    }
+
+    /// Visit every live entry (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buckets.iter().flatten().map(|e| &e.item)
+    }
+
+    /// Remove and return the first entry (arbitrary scan order) matching
+    /// `pred` — the cancel-before-arrival path. O(n).
+    pub fn remove_first<F: FnMut(&T) -> bool>(&mut self, mut pred: F) -> Option<T> {
+        for bucket in 0..self.buckets.len() {
+            for slot in 0..self.buckets[bucket].len() {
+                if pred(&self.buckets[bucket][slot].item) {
+                    let entry = self.buckets[bucket].swap_remove(slot);
+                    self.len -= 1;
+                    self.cached_min = None;
+                    self.maybe_shrink();
+                    return Some(entry.item);
+                }
+            }
+        }
+        None
+    }
+
+    /// Find `(bucket, slot)` of the global minimum key.
+    ///
+    /// Scans forward one day at a time from the cursor: every entry of day
+    /// `d` lives in bucket `d mod nbuckets`, and the cursor invariant
+    /// (`self.day` ≤ every live entry's day) means the first day with any
+    /// entry holds the minimum. After a full empty lap (the ring covers
+    /// `nbuckets * width` seconds; sparser than that means the estimate
+    /// is stale) fall back to a direct scan over all entries.
+    fn locate_min(&mut self) -> Option<(usize, usize)> {
+        if self.cached_min.is_some() {
+            return self.cached_min;
+        }
+        if self.len == 0 {
+            return None;
+        }
+        let nbuckets = self.buckets.len() as u64;
+        let mut d = self.day;
+        for _ in 0..nbuckets {
+            let b = self.bucket_of(d);
+            let mut best: Option<(usize, u128)> = None;
+            for (slot, entry) in self.buckets[b].iter().enumerate() {
+                if entry.day == d && best.is_none_or(|(_, k)| entry.key < k) {
+                    best = Some((slot, entry.key));
+                }
+            }
+            if let Some((slot, _)) = best {
+                self.day = d;
+                self.cached_min = Some((b, slot));
+                return self.cached_min;
+            }
+            d = d.wrapping_add(1);
+        }
+        // Sparse fallback: direct search, then drop the cursor on the
+        // minimum so the next scan starts from a live day.
+        let mut best: Option<(usize, usize, u128, u64)> = None;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            for (slot, entry) in bucket.iter().enumerate() {
+                if best.is_none_or(|(_, _, k, _)| entry.key < k) {
+                    best = Some((b, slot, entry.key, entry.day));
+                }
+            }
+        }
+        let (b, slot, _, day) = best?;
+        self.day = day;
+        self.cached_min = Some((b, slot));
+        self.cached_min
+    }
+
+    /// Double the ring and re-spread every entry under a bucket width
+    /// re-estimated from the live entries' span (≈ 3 mean gaps, so a
+    /// day's bucket holds a handful of entries).
+    fn grow(&mut self) {
+        self.rebuild((self.buckets.len() * 2).max(INITIAL_BUCKETS));
+    }
+
+    /// Halve the ring once occupancy falls below a quarter entry per
+    /// bucket. Without this the ring only ever grows, and a drained
+    /// calendar pays an `O(nbuckets)` empty-lap scan per pop near the
+    /// tail of a run — the hysteresis gap (grow at 2/bucket, shrink at
+    /// 1/4) keeps rebuilds amortized O(1) per operation.
+    fn maybe_shrink(&mut self) {
+        if self.buckets.len() > INITIAL_BUCKETS && self.len * 4 < self.buckets.len() {
+            self.rebuild((self.buckets.len() / 2).max(INITIAL_BUCKETS));
+        }
+    }
+
+    /// Re-spread every entry over `nbuckets` buckets under a bucket
+    /// width re-estimated from the live entries' span.
+    fn rebuild(&mut self, nbuckets: usize) {
+        let entries: Vec<Entry<T>> = self
+            .buckets
+            .iter_mut()
+            .flat_map(std::mem::take)
+            .collect();
+        self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for entry in &entries {
+            let t = key_time(entry.key);
+            if t.is_finite() {
+                lo = lo.min(t);
+                hi = hi.max(t);
+            }
+        }
+        let span = hi - lo;
+        if span.is_finite() && span > 0.0 {
+            self.width_s = (3.0 * span / entries.len() as f64).max(1e-9);
+        }
+        self.cached_min = None;
+        let mut min_day = u64::MAX;
+        for entry in entries {
+            let t = key_time(entry.key);
+            let day = self.day_of(t);
+            min_day = min_day.min(day);
+            let bucket = self.bucket_of(day);
+            self.buckets[bucket].push(Entry { day, ..entry });
+        }
+        // Re-anchor the cursor under the new width.
+        self.day = if min_day == u64::MAX { 0 } else { min_day };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn key_roundtrip_and_order() {
+        let times = [0.0, -0.0, 1.5, 86_400.0, 1e-300, 1e300, f64::INFINITY];
+        for &t in &times {
+            assert_eq!(key_time(key_of(t, 7)).to_bits(), t.to_bits());
+        }
+        let mut keyed: Vec<u64> = times.iter().map(|&t| time_key(t)).collect();
+        keyed.sort_unstable();
+        let mut direct = times.to_vec();
+        direct.sort_by(f64::total_cmp);
+        let direct_keyed: Vec<u64> = direct.iter().map(|&t| time_key(t)).collect();
+        assert_eq!(keyed, direct_keyed);
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut cal = Calendar::new();
+        cal.push(5.0, 0, "a");
+        cal.push(1.0, 1, "b");
+        cal.push(5.0, 2, "c");
+        cal.push(0.5, 3, "d");
+        let order: Vec<&str> = std::iter::from_fn(|| cal.pop().map(|(_, i)| i)).collect();
+        assert_eq!(order, ["d", "b", "a", "c"]);
+    }
+
+    #[test]
+    fn matches_heap_on_mixed_stream() {
+        // Deterministic xorshift so the unit test needs no rand dep.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut cal = Calendar::new();
+        let mut heap: BinaryHeap<Reverse<u128>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut popped = Vec::new();
+        for _ in 0..4000 {
+            let r = next();
+            if r % 3 != 0 || heap.is_empty() {
+                // Cluster times to force duplicate days and some exact ties.
+                let t = ((r >> 8) % 1000) as f64 * 0.25;
+                cal.push(t, seq, seq);
+                heap.push(Reverse(key_of(t, seq)));
+                seq += 1;
+            } else {
+                let (t, item) = cal.pop().expect("heap non-empty");
+                let Reverse(expect) = heap.pop().expect("heap non-empty");
+                assert_eq!(key_of(t, item), expect, "pop order diverged");
+                popped.push(item);
+            }
+        }
+        while let Some((t, item)) = cal.pop() {
+            let Reverse(expect) = heap.pop().expect("heap has the rest");
+            assert_eq!(key_of(t, item), expect);
+            popped.push(item);
+        }
+        assert!(heap.is_empty());
+        assert!(popped.len() > 1000);
+    }
+
+    #[test]
+    fn remove_first_and_iter() {
+        let mut cal = Calendar::new();
+        for i in 0..10u64 {
+            cal.push(i as f64, i, i);
+        }
+        assert_eq!(cal.iter().count(), 10);
+        assert_eq!(cal.remove_first(|&i| i == 7), Some(7));
+        assert_eq!(cal.remove_first(|&i| i == 7), None);
+        assert_eq!(cal.len(), 9);
+        let order: Vec<u64> = std::iter::from_fn(|| cal.pop().map(|(_, i)| i)).collect();
+        assert_eq!(order, [0, 1, 2, 3, 4, 5, 6, 8, 9]);
+    }
+
+    #[test]
+    fn survives_sparse_then_dense_regimes() {
+        let mut cal = Calendar::new();
+        // Sparse: gaps far larger than nbuckets * width force the
+        // direct-search fallback.
+        for i in 0..20u64 {
+            cal.push(i as f64 * 1e6, i, i);
+        }
+        for i in 0..20u64 {
+            assert_eq!(cal.pop().map(|(_, x)| x), Some(i));
+        }
+        // Dense burst at a far future time after the cursor moved.
+        for i in 0..200u64 {
+            cal.push(5e7 + (i % 13) as f64, 100 + i, i);
+        }
+        let mut last = None;
+        let mut n = 0;
+        while let Some((t, _)) = cal.pop() {
+            if let Some(prev) = last {
+                assert!(t >= prev);
+            }
+            last = Some(t);
+            n += 1;
+        }
+        assert_eq!(n, 200);
+    }
+}

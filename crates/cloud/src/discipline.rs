@@ -4,11 +4,13 @@
 //! simplistic at the present" and recommends vendor-side scheduling
 //! research (§V-E ①④). [`Discipline`] selects the policy a machine's
 //! queue uses; [`JobQueue`] adapts the chosen policy behind one interface
-//! for the simulator.
+//! for the simulator. Like [`FairShareQueue`], the queue is generic over
+//! [`QueueItem`] so the live engine can queue compact slab handles while
+//! the public API queues full [`JobSpec`]s.
 
 use std::collections::VecDeque;
 
-use crate::{FairShareQueue, JobSpec};
+use crate::{FairShareQueue, JobSpec, QueueItem};
 
 /// Queue scheduling policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,16 +38,16 @@ impl Default for Discipline {
 
 /// A single machine's queue under some [`Discipline`].
 #[derive(Debug, Clone)]
-pub enum JobQueue {
+pub enum JobQueue<T = JobSpec> {
     /// Fair-share state.
-    FairShare(FairShareQueue),
+    FairShare(FairShareQueue<T>),
     /// FIFO state.
-    Fifo(VecDeque<JobSpec>),
+    Fifo(VecDeque<T>),
     /// SJF state: jobs with a precomputed service estimate.
-    ShortestJobFirst(Vec<(f64, JobSpec)>),
+    ShortestJobFirst(Vec<(f64, T)>),
 }
 
-impl JobQueue {
+impl<T: QueueItem> JobQueue<T> {
     /// Create an empty queue for the given discipline.
     #[must_use]
     pub fn new(discipline: Discipline, num_providers: usize) -> Self {
@@ -55,6 +57,17 @@ impl JobQueue {
             }
             Discipline::Fifo => JobQueue::Fifo(VecDeque::new()),
             Discipline::ShortestJobFirst => JobQueue::ShortestJobFirst(Vec::new()),
+        }
+    }
+
+    /// Create the queue with the fair-share variant using the O(P) scan
+    /// selector instead of the winner tree (the reference engine; see
+    /// [`FairShareQueue::with_scan_selection`]). Identical pop order.
+    #[must_use]
+    pub fn new_with_scan_selection(discipline: Discipline, num_providers: usize) -> Self {
+        match Self::new(discipline, num_providers) {
+            JobQueue::FairShare(q) => JobQueue::FairShare(q.with_scan_selection()),
+            other => other,
         }
     }
 
@@ -76,7 +89,7 @@ impl JobQueue {
 
     /// Enqueue a job. `service_estimate_s` is the machine's expected
     /// execution time for the job (used by SJF only).
-    pub fn push(&mut self, job: JobSpec, service_estimate_s: f64) {
+    pub fn push(&mut self, job: T, service_estimate_s: f64) {
         match self {
             JobQueue::FairShare(q) => q.push(job),
             JobQueue::Fifo(q) => q.push_back(job),
@@ -85,7 +98,7 @@ impl JobQueue {
     }
 
     /// Pop the next job to execute at time `now_s`.
-    pub fn pop(&mut self, now_s: f64) -> Option<JobSpec> {
+    pub fn pop(&mut self, now_s: f64) -> Option<T> {
         match self {
             JobQueue::FairShare(q) => q.pop(now_s),
             JobQueue::Fifo(q) => q.pop_front(),
@@ -94,13 +107,8 @@ impl JobQueue {
                     .iter()
                     .enumerate()
                     .min_by(|(_, (sa, ja)), (_, (sb, jb))| {
-                        sa.partial_cmp(sb)
-                            .expect("service estimates are finite")
-                            .then_with(|| {
-                                ja.submit_s
-                                    .partial_cmp(&jb.submit_s)
-                                    .expect("submit times are finite")
-                            })
+                        sa.total_cmp(sb)
+                            .then_with(|| ja.submit_s().total_cmp(&jb.submit_s()))
                     })
                     .map(|(i, _)| i)?;
                 Some(q.swap_remove(idx).1)
@@ -136,17 +144,27 @@ impl JobQueue {
     }
 
     /// Remove a queued job by id (user cancellation).
-    pub fn remove(&mut self, job_id: u64) -> Option<JobSpec> {
+    pub fn remove(&mut self, job_id: u64) -> Option<T> {
         match self {
             JobQueue::FairShare(q) => q.remove(job_id),
             JobQueue::Fifo(q) => {
-                let pos = q.iter().position(|j| j.id == job_id)?;
+                let pos = q.iter().position(|j| j.id() == job_id)?;
                 q.remove(pos)
             }
             JobQueue::ShortestJobFirst(q) => {
-                let pos = q.iter().position(|(_, j)| j.id == job_id)?;
+                let pos = q.iter().position(|(_, j)| j.id() == job_id)?;
                 Some(q.remove(pos).1)
             }
+        }
+    }
+
+    /// Remove a queued job by id when its fair-share provider is already
+    /// known (patience-expiry hot path): fair-share scans only that
+    /// provider's FIFO; other disciplines fall back to [`remove`](Self::remove).
+    pub fn remove_for_provider(&mut self, provider: u32, job_id: u64) -> Option<T> {
+        match self {
+            JobQueue::FairShare(q) => q.remove_for_provider(provider, job_id),
+            other => other.remove(job_id),
         }
     }
 }
@@ -227,20 +245,53 @@ mod tests {
     }
 
     #[test]
+    fn remove_for_provider_works_for_all_variants() {
+        for discipline in [
+            Discipline::default(),
+            Discipline::Fifo,
+            Discipline::ShortestJobFirst,
+        ] {
+            let mut q = JobQueue::new(discipline, 4);
+            q.push(job(1, 0, 0.0), 1.0);
+            q.push(job(2, 1, 1.0), 2.0);
+            assert_eq!(q.remove_for_provider(1, 2).map(|j| j.id), Some(2));
+            assert_eq!(q.len(), 1);
+        }
+    }
+
+    #[test]
     fn charged_raw_only_for_fair_share() {
-        let mut fair = JobQueue::new(Discipline::default(), 2);
+        let mut fair: JobQueue = JobQueue::new(Discipline::default(), 2);
         fair.charge(1, 30.0, 5.0);
         assert_eq!(fair.charged_raw(), Some(&[0.0, 30.0][..]));
         for discipline in [Discipline::Fifo, Discipline::ShortestJobFirst] {
-            let mut q = JobQueue::new(discipline, 2);
+            let mut q: JobQueue = JobQueue::new(discipline, 2);
             q.charge(0, 10.0, 0.0); // no-op
             assert_eq!(q.charged_raw(), None);
         }
     }
 
     #[test]
+    fn scan_selection_variant_matches_default() {
+        let mut tree = JobQueue::new(Discipline::default(), 3);
+        let mut scan = JobQueue::new_with_scan_selection(Discipline::default(), 3);
+        for q in [&mut tree, &mut scan] {
+            for i in 0..9u64 {
+                q.push(job(i, (i % 3) as u32, i as f64), 1.0);
+            }
+            q.charge(1, 300.0, 2.0);
+        }
+        for _ in 0..9 {
+            assert_eq!(
+                tree.pop(10.0).map(|j| j.id),
+                scan.pop(10.0).map(|j| j.id)
+            );
+        }
+    }
+
+    #[test]
     fn empty_checks() {
-        let q = JobQueue::new(Discipline::Fifo, 1);
+        let q: JobQueue = JobQueue::new(Discipline::Fifo, 1);
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
     }

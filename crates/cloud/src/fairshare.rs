@@ -4,48 +4,111 @@
 //! so that no user can monopolize the system ... jobs from various
 //! providers are inter-weaved in a non-trivial manner, and the order in
 //! which jobs complete is not necessarily the order in which they were
-//! submitted" (paper §II-B ⑤). Each provider accumulates decayed usage;
-//! the next job comes from the eligible provider with the lowest
-//! usage-to-share ratio (FIFO within a provider).
+//! submitted" (paper §II-B ⑤). Each provider accumulates exponentially
+//! decayed usage; the next job comes from the eligible provider with the
+//! lowest usage-to-share ratio (FIFO within a provider).
+//!
+//! # Incremental selection
+//!
+//! Exponential decay multiplies every provider's usage by the *same*
+//! factor, so the usage/share **ordering** between providers is invariant
+//! between charges — only a charge (or injection) can reorder anyone, and
+//! it reorders exactly one provider. The queue exploits this by giving
+//! each provider a decay-invariant sort key
+//!
+//! ```text
+//! key(p) = log2(usage_p(t_p) / share_p) + t_p / half_life
+//! ```
+//!
+//! where `usage_p(t_p)` is the provider's decayed usage valued at its own
+//! last-touch time `t_p`: the decayed usage at any later `t` is
+//! `usage_p(t_p) · 2^-((t - t_p)/half_life)`, whose log2 is `key(p) − t /
+//! half_life` — the same `t`-term for every provider, so comparing cached
+//! keys at *any* time reproduces the usage-ratio order without decaying
+//! anything. A provider's key is recomputed only when it is charged or
+//! injected (one `log2` instead of an O(P) `decay_to` sweep), and a
+//! winner tree over the providers repositions just that provider in
+//! O(log P); `pop` reads the root. The O(P) scan over the same keys is
+//! retained behind [`with_scan_selection`](FairShareQueue::with_scan_selection)
+//! as the in-process oracle — both selectors consult the *identical* key
+//! array and tie-break chain `(key, front submit time, provider index)`,
+//! so their pop sequences are bit-identical by construction (the
+//! fair-share proptest in `tests/properties.rs` pins this over random
+//! charge/inject/push/pop schedules).
 
 use std::collections::VecDeque;
 
-use crate::JobSpec;
+use crate::{JobSpec, QueueItem};
+
+/// Sentinel for "no provider" in the winner tree.
+const NONE: u32 = u32::MAX;
 
 /// A single machine's fair-share queue.
+///
+/// Generic over the queued item ([`QueueItem`]): the public simulation
+/// API queues full [`JobSpec`]s, the live engine queues compact slab
+/// handles.
 #[derive(Debug, Clone)]
-pub struct FairShareQueue {
+pub struct FairShareQueue<T = JobSpec> {
     /// Per-provider FIFO queues (indexed by provider id).
-    queues: Vec<VecDeque<JobSpec>>,
+    queues: Vec<VecDeque<T>>,
     /// Per-provider share entitlement (default 1.0).
     shares: Vec<f64>,
-    /// Per-provider exponentially-decayed usage, seconds of machine time.
+    /// Per-provider decayed usage, seconds, valued at `touch_s` — decayed
+    /// lazily (closed-form per segment) instead of eagerly sweeping every
+    /// provider on every queue event.
     usage: Vec<f64>,
+    /// Per-provider time its `usage` is valued at.
+    touch_s: Vec<f64>,
+    /// Per-provider decay-invariant sort key (see module docs); `-inf`
+    /// for zero usage.
+    key: Vec<f64>,
     /// Per-provider lifetime charged seconds, *undecayed* (audit
     /// accounting: must equal the sum of the provider's execution
     /// intervals on this machine).
     charged_raw: Vec<f64>,
     /// Usage half-life, seconds.
     half_life_s: f64,
-    /// Last time usage was decayed.
-    last_decay_s: f64,
     /// Total queued jobs.
     len: usize,
+    /// Winner tree: `tree[1]` is the best eligible provider, leaves for
+    /// provider `p` at `leaf_base + p`. `NONE` marks empty subtrees.
+    tree: Vec<u32>,
+    /// First leaf index (= padded provider count, a power of two).
+    leaf_base: usize,
+    /// Use the O(P) scan selector instead of the winner tree (the
+    /// property-matched oracle / reference engine).
+    scan: bool,
 }
 
-impl FairShareQueue {
+impl<T: QueueItem> FairShareQueue<T> {
     /// Create a queue for `num_providers` providers with uniform shares.
     #[must_use]
     pub fn new(num_providers: usize, half_life_s: f64) -> Self {
+        let leaf_base = num_providers.next_power_of_two().max(1);
         FairShareQueue {
-            queues: vec![VecDeque::new(); num_providers],
+            queues: (0..num_providers).map(|_| VecDeque::new()).collect(),
             shares: vec![1.0; num_providers],
             usage: vec![0.0; num_providers],
+            touch_s: vec![0.0; num_providers],
+            key: vec![f64::NEG_INFINITY; num_providers],
             charged_raw: vec![0.0; num_providers],
             half_life_s,
-            last_decay_s: 0.0,
             len: 0,
+            tree: vec![NONE; 2 * leaf_base],
+            leaf_base,
+            scan: false,
         }
+    }
+
+    /// Switch this queue to the O(P) scan selector. Pop-for-pop
+    /// bit-identical to the default winner-tree selector (both order by
+    /// the same cached `(key, front submit, provider)` chain); kept as
+    /// the in-process oracle and the reference-engine path.
+    #[must_use]
+    pub fn with_scan_selection(mut self) -> Self {
+        self.scan = true;
+        self
     }
 
     /// Override a provider's share entitlement (larger = more throughput).
@@ -55,7 +118,9 @@ impl FairShareQueue {
     /// Panics if `share <= 0` or the provider is unknown.
     pub fn set_share(&mut self, provider: u32, share: f64) {
         assert!(share > 0.0, "share must be positive");
-        self.shares[provider as usize] = share;
+        let p = provider as usize;
+        self.shares[p] = share;
+        self.rekey(p);
     }
 
     /// Number of queued jobs (excluding any executing job).
@@ -75,50 +140,48 @@ impl FairShareQueue {
     /// # Panics
     ///
     /// Panics if the job's provider id is out of range.
-    pub fn push(&mut self, job: JobSpec) {
-        self.queues[job.provider as usize].push_back(job);
+    pub fn push(&mut self, job: T) {
+        let p = job.provider() as usize;
+        self.queues[p].push_back(job);
         self.len += 1;
+        if self.queues[p].len() == 1 {
+            // Became eligible; a push behind an existing front changes
+            // neither the key nor the tie-break, so the tree stands.
+            self.update_path(p);
+        }
     }
 
-    /// Decay usage to `now` and pop the next job under fair-share order.
-    pub fn pop(&mut self, now_s: f64) -> Option<JobSpec> {
-        self.decay_to(now_s);
-        let provider = self
-            .queues
-            .iter()
-            .enumerate()
-            .filter(|(_, q)| !q.is_empty())
-            .min_by(|(a, _), (b, _)| {
-                let ra = self.usage[*a] / self.shares[*a];
-                let rb = self.usage[*b] / self.shares[*b];
-                ra.partial_cmp(&rb)
-                    .expect("usage ratios are finite")
-                    // Tie-break on earliest submission for FIFO-ish fairness.
-                    .then_with(|| {
-                        let ta = self.queues[*a].front().map(|j| j.submit_s);
-                        let tb = self.queues[*b].front().map(|j| j.submit_s);
-                        ta.partial_cmp(&tb).expect("submit times are finite")
-                    })
-            })
-            .map(|(i, _)| i)?;
-        let job = self.queues[provider].pop_front();
+    /// Pop the next job under fair-share order: the eligible provider
+    /// with the lowest decayed usage-to-share ratio, ties broken by
+    /// earliest front submission then lowest provider index. (`now_s` is
+    /// retained for signature stability; selection reads the cached
+    /// decay-invariant keys, which need no decay sweep — see the module
+    /// docs.)
+    pub fn pop(&mut self, now_s: f64) -> Option<T> {
+        debug_assert!(!now_s.is_nan(), "pop time must not be NaN");
+        let p = if self.scan {
+            self.select_scan()?
+        } else {
+            self.select_tree()?
+        };
+        let job = self.queues[p].pop_front();
         if job.is_some() {
             self.len -= 1;
+            self.update_path(p);
         }
         job
     }
 
-    /// Charge `seconds` of machine usage to `provider` at time `now_s`.
-    ///
-    /// All providers' usage is decayed to `now_s` *before* the charge
-    /// lands, so the new seconds enter the accumulator at full weight.
-    /// (Charging without decaying first would leave `last_decay_s` stale
-    /// and over-decay the fresh seconds by the whole elapsed interval on
-    /// the next `pop` — a time skew that mis-orders providers.)
+    /// Charge `seconds` of machine usage to `provider` at time `now_s`:
+    /// the provider's usage decays closed-form to `now_s`, the fresh
+    /// seconds land at full weight, and the provider's sort key is
+    /// recomputed (no other provider moves).
     pub fn charge(&mut self, provider: u32, seconds: f64, now_s: f64) {
-        self.decay_to(now_s);
-        self.usage[provider as usize] += seconds;
-        self.charged_raw[provider as usize] += seconds;
+        let p = provider as usize;
+        self.advance(p, now_s);
+        self.usage[p] += seconds;
+        self.charged_raw[p] += seconds;
+        self.rekey(p);
     }
 
     /// Lifetime per-provider charged seconds, undecayed. The audit layer
@@ -135,33 +198,119 @@ impl FairShareQueue {
     /// conservation law the auditor checks (charged_raw == sum of local
     /// execution intervals).
     pub fn inject_usage(&mut self, provider: u32, seconds: f64, now_s: f64) {
-        self.decay_to(now_s);
-        self.usage[provider as usize] += seconds;
+        let p = provider as usize;
+        self.advance(p, now_s);
+        self.usage[p] += seconds;
+        self.rekey(p);
     }
 
     /// Remove a specific queued job by id (user cancellation). Returns the
     /// job if it was still queued.
-    pub fn remove(&mut self, job_id: u64) -> Option<JobSpec> {
-        for queue in &mut self.queues {
-            if let Some(pos) = queue.iter().position(|j| j.id == job_id) {
+    pub fn remove(&mut self, job_id: u64) -> Option<T> {
+        for p in 0..self.queues.len() {
+            if let Some(pos) = self.queues[p].iter().position(|j| j.id() == job_id) {
                 self.len -= 1;
-                return queue.remove(pos);
+                let job = self.queues[p].remove(pos);
+                self.update_path(p);
+                return job;
             }
         }
         None
     }
 
-    /// Exponentially decay all providers' usage to time `now_s`.
-    fn decay_to(&mut self, now_s: f64) {
-        let dt = now_s - self.last_decay_s;
-        if dt <= 0.0 {
+    /// Remove a queued job by id when its provider is already known (the
+    /// patience-expiry hot path): only that provider's FIFO is scanned.
+    pub fn remove_for_provider(&mut self, provider: u32, job_id: u64) -> Option<T> {
+        let p = provider as usize;
+        let pos = self.queues[p].iter().position(|j| j.id() == job_id)?;
+        self.len -= 1;
+        let job = self.queues[p].remove(pos);
+        self.update_path(p);
+        job
+    }
+
+    /// Decay `p`'s usage closed-form to `now_s` (no-op for a stale or
+    /// equal timestamp, mirroring the old eager sweep's `dt <= 0` guard).
+    fn advance(&mut self, p: usize, now_s: f64) {
+        let dt = now_s - self.touch_s[p];
+        if dt > 0.0 {
+            self.usage[p] *= 0.5f64.powf(dt / self.half_life_s);
+            self.touch_s[p] = now_s;
+        }
+    }
+
+    /// Recompute `p`'s decay-invariant key and reposition it in the tree.
+    fn rekey(&mut self, p: usize) {
+        self.key[p] = (self.usage[p] / self.shares[p]).log2() + self.touch_s[p] / self.half_life_s;
+        self.update_path(p);
+    }
+
+    /// Winner of two providers (either may be `NONE`): lowest
+    /// `(key, front submit, index)`. `a` must come from the left subtree
+    /// so full ties resolve to the lower provider index.
+    #[inline]
+    fn winner(&self, a: u32, b: u32) -> u32 {
+        if a == NONE {
+            return b;
+        }
+        if b == NONE {
+            return a;
+        }
+        let (pa, pb) = (a as usize, b as usize);
+        match self.key[pa].total_cmp(&self.key[pb]) {
+            std::cmp::Ordering::Less => a,
+            std::cmp::Ordering::Greater => b,
+            std::cmp::Ordering::Equal => {
+                let ta = self.queues[pa].front().map(QueueItem::submit_s);
+                let tb = self.queues[pb].front().map(QueueItem::submit_s);
+                // Eligible providers always have a front; compare defensively.
+                match (ta, tb) {
+                    (Some(ta), Some(tb)) if tb.total_cmp(&ta).is_lt() => b,
+                    _ => a,
+                }
+            }
+        }
+    }
+
+    /// Re-run the matches on `p`'s path to the root (O(log P)).
+    fn update_path(&mut self, p: usize) {
+        if self.scan {
             return;
         }
-        let factor = 0.5f64.powf(dt / self.half_life_s);
-        for u in &mut self.usage {
-            *u *= factor;
+        let mut node = self.leaf_base + p;
+        self.tree[node] = if self.queues[p].is_empty() {
+            NONE
+        } else {
+            p as u32
+        };
+        while node > 1 {
+            node >>= 1;
+            self.tree[node] = self.winner(self.tree[2 * node], self.tree[2 * node + 1]);
         }
-        self.last_decay_s = now_s;
+    }
+
+    /// Tree selector: the root of the winner tree.
+    fn select_tree(&self) -> Option<usize> {
+        let w = self.tree[1];
+        (w != NONE).then_some(w as usize)
+    }
+
+    /// Scan selector (the oracle): a full min over eligible providers on
+    /// the same key array and tie-break chain the tree uses.
+    fn select_scan(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for p in 0..self.queues.len() {
+            if self.queues[p].is_empty() {
+                continue;
+            }
+            best = Some(match best {
+                None => p,
+                // `winner` keeps the left (lower-index) provider on full
+                // ties, and `best < p` here, so the semantics match.
+                Some(b) => self.winner(b as u32, p as u32) as usize,
+            });
+        }
+        best
     }
 }
 
@@ -236,10 +385,9 @@ mod tests {
     #[test]
     fn charge_decays_to_charge_time_first() {
         // Regression: `charge` must decay usage to the charge time before
-        // adding. The old code added seconds undecayed and left
-        // `last_decay_s` stale, so on the next `pop` the fresh charge was
-        // over-decayed by the whole elapsed interval — here exactly one
-        // half-life, producing a spurious 50/50 tie.
+        // adding. Accounting that adds fresh seconds undecayed (or decays
+        // them by the whole elapsed interval afterwards) would produce a
+        // spurious 50/50 tie here.
         let mut q = FairShareQueue::new(2, 100.0);
         // Provider 0 works 100 s at t = 0.
         q.charge(0, 100.0, 0.0);
@@ -256,7 +404,7 @@ mod tests {
 
     #[test]
     fn charged_raw_accumulates_undecayed() {
-        let mut q = FairShareQueue::new(2, 100.0);
+        let mut q: FairShareQueue = FairShareQueue::new(2, 100.0);
         q.charge(0, 100.0, 0.0);
         q.charge(0, 50.0, 1000.0); // many half-lives later
         q.charge(1, 7.0, 2000.0);
@@ -273,6 +421,19 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert!(q.remove(99).is_none());
         assert_eq!(q.pop(2.0).unwrap().id, 2);
+    }
+
+    #[test]
+    fn remove_for_provider_scans_one_fifo() {
+        let mut q = FairShareQueue::new(3, 3600.0);
+        q.push(job(1, 0, 0.0));
+        q.push(job(2, 2, 1.0));
+        q.push(job(3, 2, 2.0));
+        assert!(q.remove_for_provider(1, 2).is_none(), "wrong provider");
+        assert_eq!(q.remove_for_provider(2, 2).unwrap().id, 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(3.0).unwrap().id, 1);
+        assert_eq!(q.pop(3.0).unwrap().id, 3);
     }
 
     #[test]
@@ -296,9 +457,41 @@ mod tests {
     }
 
     #[test]
+    fn scan_selection_matches_tree() {
+        // Deterministic interleaved schedule, popped twice — once per
+        // selector. (The proptest covers random schedules.)
+        let build = || {
+            let mut q = FairShareQueue::new(5, 7200.0);
+            for i in 0..25u64 {
+                q.push(job(i, (i % 5) as u32, i as f64));
+            }
+            q.charge(2, 500.0, 3.0);
+            q.inject_usage(4, 120.0, 7.0);
+            q.charge(0, 30.0, 11.0);
+            q
+        };
+        let mut tree = build();
+        let mut scan = build().with_scan_selection();
+        let mut now = 20.0;
+        loop {
+            let a = tree.pop(now);
+            let b = scan.pop(now);
+            assert_eq!(
+                a.as_ref().map(|j| j.id),
+                b.as_ref().map(|j| j.id),
+                "selectors diverged at t={now}"
+            );
+            let Some(j) = a else { break };
+            tree.charge(j.provider, 45.0, now);
+            scan.charge(j.provider, 45.0, now);
+            now += 45.0;
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "share must be positive")]
     fn zero_share_rejected() {
-        let mut q = FairShareQueue::new(1, 10.0);
+        let mut q: FairShareQueue = FairShareQueue::new(1, 10.0);
         q.set_share(0, 0.0);
     }
 }

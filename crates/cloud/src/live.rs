@@ -18,6 +18,21 @@
 //! locks the equivalence across disciplines, outage plans, and random
 //! step schedules.
 //!
+//! # Hot-path layout
+//!
+//! The engine stores each in-flight job once, in a slab
+//! ([`JobSlab`]), and moves only 24-byte `u32`-handle entries through the
+//! queues and agendas — no per-job `HashMap` traffic, no 80-byte specs
+//! sifting through heaps. Under the default
+//! [`DesEngine::Optimized`](crate::DesEngine) the event and arrival
+//! agendas are [`Calendar`] bucket queues and fair-share selection is the
+//! incremental winner tree; [`DesEngine::Reference`](crate::DesEngine)
+//! keeps binary heaps and the O(P) scan. Both engines compare identical
+//! `u128` `(time, seq)` keys and identical fair-share keys, so their
+//! outputs are bit-for-bit equal (property-tested); the reference engine
+//! is the in-process oracle and ablation baseline, not a compatibility
+//! mode.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,87 +53,213 @@
 //! ```
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::fmt;
 
 use qcs_calibration::distributions::lognormal_with_cov;
+use qcs_exec::hash::FxHashMap;
 use qcs_machine::Fleet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::calendar::{key_of, key_time, Calendar};
 use crate::{
-    CloudConfig, JobOutcome, JobQueue, JobRecord, JobSpec, OutagePlan, QueueSample, RecordSink,
-    SimulationResult, StreamingAggregates,
+    CloudConfig, DesEngine, JobOutcome, JobQueue, JobRecord, JobSpec, OutagePlan, QueueItem,
+    QueueSample, RecordSink, SimulationResult, StreamingAggregates,
 };
 
+/// One in-flight job in the slab: the spec, its queue depth at
+/// submission, and a generation counter detecting stale handles.
+#[derive(Debug, Clone)]
+struct JobState {
+    spec: JobSpec,
+    /// Jobs pending on the target machine when this one was admitted.
+    pending_at_submit: u32,
+    /// Bumped every time the slot is freed; events carrying an older
+    /// generation are stale and ignored.
+    generation: u32,
+}
+
+/// Slab storage for in-flight jobs: `u32` handles into a reusable entry
+/// vector (a free list recycles terminal slots), replacing the old
+/// per-job `HashMap` traffic on the admit/dispatch/terminal path.
+#[derive(Debug, Default)]
+struct JobSlab {
+    entries: Vec<JobState>,
+    free: Vec<u32>,
+}
+
+impl JobSlab {
+    fn alloc(&mut self, spec: JobSpec) -> u32 {
+        if let Some(handle) = self.free.pop() {
+            let entry = &mut self.entries[handle as usize];
+            entry.spec = spec;
+            entry.pending_at_submit = 0;
+            handle
+        } else {
+            self.entries.push(JobState {
+                spec,
+                pending_at_submit: 0,
+                generation: 0,
+            });
+            (self.entries.len() - 1) as u32
+        }
+    }
+
+    #[inline]
+    fn spec(&self, handle: u32) -> &JobSpec {
+        &self.entries[handle as usize].spec
+    }
+
+    #[inline]
+    fn generation(&self, handle: u32) -> u32 {
+        self.entries[handle as usize].generation
+    }
+
+    fn set_pending(&mut self, handle: u32, pending: u32) {
+        self.entries[handle as usize].pending_at_submit = pending;
+    }
+
+    /// Release a slot at its terminal event: returns the spec and the
+    /// memoized pending-at-submit, bumps the generation so any
+    /// still-scheduled event for this handle turns stale, and recycles
+    /// the slot.
+    fn release(&mut self, handle: u32) -> (JobSpec, u32) {
+        let entry = &mut self.entries[handle as usize];
+        entry.generation = entry.generation.wrapping_add(1);
+        let pending = entry.pending_at_submit;
+        let spec = entry.spec.clone();
+        self.free.push(handle);
+        (spec, pending)
+    }
+}
+
+/// The compact queue entry: everything a discipline's ordering decisions
+/// read, plus the slab handle to the full spec. 24 bytes versus the
+/// 80-byte `JobSpec` the queues used to shuffle.
 #[derive(Debug, Clone, Copy, PartialEq)]
+struct QItem {
+    handle: u32,
+    provider: u32,
+    id: u64,
+    submit_s: f64,
+}
+
+impl QueueItem for QItem {
+    fn id(&self) -> u64 {
+        self.id
+    }
+
+    fn provider(&self) -> u32 {
+        self.provider
+    }
+
+    fn submit_s(&self) -> f64 {
+        self.submit_s
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
-    Completion { machine: usize },
-    CancelCheck { job_id: u64, machine: usize },
-    Resume { machine: usize },
+    Completion { machine: u32 },
+    CancelCheck { handle: u32, generation: u32 },
+    Resume { machine: u32 },
 }
 
-#[derive(Debug, Clone, PartialEq)]
-struct Event {
-    time_s: f64,
-    seq: u64,
-    kind: EventKind,
+/// A keyed entry for the reference binary-heap agendas: ordered by the
+/// same packed `(time, seq)` `u128` the calendar uses, reversed for the
+/// max-heap, so both engines pop in exactly the same order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct HeapEntry<T> {
+    key: u128,
+    item: T,
 }
 
-impl Eq for Event {}
-
-impl Ord for Event {
+impl<T: Eq> Ord for HeapEntry<T> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .time_s
-            .partial_cmp(&self.time_s)
-            .expect("event times are finite")
-            .then_with(|| other.seq.cmp(&self.seq))
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other.key.cmp(&self.key)
     }
 }
 
-impl PartialOrd for Event {
+impl<T: Eq> PartialOrd for HeapEntry<T> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-/// A submitted job waiting for the clock to reach its submission time.
-#[derive(Debug, Clone, PartialEq)]
-struct Arrival {
-    job: JobSpec,
-    /// Submission order, for stable tie-breaking at equal submit times —
-    /// matching the stable sort the batch API historically applied.
-    seq: u64,
+/// A time-ordered agenda, engine-selectable: calendar buckets (optimized)
+/// or a binary heap (reference). Identical pop order by construction —
+/// both order by [`key_of`]`(time, seq)`.
+#[derive(Debug)]
+enum Agenda<T> {
+    Heap(BinaryHeap<HeapEntry<T>>),
+    Calendar(Calendar<T>),
 }
 
-impl Eq for Arrival {}
-
-impl Ord for Arrival {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: earliest submit time (then earliest submission) first.
-        other
-            .job
-            .submit_s
-            .total_cmp(&self.job.submit_s)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl<T: Eq> Agenda<T> {
+    fn new(engine: DesEngine) -> Self {
+        match engine {
+            DesEngine::Optimized => Agenda::Calendar(Calendar::new()),
+            DesEngine::Reference => Agenda::Heap(BinaryHeap::new()),
+        }
     }
-}
 
-impl PartialOrd for Arrival {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+    fn len(&self) -> usize {
+        match self {
+            Agenda::Heap(h) => h.len(),
+            Agenda::Calendar(c) => c.len(),
+        }
+    }
+
+    fn push(&mut self, time_s: f64, seq: u64, item: T) {
+        match self {
+            Agenda::Heap(h) => h.push(HeapEntry {
+                key: key_of(time_s, seq),
+                item,
+            }),
+            Agenda::Calendar(c) => c.push(time_s, seq, item),
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<f64> {
+        match self {
+            Agenda::Heap(h) => h.peek().map(|e| key_time(e.key)),
+            Agenda::Calendar(c) => c.peek_time(),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(f64, T)> {
+        match self {
+            Agenda::Heap(h) => h.pop().map(|e| (key_time(e.key), e.item)),
+            Agenda::Calendar(c) => c.pop(),
+        }
+    }
+
+    /// Remove the first entry matching `pred` (arbitrary scan order) —
+    /// the cancel-before-arrival path. O(n).
+    fn remove_first<F: FnMut(&T) -> bool>(&mut self, mut pred: F) -> Option<T> {
+        match self {
+            Agenda::Heap(h) => {
+                let mut entries = std::mem::take(h).into_vec();
+                let found = entries
+                    .iter()
+                    .position(|e| pred(&e.item))
+                    .map(|pos| entries.swap_remove(pos).item);
+                *h = BinaryHeap::from(entries);
+                found
+            }
+            Agenda::Calendar(c) => c.remove_first(pred),
+        }
     }
 }
 
 struct Executing {
-    job: JobSpec,
+    handle: u32,
     start_s: f64,
     end_s: f64,
     outcome: JobOutcome,
     crossed: bool,
-    pending_at_submit: usize,
 }
 
 /// Where a job currently is in its lifecycle, as tracked by
@@ -208,18 +349,23 @@ impl std::error::Error for SubmitError {}
 /// at arbitrary simulation times and advances on demand.
 ///
 /// See the [module docs](self) for the equivalence guarantee against the
-/// batch API.
+/// batch API and the engine-selectable hot-path layout.
 pub struct LiveCloud {
     fleet: Fleet,
     config: CloudConfig,
     outages: OutagePlan,
     rng: StdRng,
-    queues: Vec<JobQueue>,
+    /// In-flight job storage; queues and agendas hold `u32` handles.
+    slab: JobSlab,
+    queues: Vec<JobQueue<QItem>>,
     executing: Vec<Option<Executing>>,
     resume_scheduled: Vec<bool>,
-    events: BinaryHeap<Event>,
+    events: Agenda<EventKind>,
     seq: u64,
-    arrivals: BinaryHeap<Arrival>,
+    /// Submitted jobs waiting for the clock to reach their submission
+    /// time, as slab handles keyed by `(submit_s, submission order)` —
+    /// the stable tie-break the batch API historically applied.
+    arrivals: Agenda<u32>,
     arrival_seq: u64,
     result: SimulationResult,
     auditor: Option<crate::Auditor>,
@@ -229,12 +375,9 @@ pub struct LiveCloud {
     /// `k as f64 * sample_interval_s`. An integer tick (not a running
     /// float sum) so a 2-year campaign cannot drift the sample grid.
     next_sample_tick: u64,
-    /// pending-at-submit memo for jobs currently queued or executing;
-    /// entries are removed at terminal events to bound memory.
-    pending_memo: HashMap<u64, usize>,
     now_s: f64,
     drain_cursor: usize,
-    statuses: Option<HashMap<u64, JobStatus>>,
+    statuses: Option<FxHashMap<u64, JobStatus>>,
     /// Observer invoked for every terminal record, before any sink can
     /// sample or fold it away — the hook online consumers (the gateway's
     /// queue-time predictor) learn from, independent of `RecordSink`.
@@ -264,16 +407,23 @@ impl LiveCloud {
     pub fn new(fleet: Fleet, config: CloudConfig) -> Self {
         let n_machines = fleet.len();
         let sample_interval_s = config.sample_interval_hours * 3600.0;
+        let queues = (0..n_machines)
+            .map(|_| match config.engine {
+                DesEngine::Optimized => JobQueue::new(config.discipline, config.num_providers),
+                DesEngine::Reference => {
+                    JobQueue::new_with_scan_selection(config.discipline, config.num_providers)
+                }
+            })
+            .collect();
         LiveCloud {
             rng: StdRng::seed_from_u64(config.seed),
-            queues: (0..n_machines)
-                .map(|_| JobQueue::new(config.discipline, config.num_providers))
-                .collect(),
+            slab: JobSlab::default(),
+            queues,
             executing: (0..n_machines).map(|_| None).collect(),
             resume_scheduled: vec![false; n_machines],
-            events: BinaryHeap::new(),
+            events: Agenda::new(config.engine),
             seq: 0,
-            arrivals: BinaryHeap::new(),
+            arrivals: Agenda::new(config.engine),
             arrival_seq: 0,
             result: SimulationResult::default(),
             auditor: config.audit.then(crate::Auditor::new),
@@ -290,7 +440,6 @@ impl LiveCloud {
             },
             sample_interval_s,
             next_sample_tick: 1,
-            pending_memo: HashMap::new(),
             now_s: 0.0,
             drain_cursor: 0,
             statuses: None,
@@ -340,7 +489,7 @@ impl LiveCloud {
     /// path runs millions of background jobs and does not need it.
     #[must_use]
     pub fn with_status_tracking(mut self) -> Self {
-        self.statuses = Some(HashMap::new());
+        self.statuses = Some(FxHashMap::default());
         self
     }
 
@@ -430,7 +579,7 @@ impl LiveCloud {
     }
 
     /// Submitted jobs whose submission time the clock has not reached yet
-    /// — the arrival-heap backlog. Chunked drivers use this to keep the
+    /// — the arrival-agenda backlog. Chunked drivers use this to keep the
     /// in-flight window (and thus memory) bounded on huge traces.
     #[must_use]
     pub fn pending_arrivals(&self) -> usize {
@@ -528,10 +677,9 @@ impl LiveCloud {
         if let Some(statuses) = self.statuses.as_mut() {
             statuses.insert(job.id, JobStatus::Queued);
         }
-        self.arrivals.push(Arrival {
-            job,
-            seq: self.arrival_seq,
-        });
+        let submit_s = job.submit_s;
+        let handle = self.slab.alloc(job);
+        self.arrivals.push(submit_s, self.arrival_seq, handle);
         self.arrival_seq += 1;
         Ok(())
     }
@@ -544,13 +692,12 @@ impl LiveCloud {
     /// jobs are not cancellable and return `false`.
     pub fn cancel(&mut self, job_id: u64) -> bool {
         // Not yet arrived? Unschedule without a record.
-        if self.arrivals.iter().any(|a| a.job.id == job_id) {
-            let drained = std::mem::take(&mut self.arrivals);
-            for arrival in drained {
-                if arrival.job.id != job_id {
-                    self.arrivals.push(arrival);
-                }
-            }
+        let slab = &self.slab;
+        if let Some(handle) = self
+            .arrivals
+            .remove_first(|&handle| slab.spec(handle).id == job_id)
+        {
+            self.slab.release(handle);
             if let Some(statuses) = self.statuses.as_mut() {
                 statuses.insert(job_id, JobStatus::Cancelled);
             }
@@ -560,25 +707,10 @@ impl LiveCloud {
         // pre-cancellation queue state.
         self.emit_samples_until(self.now_s);
         for machine in 0..self.queues.len() {
-            if let Some(job) = self.queues[machine].remove(job_id) {
-                let pending = self.pending_memo.remove(&job.id).unwrap_or(0);
+            if let Some(item) = self.queues[machine].remove(job_id) {
+                let (spec, pending) = self.slab.release(item.handle);
                 let now_s = self.now_s;
-                self.finish(JobRecord {
-                    id: job.id,
-                    provider: job.provider,
-                    machine,
-                    circuits: job.circuits,
-                    shots: job.shots,
-                    mean_width: job.mean_width,
-                    mean_depth: job.mean_depth,
-                    is_study: job.is_study,
-                    submit_s: job.submit_s,
-                    start_s: now_s,
-                    end_s: now_s,
-                    outcome: JobOutcome::Cancelled,
-                    pending_at_submit: pending,
-                    crossed_calibration: false,
-                });
+                self.finish(cancelled_record(&spec, machine, now_s, pending));
                 return true;
             }
         }
@@ -594,8 +726,8 @@ impl LiveCloud {
     /// past is a no-op.
     pub fn step_until(&mut self, t_s: f64) {
         loop {
-            let next_arrival_s = self.arrivals.peek().map(|a| a.job.submit_s);
-            let next_event_s = self.events.peek().map(|e| e.time_s);
+            let next_arrival_s = self.arrivals.peek_time();
+            let next_event_s = self.events.peek_time();
             let now_s = match (next_arrival_s, next_event_s) {
                 (None, None) => break,
                 (Some(a), None) => a,
@@ -611,13 +743,15 @@ impl LiveCloud {
             // Arrivals win ties so a job can start on an exactly-coincident
             // completion.
             if next_arrival_s.is_some_and(|a| next_event_s.is_none_or(|e| a <= e)) {
-                let job = self.arrivals.pop().expect("peeked arrival exists").job;
-                self.admit(job, now_s);
+                if let Some((_, handle)) = self.arrivals.pop() {
+                    self.admit(handle, now_s);
+                }
                 continue;
             }
 
-            let event = self.events.pop().expect("event exists");
-            self.process_event(event);
+            if let Some((time_s, kind)) = self.events.pop() {
+                self.process_event(time_s, kind);
+            }
         }
         if t_s.is_finite() {
             self.now_s = self.now_s.max(t_s);
@@ -682,91 +816,93 @@ impl LiveCloud {
     /// A job's submission time has been reached: enqueue it on its
     /// machine, schedule its patience, and dispatch if the machine is
     /// idle.
-    fn admit(&mut self, job: JobSpec, now_s: f64) {
-        let machine = job.machine;
+    fn admit(&mut self, handle: u32, now_s: f64) {
+        let spec = self.slab.spec(handle);
+        let machine = spec.machine;
+        let item = QItem {
+            handle,
+            provider: spec.provider,
+            id: spec.id,
+            submit_s: spec.submit_s,
+        };
+        let patience_s = spec.patience_s;
+        let (circuits, depth, shots) = (
+            spec.circuits,
+            spec.mean_depth.round().max(1.0) as usize,
+            spec.shots,
+        );
         let pending = self.queue_depth(machine);
-        self.pending_memo.insert(job.id, pending);
-        if job.patience_s.is_finite() {
-            self.events.push(Event {
-                time_s: job.submit_s + job.patience_s,
-                seq: self.seq,
-                kind: EventKind::CancelCheck {
-                    job_id: job.id,
-                    machine,
+        self.slab.set_pending(handle, pending as u32);
+        if patience_s.is_finite() {
+            self.events.push(
+                item.submit_s + patience_s,
+                self.seq,
+                EventKind::CancelCheck {
+                    handle,
+                    generation: self.slab.generation(handle),
                 },
-            });
+            );
             self.seq += 1;
         }
         let estimate_s = self.fleet.machines()[machine]
             .cost_model()
-            .job_time_uniform_s(
-                job.circuits,
-                job.mean_depth.round().max(1.0) as usize,
-                job.shots,
-            );
-        self.queues[machine].push(job, estimate_s);
+            .job_time_uniform_s(circuits, depth, shots);
+        self.queues[machine].push(item, estimate_s);
         if self.executing[machine].is_none() {
             self.start_next(machine, now_s);
         }
     }
 
-    fn process_event(&mut self, event: Event) {
-        match event.kind {
+    fn process_event(&mut self, time_s: f64, kind: EventKind) {
+        match kind {
             EventKind::Completion { machine } => {
-                let done = self.executing[machine]
-                    .take()
-                    .expect("completion without job");
+                let machine = machine as usize;
+                let Some(done) = self.executing[machine].take() else {
+                    unreachable!("completion event without an executing job")
+                };
+                let (spec, pending) = self.slab.release(done.handle);
                 // Charge at the completion time so usage decays to
                 // "now" before the executed seconds land.
-                self.queues[machine].charge(
-                    done.job.provider,
-                    done.end_s - done.start_s,
-                    done.end_s,
-                );
-                self.pending_memo.remove(&done.job.id);
+                self.queues[machine].charge(spec.provider, done.end_s - done.start_s, done.end_s);
                 self.finish(JobRecord {
-                    id: done.job.id,
-                    provider: done.job.provider,
+                    id: spec.id,
+                    provider: spec.provider,
                     machine,
-                    circuits: done.job.circuits,
-                    shots: done.job.shots,
-                    mean_width: done.job.mean_width,
-                    mean_depth: done.job.mean_depth,
-                    is_study: done.job.is_study,
-                    submit_s: done.job.submit_s,
+                    circuits: spec.circuits,
+                    shots: spec.shots,
+                    mean_width: spec.mean_width,
+                    mean_depth: spec.mean_depth,
+                    is_study: spec.is_study,
+                    submit_s: spec.submit_s,
                     start_s: done.start_s,
                     end_s: done.end_s,
                     outcome: done.outcome,
-                    pending_at_submit: done.pending_at_submit,
+                    pending_at_submit: pending as usize,
                     crossed_calibration: done.crossed,
                 });
-                self.start_next(machine, event.time_s);
+                self.start_next(machine, time_s);
             }
             EventKind::Resume { machine } => {
+                let machine = machine as usize;
                 self.resume_scheduled[machine] = false;
                 if self.executing[machine].is_none() {
-                    self.start_next(machine, event.time_s);
+                    self.start_next(machine, time_s);
                 }
             }
-            EventKind::CancelCheck { job_id, machine } => {
-                if let Some(job) = self.queues[machine].remove(job_id) {
-                    let pending = self.pending_memo.remove(&job.id).unwrap_or(0);
-                    self.finish(JobRecord {
-                        id: job.id,
-                        provider: job.provider,
-                        machine,
-                        circuits: job.circuits,
-                        shots: job.shots,
-                        mean_width: job.mean_width,
-                        mean_depth: job.mean_depth,
-                        is_study: job.is_study,
-                        submit_s: job.submit_s,
-                        start_s: event.time_s,
-                        end_s: event.time_s,
-                        outcome: JobOutcome::Cancelled,
-                        pending_at_submit: pending,
-                        crossed_calibration: false,
-                    });
+            EventKind::CancelCheck { handle, generation } => {
+                // A bumped generation means the job already reached a
+                // terminal state (and the slot may have been recycled):
+                // the event is stale.
+                if self.slab.generation(handle) != generation {
+                    return;
+                }
+                let spec = self.slab.spec(handle);
+                let (machine, provider, id) = (spec.machine, spec.provider, spec.id);
+                // Still a live handle but possibly executing, in which
+                // case it is not in the queue and not cancellable.
+                if self.queues[machine].remove_for_provider(provider, id).is_some() {
+                    let (spec, pending) = self.slab.release(handle);
+                    self.finish(cancelled_record(&spec, machine, time_s, pending));
                 }
             }
         }
@@ -826,24 +962,29 @@ impl LiveCloud {
         if let Some(until_s) = self.outages.down_until(machine, now_s) {
             if !self.resume_scheduled[machine] && !self.queues[machine].is_empty() {
                 self.resume_scheduled[machine] = true;
-                self.events.push(Event {
-                    time_s: until_s,
-                    seq: self.seq,
-                    kind: EventKind::Resume { machine },
-                });
+                self.events.push(
+                    until_s,
+                    self.seq,
+                    EventKind::Resume {
+                        machine: machine as u32,
+                    },
+                );
                 self.seq += 1;
             }
             return;
         }
-        let Some(job) = self.queues[machine].pop(now_s) else {
+        let Some(item) = self.queues[machine].pop(now_s) else {
             return;
         };
+        let spec = self.slab.spec(item.handle);
         let m = &self.fleet.machines()[machine];
         let base = m.cost_model().job_time_uniform_s(
-            job.circuits,
-            job.mean_depth.round().max(1.0) as usize,
-            job.shots,
+            spec.circuits,
+            spec.mean_depth.round().max(1.0) as usize,
+            spec.shots,
         );
+        let submit_s = spec.submit_s;
+        let job_id = spec.id;
         let noisy = base * lognormal_with_cov(&mut self.rng, 1.0, self.config.exec_noise_cov);
         let (outcome, duration) = if self.rng.gen_range(0.0..1.0) < self.config.error_rate {
             // Errored jobs die partway through their execution.
@@ -851,33 +992,51 @@ impl LiveCloud {
         } else {
             (JobOutcome::Completed, noisy)
         };
-        let pending = self.pending_memo.get(&job.id).copied().unwrap_or(0);
         let end_s = now_s + duration;
         // A job's results are stale if a calibration ran anywhere between
         // submission (= compile time) and the *end* of execution: a
         // boundary crossed mid-run invalidates the results just the same
         // as one crossed while queued (paper Fig 12a). Checking against
         // the dispatch time would systematically miss long jobs.
-        let crossed = m
-            .schedule()
-            .crossover(job.submit_s / 3600.0, end_s / 3600.0);
-        self.events.push(Event {
-            time_s: end_s,
-            seq: self.seq,
-            kind: EventKind::Completion { machine },
-        });
+        let crossed = m.schedule().crossover(submit_s / 3600.0, end_s / 3600.0);
+        self.events.push(
+            end_s,
+            self.seq,
+            EventKind::Completion {
+                machine: machine as u32,
+            },
+        );
         self.seq += 1;
         if let Some(statuses) = self.statuses.as_mut() {
-            statuses.insert(job.id, JobStatus::Running);
+            statuses.insert(job_id, JobStatus::Running);
         }
         self.executing[machine] = Some(Executing {
-            job,
+            handle: item.handle,
             start_s: now_s,
             end_s,
             outcome,
             crossed,
-            pending_at_submit: pending,
         });
+    }
+}
+
+/// A cancellation record at `time_s` (start == end, no execution).
+fn cancelled_record(spec: &JobSpec, machine: usize, time_s: f64, pending: u32) -> JobRecord {
+    JobRecord {
+        id: spec.id,
+        provider: spec.provider,
+        machine,
+        circuits: spec.circuits,
+        shots: spec.shots,
+        mean_width: spec.mean_width,
+        mean_depth: spec.mean_depth,
+        is_study: spec.is_study,
+        submit_s: spec.submit_s,
+        start_s: time_s,
+        end_s: time_s,
+        outcome: JobOutcome::Cancelled,
+        pending_at_submit: pending as usize,
+        crossed_calibration: false,
     }
 }
 
@@ -1138,6 +1297,48 @@ mod tests {
     }
 
     #[test]
+    fn engines_produce_identical_results() {
+        // The tentpole contract in miniature: a contended multi-machine
+        // trace with patience cancellations and mid-flight API cancels is
+        // bit-identical across the optimized and reference engines. (The
+        // des_matches_reference proptest covers random traces.)
+        let jobs: Vec<JobSpec> = (0..80)
+            .map(|i| {
+                let mut j = job(i, (i % 3) as usize + 1, i as f64 * 7.0);
+                j.circuits = 40;
+                if i % 5 == 0 {
+                    j.patience_s = 90.0;
+                }
+                j
+            })
+            .collect();
+        let mut results = Vec::new();
+        for engine in [DesEngine::Optimized, DesEngine::Reference] {
+            let config = CloudConfig {
+                engine,
+                audit: true,
+                error_rate: 0.1,
+                sample_interval_hours: 0.02,
+                ..CloudConfig::default()
+            };
+            let mut cloud = LiveCloud::new(Fleet::ibm_like(), config);
+            for j in &jobs {
+                cloud.submit(j.clone()).unwrap();
+            }
+            cloud.step_until(300.0);
+            cloud.cancel(77); // still queued or pending on both engines
+            cloud.run_to_completion();
+            let result = cloud.into_result();
+            result.audit.as_ref().unwrap().assert_clean();
+            results.push(result);
+        }
+        assert_eq!(results[0].records, results[1].records);
+        assert_eq!(results[0].queue_samples, results[1].queue_samples);
+        assert_eq!(results[0].outcome_counts, results[1].outcome_counts);
+        assert_eq!(results[0].daily_executions, results[1].daily_executions);
+    }
+
+    #[test]
     fn sample_grid_exact_over_long_horizons() {
         // Regression: `emit_samples_until` used to advance the sample
         // clock by repeated float addition. With a non-representable
@@ -1321,5 +1522,32 @@ mod tests {
         cloud.run_to_completion();
         let result = cloud.into_result();
         assert!((result.records[0].start_s - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slab_recycles_slots_across_generations() {
+        // A long trace through a slab whose live set stays tiny: the slab
+        // must recycle slots (bounded memory) and stale cancel events
+        // against recycled slots must stay inert.
+        let config = CloudConfig {
+            error_rate: 0.0,
+            ..CloudConfig::default()
+        };
+        let mut cloud = LiveCloud::new(Fleet::ibm_like(), config);
+        for i in 0..200u64 {
+            let mut j = job(i, 1, i as f64 * 2000.0);
+            j.patience_s = 1e9; // stale CancelCheck long after completion
+            cloud.submit(j).unwrap();
+            cloud.step_until(i as f64 * 2000.0 + 1000.0);
+        }
+        cloud.run_to_completion();
+        assert!(
+            cloud.slab.entries.len() < 20,
+            "slab grew to {} entries for a live set of ~1",
+            cloud.slab.entries.len()
+        );
+        let result = cloud.into_result();
+        assert_eq!(result.total_jobs, 200);
+        assert_eq!(result.outcome_counts, [200, 0, 0]);
     }
 }

@@ -41,7 +41,7 @@ impl OutagePlan {
         }
         let mut windows = windows;
         for w in &mut windows {
-            w.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("window times are finite"));
+            w.sort_by(|a, b| a.0.total_cmp(&b.0));
         }
         OutagePlan { windows }
     }

@@ -216,10 +216,18 @@ pub fn simulate(
             continue;
         }
 
-        let event = events.swap_remove(next_event_idx.expect("event exists"));
+        let Some(event_idx) = next_event_idx else {
+            // The loop head breaks when both the arrival stream and the
+            // event list are empty, and the arrival branch above consumed
+            // the tie; an event must exist here.
+            unreachable!("no arrival and no event, yet the loop did not terminate")
+        };
+        let event = events.swap_remove(event_idx);
         match event.kind {
             RefEventKind::Completion { machine } => {
-                let record = machines[machine].executing.take().expect("completion without job");
+                let Some(record) = machines[machine].executing.take() else {
+                    unreachable!("completion event without an executing job")
+                };
                 machines[machine].charges[record.provider as usize]
                     .push((record.end_s, record.end_s - record.start_s));
                 pending_memo.remove(&record.id);

@@ -54,6 +54,27 @@ impl RecordSink {
     }
 }
 
+/// Which event-engine data structures [`LiveCloud`](crate::LiveCloud)
+/// runs on.
+///
+/// Both engines are *bit-identical* in every observable output — records,
+/// queue samples, aggregates, audit reports — which
+/// `tests/properties.rs::des_matches_reference` locks across disciplines
+/// and outage plans. The reference engine exists so the overhauled hot
+/// path always has an in-process twin to benchmark and property-match
+/// against; it is not a compatibility mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DesEngine {
+    /// Calendar (bucket) event queues + incremental fair-share selection:
+    /// the production hot path.
+    #[default]
+    Optimized,
+    /// Binary-heap event queues + O(P) scan fair-share selection: the
+    /// pre-overhaul structures, kept callable for ablation benchmarks and
+    /// as the property-test oracle.
+    Reference,
+}
+
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CloudConfig {
@@ -81,6 +102,9 @@ pub struct CloudConfig {
     /// Terminal-record destination: exact in-memory accumulation
     /// (default) or constant-memory streaming fold.
     pub record_sink: RecordSink,
+    /// Event-engine data structures (optimized calendar/incremental path
+    /// by default; the pre-overhaul reference structures stay callable).
+    pub engine: DesEngine,
 }
 
 impl Default for CloudConfig {
@@ -95,6 +119,7 @@ impl Default for CloudConfig {
             background_record_divisor: 1,
             audit: false,
             record_sink: RecordSink::Exact,
+            engine: DesEngine::Optimized,
         }
     }
 }
@@ -316,7 +341,9 @@ impl Simulation {
         let mut live = crate::LiveCloud::new(self.fleet.clone(), self.config)
             .with_outages(self.outages.clone());
         for job in jobs {
-            live.submit(job).expect("jobs validated above");
+            if let Err(e) = live.submit(job) {
+                unreachable!("jobs validated above: {e}")
+            }
         }
         live.run_to_completion();
         live.into_result()
@@ -578,7 +605,7 @@ mod tests {
             ]);
             let mut by_start: Vec<&JobRecord> =
                 result.records.iter().filter(|r| r.id != 0).collect();
-            by_start.sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).unwrap());
+            by_start.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
             assert_eq!(
                 by_start[0].id, expect_first,
                 "unexpected order under {discipline:?}"

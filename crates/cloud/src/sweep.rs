@@ -1,0 +1,260 @@
+//! Deterministic parallel scenario sweeps.
+//!
+//! A *sweep* runs one independent [`Simulation`] per **cell** — a
+//! `(CloudConfig, outage plan)` point of a parameter grid (disciplines ×
+//! error rates × outage severities × ...) — and collects every cell's
+//! [`SimulationResult`] in cell order. Sweeps are how the study asks
+//! counterfactual questions of the cloud model ("how would Fig 3's
+//! queue-time tail move under SJF scheduling? under half the outage
+//! rate?") without any cell seeing another's state.
+//!
+//! Determinism contract (property-tested in `tests/properties.rs`):
+//!
+//! - **Seed isolation.** Each cell simulates under
+//!   [`qcs_exec::derive_seed`]`(base_seed, index)` — the same SplitMix64
+//!   derivation the trajectory simulators use — so cell results depend
+//!   only on `(fleet, cell, base_seed, index)`, never on which worker ran
+//!   the cell or how many workers exist.
+//! - **Index-ordered results.** Built on [`qcs_exec::parallel_map`],
+//!   which places results by input index. `run_sweep` with `threads = 1`
+//!   and `threads = N` return equal vectors.
+//!
+//! The workload itself comes from a caller closure `trace(index, seed)`
+//! so million-job traces are generated inside the worker (streamed into
+//! the simulation) instead of being materialized for every cell up front.
+
+use qcs_exec::{derive_seed, parallel_map, ExecConfig};
+use qcs_machine::Fleet;
+
+use crate::{CloudConfig, JobSpec, OutagePlan, Simulation, SimulationResult};
+
+/// One point of the sweep grid.
+#[derive(Debug, Clone, Default)]
+pub struct SweepCell {
+    /// Simulator configuration for this cell. The cell's RNG seed is
+    /// overwritten with the sweep derivation (see [`run_sweep`]); every
+    /// other field is honored as-is.
+    pub config: CloudConfig,
+    /// Optional per-cell outage plan (`None` = no outages).
+    pub outages: Option<OutagePlan>,
+}
+
+impl SweepCell {
+    /// A cell with no outages.
+    #[must_use]
+    pub fn new(config: CloudConfig) -> Self {
+        SweepCell {
+            config,
+            outages: None,
+        }
+    }
+
+    /// Attach an outage plan to the cell.
+    #[must_use]
+    pub fn with_outages(mut self, outages: OutagePlan) -> Self {
+        self.outages = Some(outages);
+        self
+    }
+}
+
+/// Sweep-wide execution settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepConfig {
+    /// Base seed every cell seed is derived from.
+    pub base_seed: u64,
+    /// Worker threads (`0` = auto-detect).
+    pub threads: usize,
+}
+
+/// Run every cell of a sweep and return the results in cell order.
+///
+/// For cell `i`, the simulator seed is `derive_seed(base_seed, i)` and a
+/// [`Streaming`](crate::RecordSink::Streaming) sink's reservoir seed is
+/// re-derived alongside it, so cells stay statistically decorrelated and
+/// bit-reproducible regardless of thread count. `trace(i, seed)` supplies
+/// the cell's workload; generate it from `seed` for a fully
+/// self-contained cell.
+///
+/// # Panics
+///
+/// Panics if a cell's outage plan covers a different number of machines
+/// than the fleet, or a job targets an unknown machine/provider
+/// (the same validation as [`Simulation::run`]).
+pub fn run_sweep<F, I>(
+    fleet: &Fleet,
+    cells: &[SweepCell],
+    sweep: &SweepConfig,
+    trace: F,
+) -> Vec<SimulationResult>
+where
+    F: Fn(usize, u64) -> I + Sync,
+    I: IntoIterator<Item = JobSpec>,
+{
+    let exec = ExecConfig::with_threads(sweep.threads);
+    parallel_map(&exec, cells, |index, cell| {
+        let seed = derive_seed(sweep.base_seed, index as u64);
+        let mut config = cell.config;
+        config.seed = seed;
+        if let crate::RecordSink::Streaming {
+            reservoir_capacity, ..
+        } = config.record_sink
+        {
+            config.record_sink = crate::RecordSink::Streaming {
+                reservoir_capacity,
+                reservoir_seed: derive_seed(seed, u64::from(u32::MAX)),
+            };
+        }
+        let mut sim = Simulation::new(fleet.clone(), config);
+        if let Some(outages) = &cell.outages {
+            sim = sim.with_outages(outages.clone());
+        }
+        sim.run(trace(index, seed).into_iter().collect())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Discipline, RecordSink};
+
+    fn trace(cell: usize, seed: u64) -> Vec<JobSpec> {
+        // A small deterministic workload varying by cell and seed.
+        (0..40u64)
+            .map(|i| JobSpec {
+                id: i,
+                provider: ((i ^ seed) % 4) as u32,
+                machine: 1 + (i as usize + cell) % 3,
+                circuits: 5 + (seed % 20) as u32,
+                shots: 1024,
+                mean_depth: 20.0,
+                mean_width: 3.0,
+                submit_s: i as f64 * 30.0,
+                is_study: i % 2 == 0,
+                patience_s: if i % 7 == 0 { 60.0 } else { f64::INFINITY },
+            })
+            .collect()
+    }
+
+    fn grid() -> Vec<SweepCell> {
+        [
+            Discipline::default(),
+            Discipline::Fifo,
+            Discipline::ShortestJobFirst,
+        ]
+        .into_iter()
+        .flat_map(|discipline| {
+            [0.0, 0.2].into_iter().map(move |error_rate| {
+                SweepCell::new(CloudConfig {
+                    discipline,
+                    error_rate,
+                    ..CloudConfig::default()
+                })
+            })
+        })
+        .collect()
+    }
+
+    #[test]
+    fn results_are_index_ordered_and_complete() {
+        let fleet = Fleet::ibm_like();
+        let results = run_sweep(&fleet, &grid(), &SweepConfig::default(), trace);
+        assert_eq!(results.len(), 6);
+        for r in &results {
+            assert_eq!(r.total_jobs, 40);
+        }
+        // Cells differ: the error-free cells have no errored jobs.
+        assert_eq!(results[0].outcome_counts[1], 0);
+        assert!(results[1].outcome_counts[1] > 0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let fleet = Fleet::ibm_like();
+        let sweep1 = SweepConfig {
+            base_seed: 7,
+            threads: 1,
+        };
+        let sweep4 = SweepConfig {
+            base_seed: 7,
+            threads: 4,
+        };
+        let a = run_sweep(&fleet, &grid(), &sweep1, trace);
+        let b = run_sweep(&fleet, &grid(), &sweep4, trace);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.records, y.records);
+            assert_eq!(x.queue_samples, y.queue_samples);
+            assert_eq!(x.outcome_counts, y.outcome_counts);
+        }
+    }
+
+    #[test]
+    fn base_seed_changes_cells() {
+        let fleet = Fleet::ibm_like();
+        let cells = grid();
+        let a = run_sweep(
+            &fleet,
+            &cells,
+            &SweepConfig {
+                base_seed: 1,
+                threads: 1,
+            },
+            trace,
+        );
+        let b = run_sweep(
+            &fleet,
+            &cells,
+            &SweepConfig {
+                base_seed: 2,
+                threads: 1,
+            },
+            trace,
+        );
+        assert!(
+            a.iter().zip(&b).any(|(x, y)| x.records != y.records),
+            "different base seeds must perturb the sweep"
+        );
+    }
+
+    #[test]
+    fn streaming_cells_bound_memory_and_reseed_reservoirs() {
+        let fleet = Fleet::ibm_like();
+        let cells = vec![SweepCell::new(CloudConfig {
+            record_sink: RecordSink::streaming(0),
+            ..CloudConfig::default()
+        })];
+        let results = run_sweep(&fleet, &cells, &SweepConfig::default(), trace);
+        assert!(results[0].records.is_empty(), "streaming keeps no records");
+        let agg = results[0].streaming.as_ref().expect("streaming aggregates");
+        assert_eq!(agg.folded(), 40);
+    }
+
+    #[test]
+    fn outage_cells_apply_their_plan() {
+        let fleet = Fleet::ibm_like();
+        let mut windows = vec![Vec::new(); fleet.len()];
+        windows[1] = vec![(0.0, 5e5)];
+        let cells = vec![
+            SweepCell::new(CloudConfig::default()),
+            SweepCell::new(CloudConfig::default())
+                .with_outages(OutagePlan::from_windows(windows)),
+        ];
+        let trace_one = |_: usize, _: u64| {
+            vec![JobSpec {
+                id: 0,
+                provider: 0,
+                machine: 1,
+                circuits: 5,
+                shots: 1024,
+                mean_depth: 20.0,
+                mean_width: 3.0,
+                submit_s: 10.0,
+                is_study: true,
+                patience_s: f64::INFINITY,
+            }]
+        };
+        let results = run_sweep(&fleet, &cells, &SweepConfig::default(), trace_one);
+        assert_eq!(results[0].records[0].queue_time_s(), 0.0);
+        assert!(results[1].records[0].queue_time_s() > 4e5);
+    }
+}

@@ -31,6 +31,8 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod hash;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 

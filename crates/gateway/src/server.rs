@@ -676,13 +676,23 @@ fn read_request_line(reader: &mut BufReader<TcpStream>, limits: ConnLimits) -> L
 }
 
 /// Write one response line, applying a wire fault when instructed.
+///
+/// `buf` is a per-connection scratch buffer reused across responses, so
+/// the reply path does not allocate a fresh `String` per frame — on the
+/// sustained-submit bench the encode buffer reaches steady state after
+/// the first response.
 fn write_response(
     stream: &mut TcpStream,
     response: &Response,
     fault: Option<FaultKind>,
     plan: &FaultPlan,
+    buf: &mut Vec<u8>,
 ) -> std::io::Result<()> {
-    let bytes = format!("{response}\n").into_bytes();
+    buf.clear();
+    // Formatting into a Vec<u8> is infallible; any error here would be a
+    // Display bug, which the protocol tests would catch.
+    let _ = writeln!(buf, "{response}");
+    let bytes: &[u8] = buf;
     match fault {
         Some(FaultKind::TruncateResponse) => {
             // A strict prefix, never the newline: the peer sees a
@@ -699,7 +709,7 @@ fn write_response(
             stream.write_all(&bytes[mid..])?;
             stream.flush()
         }
-        _ => stream.write_all(&bytes),
+        _ => stream.write_all(bytes),
     }
 }
 
@@ -718,6 +728,8 @@ fn handle_connection(
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
+    // Reply-path scratch reused for every response on this connection.
+    let mut encode_buf = Vec::new();
     loop {
         let raw = match read_request_line(&mut reader, limits) {
             LineRead::Line(raw) => raw,
@@ -739,7 +751,7 @@ fn handle_connection(
                 );
                 // The rest of the oversized line is unread; close rather
                 // than resynchronize.
-                let _ = write_response(&mut writer, &response, None, plan);
+                let _ = write_response(&mut writer, &response, None, plan, &mut encode_buf);
                 return;
             }
         };
@@ -749,7 +761,7 @@ fn handle_connection(
                 guard.metrics.protocol_errors = guard.metrics.protocol_errors.saturating_add(1);
             }
             let response = Response::err(ErrorCode::NotUtf8, "request line is not valid UTF-8");
-            if write_response(&mut writer, &response, None, plan).is_err() {
+            if write_response(&mut writer, &response, None, plan, &mut encode_buf).is_err() {
                 return;
             }
             continue;
@@ -789,7 +801,7 @@ fn handle_connection(
         )
         .then_some(fault)
         .flatten();
-        if write_response(&mut writer, &response, write_fault, plan).is_err() {
+        if write_response(&mut writer, &response, write_fault, plan, &mut encode_buf).is_err() {
             return;
         }
         if quit || write_fault == Some(FaultKind::TruncateResponse) {

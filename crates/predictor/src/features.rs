@@ -6,8 +6,11 @@
 
 use qcs_cloud::JobRecord;
 
+/// Number of runtime-model features ([`FEATURE_NAMES`] length).
+pub const NUM_FEATURES: usize = 7;
+
 /// The ordered feature names, aligned with [`JobFeatures::to_vec`].
-pub const FEATURE_NAMES: [&str; 7] = [
+pub const FEATURE_NAMES: [&str; NUM_FEATURES] = [
     "batch_size",
     "shots",
     "depth",
@@ -55,10 +58,12 @@ impl JobFeatures {
         }
     }
 
-    /// The feature vector in [`FEATURE_NAMES`] order.
+    /// The feature vector in [`FEATURE_NAMES`] order, as a fixed-size
+    /// array (no allocation — this runs once per terminal record on the
+    /// online predictor's fold path).
     #[must_use]
-    pub fn to_vec(&self) -> Vec<f64> {
-        vec![
+    pub fn to_array(&self) -> [f64; NUM_FEATURES] {
+        [
             self.batch_size,
             self.shots,
             self.depth,
@@ -67,6 +72,12 @@ impl JobFeatures {
             self.machine_qubits,
             self.memory_slots,
         ]
+    }
+
+    /// The feature vector in [`FEATURE_NAMES`] order.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.to_array().to_vec()
     }
 }
 

@@ -30,7 +30,7 @@ mod online;
 mod predictor;
 mod queue;
 
-pub use features::{memory_slots, JobFeatures, FEATURE_NAMES};
+pub use features::{memory_slots, JobFeatures, FEATURE_NAMES, NUM_FEATURES};
 pub use online::{
     OnlinePredictor, PredictError, WaitEstimate, ONLINE_REFIT_EVERY, ONLINE_WINDOW,
 };

@@ -27,7 +27,7 @@ use std::fmt;
 use qcs_cloud::{JobOutcome, JobRecord};
 use qcs_stats::{P2Quantile, ProductModel};
 
-use crate::JobFeatures;
+use crate::{JobFeatures, NUM_FEATURES};
 
 /// Bounded window of recent `(features, runtime)` rows the runtime model
 /// refits over.
@@ -37,7 +37,10 @@ pub const ONLINE_REFIT_EVERY: usize = 64;
 /// Completed jobs required before the first runtime-model fit.
 const MIN_FIT: usize = 16;
 /// LM iterations for a warm-started refit (mini-batch Gauss–Newton).
-const WARM_ITERATIONS: usize = 40;
+/// Warm starts resume from coefficients fitted 64 rows ago over a
+/// 512-row window, so a few damped steps re-converge; the budget is the
+/// dominant per-refit cost and is sized accordingly.
+const WARM_ITERATIONS: usize = 6;
 /// LM iterations for the cold first fit.
 const COLD_ITERATIONS: usize = 200;
 
@@ -90,12 +93,19 @@ pub struct OnlinePredictor {
     band_lo: P2Quantile,
     band_hi: P2Quantile,
 
-    // Online runtime model over a bounded window.
-    window: VecDeque<(Vec<f64>, f64)>,
+    // Online runtime model over a bounded window. Rows are fixed-size
+    // arrays and the refit scratch is reused, so folding a record never
+    // allocates off the happy path (the gateway taps this once per
+    // terminal job).
+    window: VecDeque<([f64; NUM_FEATURES], f64)>,
     since_refit: usize,
     model: Option<ProductModel>,
     scale: Vec<f64>,
     active: Vec<bool>,
+    /// Flat row-major normalized feature matrix reused across refits.
+    fit_rows: Vec<f64>,
+    /// Target buffer reused across refits.
+    fit_targets: Vec<f64>,
 
     // Running feature means, to fill in depth/width at predict time
     // (the PREDICT verb only carries machine/circuits/shots).
@@ -130,6 +140,8 @@ impl OnlinePredictor {
             model: None,
             scale: Vec::new(),
             active: Vec::new(),
+            fit_rows: Vec::new(),
+            fit_targets: Vec::new(),
             depth_sum: 0.0,
             width_sum: 0.0,
             feature_count: 0,
@@ -232,7 +244,7 @@ impl OnlinePredictor {
 
         // Runtime window + periodic mini-batch refit.
         let qubits = self.machine_qubits.get(record.machine).copied().unwrap_or(0);
-        let row = JobFeatures::from_record(record, qubits).to_vec();
+        let row = JobFeatures::from_record(record, qubits).to_array();
         if row.iter().all(|x| x.is_finite()) && exec.is_finite() {
             if self.window.len() == ONLINE_WINDOW {
                 self.window.pop_front();
@@ -347,14 +359,12 @@ impl OnlinePredictor {
     /// and take a few damped Gauss–Newton steps from there.
     fn refit(&mut self) {
         self.since_refit = 0;
-        let rows: Vec<Vec<f64>> = self.window.iter().map(|(r, _)| r.clone()).collect();
-        let targets: Vec<f64> = self.window.iter().map(|(_, y)| *y).collect();
-        let k = match rows.first() {
-            Some(r) => r.len(),
-            None => return,
-        };
-        let mut new_scale = vec![0.0f64; k];
-        for row in &rows {
+        if self.window.is_empty() {
+            return;
+        }
+        let k = NUM_FEATURES;
+        let mut new_scale = [0.0f64; NUM_FEATURES];
+        for (row, _) in &self.window {
             for (s, &x) in new_scale.iter_mut().zip(row) {
                 *s = s.max(x.abs());
             }
@@ -365,10 +375,15 @@ impl OnlinePredictor {
                 *s = 1.0;
             }
         }
-        let normalized: Vec<Vec<f64>> = rows
-            .iter()
-            .map(|row| row.iter().zip(&new_scale).map(|(&x, &s)| x / s).collect())
-            .collect();
+        // Normalize into the reused flat matrix: the whole refit performs
+        // O(1) allocations regardless of window size.
+        self.fit_rows.clear();
+        self.fit_targets.clear();
+        for (row, y) in &self.window {
+            self.fit_rows
+                .extend(row.iter().zip(&new_scale).map(|(&x, &s)| x / s));
+            self.fit_targets.push(*y);
+        }
 
         let fitted = match self.model.take() {
             Some(prev) if prev.num_features() == k && !self.scale.is_empty() => {
@@ -379,12 +394,21 @@ impl OnlinePredictor {
                     .map(|(&b, (&s_new, &s_old))| b * (s_new / s_old.max(1e-12)))
                     .collect();
                 let init = ProductModel { a: prev.a, b };
-                ProductModel::fit_from(&init, &normalized, &targets, WARM_ITERATIONS)
+                ProductModel::fit_flat(&init, &self.fit_rows, k, &self.fit_targets, WARM_ITERATIONS)
             }
-            _ => ProductModel::fit(&normalized, &targets, COLD_ITERATIONS),
+            _ => {
+                let mean_y =
+                    self.fit_targets.iter().sum::<f64>() / self.fit_targets.len().max(1) as f64;
+                let init_a = mean_y.abs().max(1e-6).powf(1.0 / k as f64);
+                let init = ProductModel {
+                    a: vec![init_a; k],
+                    b: vec![0.0; k],
+                };
+                ProductModel::fit_flat(&init, &self.fit_rows, k, &self.fit_targets, COLD_ITERATIONS)
+            }
         };
         self.model = Some(fitted);
-        self.scale = new_scale;
+        self.scale = new_scale.to_vec();
         self.active = new_active;
     }
 }

@@ -107,63 +107,113 @@ impl ProductModel {
         let k = rows[0].len();
         assert!(k > 0, "need at least one feature");
         assert!(rows.iter().all(|r| r.len() == k), "ragged feature rows");
+        let mut flat = Vec::with_capacity(rows.len() * k);
+        for row in rows {
+            flat.extend_from_slice(row);
+        }
+        Self::fit_flat(init, &flat, k, targets, max_iterations)
+    }
+
+    /// [`fit_from`](Self::fit_from) over a row-major flat feature matrix
+    /// (`rows.len() == k * targets.len()`), the allocation-free entry the
+    /// online mini-batch refit loop calls: every scratch buffer (Jacobian
+    /// products, factor/gradient vectors, the damped normal matrix) is
+    /// hoisted out of the per-row loop, and `J^T J` is filled on the
+    /// upper triangle only and mirrored — IEEE multiplication commutes,
+    /// so the result is bit-identical to the full accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty, `rows.len()` is not `k * targets.len()`,
+    /// or `init`'s feature count does not match `k`.
+    #[must_use]
+    pub fn fit_flat(
+        init: &ProductModel,
+        rows: &[f64],
+        k: usize,
+        targets: &[f64],
+        max_iterations: usize,
+    ) -> Self {
+        assert!(k > 0, "need at least one feature");
+        assert_eq!(rows.len(), k * targets.len(), "row/target length mismatch");
+        assert!(!targets.is_empty(), "empty training set");
         assert_eq!(init.num_features(), k, "init feature count mismatch");
 
-        let mut params = vec![0.0; 2 * k];
+        let p = 2 * k;
+        let mut params = vec![0.0; p];
         for i in 0..k {
             params[2 * i] = init.a[i];
             params[2 * i + 1] = init.b[i];
         }
 
+        // Scratch reused across iterations: no allocation inside the LM
+        // loop (the online predictor calls this every
+        // `ONLINE_REFIT_EVERY` completions on the record hot path).
+        let mut jtj = vec![0.0f64; p * p];
+        let mut jtr = vec![0.0f64; p];
+        let mut damped = vec![0.0f64; p * p];
+        let mut factors = vec![0.0f64; k];
+        let mut grad = vec![0.0f64; p];
+        let mut candidate = vec![0.0f64; p];
+        let mut delta = vec![0.0f64; p];
+
         let mut lambda = 1e-3;
-        let mut current_sse = sse(&params, rows, targets);
+        let mut current_sse = sse(&params, rows, k, targets);
 
         for _ in 0..max_iterations {
-            // Build J^T J and J^T r with the analytic Jacobian.
-            let p = 2 * k;
-            let mut jtj = vec![vec![0.0f64; p]; p];
-            let mut jtr = vec![0.0f64; p];
-            for (row, &y) in rows.iter().zip(targets) {
-                let factors: Vec<f64> = (0..k)
-                    .map(|i| params[2 * i] + params[2 * i + 1] * row[i])
-                    .collect();
+            // Build J^T J (upper triangle) and J^T r with the analytic
+            // Jacobian.
+            jtj.iter_mut().for_each(|x| *x = 0.0);
+            jtr.iter_mut().for_each(|x| *x = 0.0);
+            for (row, &y) in rows.chunks_exact(k).zip(targets) {
+                for i in 0..k {
+                    factors[i] = params[2 * i] + params[2 * i + 1] * row[i];
+                }
                 let yhat: f64 = factors.iter().product();
                 let r = yhat - y;
-                let mut grad = vec![0.0f64; p];
                 for i in 0..k {
                     // d yhat / d a_i = prod_{j != i} factor_j
-                    let others: f64 = factors
-                        .iter()
-                        .enumerate()
-                        .filter(|&(j, _)| j != i)
-                        .map(|(_, &f)| f)
-                        .product();
+                    let mut others = 1.0f64;
+                    for (j, &f) in factors.iter().enumerate() {
+                        if j != i {
+                            others *= f;
+                        }
+                    }
                     grad[2 * i] = others;
                     grad[2 * i + 1] = others * row[i];
                 }
                 for u in 0..p {
                     jtr[u] += grad[u] * r;
-                    for v in 0..p {
-                        jtj[u][v] += grad[u] * grad[v];
+                    for v in u..p {
+                        jtj[u * p + v] += grad[u] * grad[v];
                     }
+                }
+            }
+            // Mirror the strict upper triangle (`x * y` is commutative in
+            // IEEE 754, so this equals accumulating both halves).
+            for u in 0..p {
+                for v in (u + 1)..p {
+                    jtj[v * p + u] = jtj[u * p + v];
                 }
             }
 
             // Solve (J^T J + lambda diag) delta = J^T r.
-            let mut damped = jtj.clone();
-            for (u, row) in damped.iter_mut().enumerate() {
-                row[u] += lambda * (jtj[u][u].max(1e-12));
+            damped.copy_from_slice(&jtj);
+            for u in 0..p {
+                damped[u * p + u] += lambda * (jtj[u * p + u].max(1e-12));
             }
-            let Some(delta) = solve(&mut damped, &jtr) else {
+            if !solve(&mut damped, &jtr, &mut delta) {
                 lambda *= 10.0;
                 continue;
-            };
+            }
 
-            let candidate: Vec<f64> = params.iter().zip(&delta).map(|(p, d)| p - d).collect();
-            let candidate_sse = sse(&candidate, rows, targets);
+            for ((c, &prev), &d) in candidate.iter_mut().zip(&params).zip(&delta) {
+                *c = prev - d;
+            }
+            let candidate_sse = sse(&candidate, rows, k, targets);
             if candidate_sse < current_sse {
                 let improvement = (current_sse - candidate_sse) / current_sse.max(1e-30);
-                params = candidate;
+                params.copy_from_slice(&candidate);
                 current_sse = candidate_sse;
                 lambda = (lambda * 0.5).max(1e-12);
                 if improvement < 1e-10 {
@@ -184,9 +234,8 @@ impl ProductModel {
     }
 }
 
-fn sse(params: &[f64], rows: &[Vec<f64>], targets: &[f64]) -> f64 {
-    let k = params.len() / 2;
-    rows.iter()
+fn sse(params: &[f64], rows: &[f64], k: usize, targets: &[f64]) -> f64 {
+    rows.chunks_exact(k)
         .zip(targets)
         .map(|(row, &y)| {
             let yhat: f64 = (0..k)
@@ -197,41 +246,49 @@ fn sse(params: &[f64], rows: &[Vec<f64>], targets: &[f64]) -> f64 {
         .sum()
 }
 
-/// Gaussian elimination with partial pivoting; `None` if singular.
-#[allow(clippy::needless_range_loop)] // row/column indices address two arrays
-fn solve(a: &mut [Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+/// Gaussian elimination with partial pivoting over a row-major `n x n`
+/// matrix, solution written into `x`; `false` if singular. In-place and
+/// allocation-free so the LM loop can call it every iteration.
+fn solve(a: &mut [f64], b: &[f64], x: &mut [f64]) -> bool {
     let n = b.len();
-    let mut x = b.to_vec();
+    x.copy_from_slice(b);
     for col in 0..n {
-        // Pivot.
-        let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col]
+        // Pivot. `max_by` keeps the *last* maximum on ties, matching the
+        // original nested-Vec implementation exactly.
+        let Some(pivot) = (col..n).max_by(|&i, &j| {
+            a[i * n + col]
                 .abs()
-                .partial_cmp(&a[j][col].abs())
+                .partial_cmp(&a[j * n + col].abs())
                 .expect("finite")
-        })?;
-        if a[pivot][col].abs() < 1e-14 {
-            return None;
+        }) else {
+            return false;
+        };
+        if a[pivot * n + col].abs() < 1e-14 {
+            return false;
         }
-        a.swap(col, pivot);
-        x.swap(col, pivot);
+        if pivot != col {
+            for c in 0..n {
+                a.swap(col * n + c, pivot * n + c);
+            }
+            x.swap(col, pivot);
+        }
         for row in (col + 1)..n {
-            let factor = a[row][col] / a[col][col];
+            let factor = a[row * n + col] / a[col * n + col];
             for c in col..n {
-                a[row][c] -= factor * a[col][c];
+                a[row * n + c] -= factor * a[col * n + c];
             }
             x[row] -= factor * x[col];
         }
     }
     for col in (0..n).rev() {
-        x[col] /= a[col][col];
+        x[col] /= a[col * n + col];
         for row in 0..col {
-            let f = a[row][col];
+            let f = a[row * n + col];
             x[row] -= f * x[col];
-            a[row][col] = 0.0;
+            a[row * n + col] = 0.0;
         }
     }
-    Some(x)
+    true
 }
 
 #[cfg(test)]
@@ -366,15 +423,42 @@ mod tests {
 
     #[test]
     fn solver_handles_identity() {
-        let mut a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
-        let x = solve(&mut a, &[3.0, 4.0]).unwrap();
+        let mut a = vec![1.0, 0.0, 0.0, 1.0];
+        let mut x = [0.0; 2];
+        assert!(solve(&mut a, &[3.0, 4.0], &mut x));
         assert!((x[0] - 3.0).abs() < 1e-12);
         assert!((x[1] - 4.0).abs() < 1e-12);
     }
 
     #[test]
     fn solver_detects_singular() {
-        let mut a = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
-        assert!(solve(&mut a, &[1.0, 2.0]).is_none());
+        let mut a = vec![1.0, 1.0, 1.0, 1.0];
+        let mut x = [0.0; 2];
+        assert!(!solve(&mut a, &[1.0, 2.0], &mut x));
+    }
+
+    #[test]
+    fn fit_flat_matches_fit_from() {
+        // The flat entry must be bit-identical to the nested-Vec path:
+        // same rows, same init, same iteration budget.
+        let rows: Vec<Vec<f64>> = (0..64)
+            .map(|i| {
+                let x = f64::from(i);
+                vec![x, (x * 7.0) % 13.0, 1.0 + (x % 5.0)]
+            })
+            .collect();
+        let targets: Vec<f64> = rows
+            .iter()
+            .map(|r| (2.0 + 0.5 * r[0]) * (1.0 + 0.1 * r[1]) * (3.0 + 0.2 * r[2]))
+            .collect();
+        let init = ProductModel {
+            a: vec![1.0; 3],
+            b: vec![0.0; 3],
+        };
+        let nested = ProductModel::fit_from(&init, &rows, &targets, 50);
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let direct = ProductModel::fit_flat(&init, &flat, 3, &targets, 50);
+        assert_eq!(nested.a, direct.a);
+        assert_eq!(nested.b, direct.b);
     }
 }
